@@ -1,0 +1,450 @@
+//! Ant-colony routing (AntHocNet-style, the paper's citation \[9\]).
+//!
+//! A fixed population of *forward ants* wanders the network sampling
+//! paths to the gateways "in a Monte Carlo fashion": each hop is drawn
+//! with probability proportional to `(τ0 + pheromone)^β` over the
+//! current out-neighbours, avoiding nodes already on the ant's path.
+//! An ant that reaches a gateway immediately retraces its path
+//! (the *backward ant*) depositing pheromone on every directed hop it
+//! took — stronger near the gateway, weaker for long paths — and
+//! respawns elsewhere; ants that exceed their TTL die silently.
+//! Pheromone evaporates multiplicatively every step, so entries through
+//! broken regions fade.
+//!
+//! A node forwards packets per gateway along its strongest pheromone
+//! edge; the connectivity metric (identical to the agent simulations')
+//! asks whether chasing those strongest edges over currently-live links
+//! reaches some gateway.
+
+use agentnet_engine::sim::{run_until, Step, TimeStepSim};
+use agentnet_engine::TimeSeries;
+use agentnet_graph::connectivity::reaches_any;
+use agentnet_graph::{DiGraph, NodeId};
+use agentnet_radio::WirelessNetwork;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the ant-colony routing simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AcoConfig {
+    /// Concurrent forward ants (respawned on delivery or death).
+    pub population: usize,
+    /// Exponent sharpening the pheromone preference (β ≥ 0; 0 = blind
+    /// random walk).
+    pub beta: f64,
+    /// Multiplicative pheromone evaporation per step, in `[0, 1)`.
+    pub evaporation: f64,
+    /// Pheromone deposited by a successful ant, split along its path.
+    pub deposit: f64,
+    /// Maximum hops a forward ant may take before dying.
+    pub ttl: u32,
+    /// Baseline attractiveness of an unmarked edge (τ0 > 0 keeps
+    /// exploration alive).
+    pub tau0: f64,
+}
+
+impl AcoConfig {
+    /// Defaults tuned for the paper's 250-node MANET.
+    pub fn new(population: usize) -> Self {
+        AcoConfig {
+            population,
+            beta: 2.0,
+            evaporation: 0.02,
+            deposit: 1.0,
+            ttl: 50,
+            tau0: 0.05,
+        }
+    }
+
+    /// Sets the preference exponent β.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the evaporation rate.
+    pub fn evaporation(mut self, rho: f64) -> Self {
+        self.evaporation = rho;
+        self
+    }
+
+    /// Sets the forward-ant TTL.
+    pub fn ttl(mut self, ttl: u32) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    fn validate(&self) -> Result<(), AcoError> {
+        if self.population == 0 {
+            return Err(AcoError::new("ant population must be positive"));
+        }
+        if !(0.0..1.0).contains(&self.evaporation) {
+            return Err(AcoError::new("evaporation must be in [0, 1)"));
+        }
+        if self.beta < 0.0 || self.deposit <= 0.0 || self.tau0 <= 0.0 {
+            return Err(AcoError::new("beta must be >= 0; deposit and tau0 positive"));
+        }
+        if self.ttl == 0 {
+            return Err(AcoError::new("ttl must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Error constructing an [`AcoSim`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcoError {
+    reason: String,
+}
+
+impl AcoError {
+    fn new(reason: &str) -> Self {
+        AcoError { reason: reason.to_string() }
+    }
+}
+
+impl fmt::Display for AcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid aco configuration: {}", self.reason)
+    }
+}
+
+impl Error for AcoError {}
+
+#[derive(Clone, Debug)]
+struct ForwardAnt {
+    path: Vec<NodeId>,
+}
+
+impl ForwardAnt {
+    fn at(&self) -> NodeId {
+        *self.path.last().expect("ant path is never empty")
+    }
+}
+
+/// Per-node pheromone: `(gateway, neighbour) -> strength`.
+type Pheromone = HashMap<(NodeId, NodeId), f64>;
+
+/// The ant-colony routing simulation.
+#[derive(Clone, Debug)]
+pub struct AcoSim {
+    net: WirelessNetwork,
+    config: AcoConfig,
+    ants: Vec<ForwardAnt>,
+    pheromone: Vec<Pheromone>,
+    rng: SmallRng,
+    connectivity: TimeSeries,
+    ant_moves: u64,
+    deliveries: u64,
+}
+
+impl AcoSim {
+    /// Creates an ACO simulation; ants start on uniformly random nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcoError`] for invalid parameters, an empty network or
+    /// a network without gateways.
+    pub fn new(net: WirelessNetwork, config: AcoConfig, seed: u64) -> Result<Self, AcoError> {
+        config.validate()?;
+        let n = net.node_count();
+        if n == 0 {
+            return Err(AcoError::new("network must be nonempty"));
+        }
+        if net.gateways().is_empty() {
+            return Err(AcoError::new("network needs at least one gateway"));
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ants = (0..config.population)
+            .map(|_| ForwardAnt { path: vec![NodeId::new(rng.random_range(0..n))] })
+            .collect();
+        Ok(AcoSim {
+            pheromone: vec![Pheromone::new(); n],
+            net,
+            config,
+            ants,
+            rng,
+            connectivity: TimeSeries::new(),
+            ant_moves: 0,
+            deliveries: 0,
+        })
+    }
+
+    /// The underlying wireless network.
+    pub fn network(&self) -> &WirelessNetwork {
+        &self.net
+    }
+
+    /// Total ant migrations so far (the overhead currency shared with
+    /// the paper's agents).
+    pub fn ant_moves(&self) -> u64 {
+        self.ant_moves
+    }
+
+    /// Forward ants that reached a gateway so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// The recorded connectivity series.
+    pub fn connectivity_series(&self) -> &TimeSeries {
+        &self.connectivity
+    }
+
+    /// Pheromone strength on the directed hop `(node, neighbour)`
+    /// towards `gateway`.
+    pub fn pheromone(&self, node: NodeId, gateway: NodeId, neighbor: NodeId) -> f64 {
+        self.pheromone[node.index()].get(&(gateway, neighbor)).copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of nodes whose strongest-pheromone chains reach a
+    /// gateway over currently-live links.
+    pub fn connectivity(&self) -> f64 {
+        let links = self.net.links();
+        let n = self.net.node_count();
+        let gateways = self.net.gateways();
+        let mut forwarding = DiGraph::new(n);
+        for v in 0..n {
+            let from = NodeId::new(v);
+            if gateways.contains(&from) {
+                continue;
+            }
+            // One forwarding edge per gateway: the strongest live hop.
+            for &gw in gateways {
+                let best = links
+                    .out_neighbors(from)
+                    .iter()
+                    .filter_map(|&nbr| {
+                        let tau = self.pheromone[v].get(&(gw, nbr)).copied().unwrap_or(0.0);
+                        (tau > 0.0).then_some((nbr, tau))
+                    })
+                    .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+                if let Some((nbr, _)) = best {
+                    forwarding.add_edge(from, nbr);
+                }
+            }
+        }
+        let valid = reaches_any(&forwarding, gateways);
+        valid.iter().filter(|&&v| v).count() as f64 / n as f64
+    }
+
+    /// Runs for exactly `steps` steps, recording connectivity per step.
+    pub fn run(&mut self, steps: u64) -> TimeSeries {
+        let _ = run_until(self, Step::new(steps));
+        self.connectivity.clone()
+    }
+
+    fn evaporate(&mut self) {
+        let keep = 1.0 - self.config.evaporation;
+        for table in &mut self.pheromone {
+            for tau in table.values_mut() {
+                *tau *= keep;
+            }
+            table.retain(|_, tau| *tau > 1e-6);
+        }
+    }
+
+    fn respawn(&mut self) -> ForwardAnt {
+        let n = self.net.node_count();
+        ForwardAnt { path: vec![NodeId::new(self.rng.random_range(0..n))] }
+    }
+
+    /// Weighted next-hop choice for a forward ant at `at`: each live
+    /// out-neighbour weighs `(τ0 + Σ_gw τ)^β`, nodes already on the path
+    /// are excluded unless that empties the pool.
+    fn choose_hop(&mut self, ant: &ForwardAnt) -> Option<NodeId> {
+        let at = ant.at();
+        let links = self.net.links();
+        let neighbors = links.out_neighbors(at);
+        if neighbors.is_empty() {
+            return None;
+        }
+        let fresh: Vec<NodeId> = neighbors
+            .iter()
+            .copied()
+            .filter(|nbr| !ant.path.contains(nbr))
+            .collect();
+        let pool: &[NodeId] = if fresh.is_empty() { neighbors } else { &fresh };
+        let table = &self.pheromone[at.index()];
+        let gateways = self.net.gateways();
+        let weights: Vec<f64> = pool
+            .iter()
+            .map(|&nbr| {
+                let tau: f64 = gateways
+                    .iter()
+                    .map(|&gw| table.get(&(gw, nbr)).copied().unwrap_or(0.0))
+                    .sum();
+                (self.config.tau0 + tau).powf(self.config.beta)
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = self.rng.random_range(0.0..total);
+        for (nbr, w) in pool.iter().zip(&weights) {
+            if pick < *w {
+                return Some(*nbr);
+            }
+            pick -= w;
+        }
+        Some(*pool.last().expect("pool is nonempty"))
+    }
+
+    /// Backward-ant phase: deposit pheromone along the delivered path.
+    fn deposit(&mut self, path: &[NodeId]) {
+        let gateway = *path.last().expect("delivered path ends at a gateway");
+        let len = path.len() - 1; // hops
+        for (i, pair) in path.windows(2).enumerate() {
+            let (node, next) = (pair[0], pair[1]);
+            // Stronger reinforcement for hops closer to the gateway and
+            // for shorter paths overall.
+            let remaining = (len - i) as f64;
+            let amount = self.config.deposit / remaining;
+            *self.pheromone[node.index()].entry((gateway, next)).or_insert(0.0) += amount;
+        }
+    }
+}
+
+impl TimeStepSim for AcoSim {
+    fn step(&mut self, _now: Step) {
+        self.net.advance();
+        self.evaporate();
+
+        let gateways: Vec<NodeId> = self.net.gateways().to_vec();
+        for i in 0..self.ants.len() {
+            let mut ant = std::mem::replace(&mut self.ants[i], ForwardAnt { path: Vec::new() });
+            let next = self.choose_hop(&ant);
+            match next {
+                Some(next) => {
+                    ant.path.push(next);
+                    self.ant_moves += 1;
+                    if gateways.contains(&next) {
+                        self.deposit(&ant.path);
+                        self.deliveries += 1;
+                        ant = self.respawn();
+                    } else if ant.path.len() as u32 > self.config.ttl {
+                        ant = self.respawn();
+                    }
+                }
+                // Stranded (no out-links): wait in place.
+                None => {}
+            }
+            self.ants[i] = ant;
+        }
+
+        let c = self.connectivity();
+        self.connectivity.record(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_radio::NetworkBuilder;
+
+    fn net(seed: u64) -> WirelessNetwork {
+        NetworkBuilder::new(50).gateways(4).target_edges(400).build(seed).unwrap()
+    }
+
+    fn static_net(seed: u64) -> WirelessNetwork {
+        NetworkBuilder::new(50)
+            .gateways(4)
+            .target_edges(400)
+            .mobile_fraction(0.0)
+            .build(seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let n = net(1);
+        assert!(AcoSim::new(n.clone(), AcoConfig::new(0), 1).is_err());
+        assert!(AcoSim::new(n.clone(), AcoConfig::new(5).evaporation(1.0), 1).is_err());
+        assert!(AcoSim::new(n.clone(), AcoConfig::new(5).ttl(0), 1).is_err());
+        let no_gw = NetworkBuilder::new(10).build(1).unwrap();
+        assert!(AcoSim::new(no_gw, AcoConfig::new(5), 1).is_err());
+    }
+
+    #[test]
+    fn connectivity_rises_from_zero() {
+        let mut sim = AcoSim::new(net(2), AcoConfig::new(40), 3).unwrap();
+        let series = sim.run(150);
+        let first = series.values()[0];
+        let late = series.window_mean(100..150).unwrap();
+        assert!(late > first, "pheromone routing never improved: {first} -> {late}");
+        assert!(late > 0.2, "late ACO connectivity too low: {late}");
+        assert!(sim.deliveries() > 0, "no ant ever reached a gateway");
+    }
+
+    #[test]
+    fn deposits_only_on_walked_directed_hops() {
+        let mut sim = AcoSim::new(static_net(3), AcoConfig::new(20), 5).unwrap();
+        let links = sim.network().links().clone();
+        for s in 0..60 {
+            sim.step(Step::new(s));
+        }
+        for (v, table) in sim.pheromone.iter().enumerate() {
+            for (&(gw, nbr), &tau) in table {
+                assert!(tau > 0.0);
+                assert!(sim.network().gateways().contains(&gw));
+                assert!(
+                    links.has_edge(NodeId::new(v), nbr),
+                    "pheromone on a non-existent static link {v}->{nbr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn evaporation_fades_unreinforced_trails() {
+        let mut sim = AcoSim::new(static_net(4), AcoConfig::new(10).evaporation(0.5), 7).unwrap();
+        for s in 0..30 {
+            sim.step(Step::new(s));
+        }
+        // Kill all ants' ability to reinforce by removing them.
+        sim.ants.clear();
+        let before: f64 = sim.pheromone.iter().map(|t| t.values().sum::<f64>()).sum();
+        for s in 30..60 {
+            sim.step(Step::new(s));
+        }
+        let after: f64 = sim.pheromone.iter().map(|t| t.values().sum::<f64>()).sum();
+        assert!(after < before * 0.01, "pheromone failed to evaporate: {before} -> {after}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = AcoSim::new(net(5), AcoConfig::new(20), 9).unwrap().run(60);
+        let b = AcoSim::new(net(5), AcoConfig::new(20), 9).unwrap().run(60);
+        assert_eq!(a, b);
+        let c = AcoSim::new(net(5), AcoConfig::new(20), 10).unwrap().run(60);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn more_ants_means_higher_connectivity() {
+        let small = AcoSim::new(net(6), AcoConfig::new(5), 1)
+            .unwrap()
+            .run(150)
+            .window_mean(100..150)
+            .unwrap();
+        let large = AcoSim::new(net(6), AcoConfig::new(80), 1)
+            .unwrap()
+            .run(150)
+            .window_mean(100..150)
+            .unwrap();
+        assert!(
+            large > small,
+            "a bigger colony ({large:.3}) should beat a tiny one ({small:.3})"
+        );
+    }
+
+    #[test]
+    fn ant_moves_are_counted() {
+        let mut sim = AcoSim::new(net(7), AcoConfig::new(10), 2).unwrap();
+        let _ = sim.run(20);
+        assert!(sim.ant_moves() > 0);
+        assert!(sim.ant_moves() <= 10 * 20);
+    }
+}

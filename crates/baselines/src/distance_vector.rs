@@ -1,0 +1,371 @@
+//! A node-run distance-vector protocol (Bellman-Ford / DSDV-lite).
+//!
+//! The paper's agents assume "the nodes themselves run no programs; all
+//! topology mapping relies on the operation of the agents". This module
+//! is the opposite design point: every node broadcasts its gateway
+//! distance vector to its radio neighbourhood every step, and
+//! neighbours relax their entries Bellman-Ford style. Entries age out
+//! when not refreshed (staleness beats count-to-infinity in a network
+//! this dynamic), and a hop-count cap bounds residual loops.
+//!
+//! Because the radio links are *directed*, a node `w` only adopts a
+//! route via `v` when it both heard the advertisement (link `v -> w`)
+//! and can actually forward back (link `w -> v`).
+//!
+//! The point of the baseline: near-ideal connectivity, at the price of
+//! `O(nodes)` broadcasts and `O(links)` receptions *every step* —
+//! against which the agents' `O(population)` migrations are cheap.
+
+use agentnet_engine::sim::{run_until, Step, TimeStepSim};
+use agentnet_engine::TimeSeries;
+use agentnet_graph::connectivity::reaches_any;
+use agentnet_graph::{DiGraph, NodeId};
+use agentnet_radio::WirelessNetwork;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the distance-vector baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvConfig {
+    /// Steps an entry survives without being refreshed by an
+    /// advertisement.
+    pub max_age: u32,
+    /// Maximum usable hop count (split-horizon-free loop damping).
+    pub max_dist: u32,
+}
+
+impl Default for DvConfig {
+    fn default() -> Self {
+        DvConfig { max_age: 3, max_dist: 32 }
+    }
+}
+
+impl DvConfig {
+    fn validate(&self) -> Result<(), DvError> {
+        if self.max_age == 0 || self.max_dist == 0 {
+            return Err(DvError::new("max_age and max_dist must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Error constructing a [`DvSim`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DvError {
+    reason: String,
+}
+
+impl DvError {
+    fn new(reason: &str) -> Self {
+        DvError { reason: reason.to_string() }
+    }
+}
+
+impl fmt::Display for DvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distance-vector configuration: {}", self.reason)
+    }
+}
+
+impl Error for DvError {}
+
+/// One route entry: distance to a gateway via a next hop, with age.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvEntry {
+    /// Hop count to the gateway.
+    pub dist: u32,
+    /// Forwarding neighbour.
+    pub next: NodeId,
+    /// Steps since last refreshed.
+    pub age: u32,
+}
+
+/// The distance-vector routing simulation.
+#[derive(Clone, Debug)]
+pub struct DvSim {
+    net: WirelessNetwork,
+    config: DvConfig,
+    /// `tables[node][gateway_index]`.
+    tables: Vec<Vec<Option<DvEntry>>>,
+    gateway_index: Vec<Option<usize>>,
+    connectivity: TimeSeries,
+    broadcasts: u64,
+    receptions: u64,
+}
+
+impl DvSim {
+    /// Creates a distance-vector simulation over the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DvError`] for invalid parameters, an empty network or a
+    /// network without gateways.
+    pub fn new(net: WirelessNetwork, config: DvConfig) -> Result<Self, DvError> {
+        config.validate()?;
+        let n = net.node_count();
+        if n == 0 {
+            return Err(DvError::new("network must be nonempty"));
+        }
+        if net.gateways().is_empty() {
+            return Err(DvError::new("network needs at least one gateway"));
+        }
+        let mut gateway_index = vec![None; n];
+        for (i, &g) in net.gateways().iter().enumerate() {
+            gateway_index[g.index()] = Some(i);
+        }
+        let gw_count = net.gateways().len();
+        Ok(DvSim {
+            tables: vec![vec![None; gw_count]; n],
+            gateway_index,
+            net,
+            config,
+            connectivity: TimeSeries::new(),
+            broadcasts: 0,
+            receptions: 0,
+        })
+    }
+
+    /// The underlying wireless network.
+    pub fn network(&self) -> &WirelessNetwork {
+        &self.net
+    }
+
+    /// Advertisements broadcast so far (one per node per step).
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Advertisement receptions so far (one per live link per step).
+    pub fn receptions(&self) -> u64 {
+        self.receptions
+    }
+
+    /// The entry of `node` towards `gateway`, if any.
+    pub fn entry(&self, node: NodeId, gateway: NodeId) -> Option<DvEntry> {
+        let gi = self.gateway_index[gateway.index()]?;
+        self.tables[node.index()][gi]
+    }
+
+    /// The recorded connectivity series.
+    pub fn connectivity_series(&self) -> &TimeSeries {
+        &self.connectivity
+    }
+
+    /// Fraction of nodes whose next-hop chains reach a gateway over
+    /// currently-live links — the same metric as the agent simulations.
+    pub fn connectivity(&self) -> f64 {
+        let links = self.net.links();
+        let n = self.net.node_count();
+        let gateways = self.net.gateways();
+        let mut forwarding = DiGraph::new(n);
+        for v in 0..n {
+            let from = NodeId::new(v);
+            if self.gateway_index[v].is_some() {
+                continue;
+            }
+            for entry in self.tables[v].iter().flatten() {
+                if links.has_edge(from, entry.next) {
+                    forwarding.add_edge(from, entry.next);
+                }
+            }
+        }
+        let valid = reaches_any(&forwarding, gateways);
+        valid.iter().filter(|&&ok| ok).count() as f64 / n as f64
+    }
+
+    /// Runs for exactly `steps` steps, recording connectivity per step.
+    pub fn run(&mut self, steps: u64) -> TimeSeries {
+        let _ = run_until(self, Step::new(steps));
+        self.connectivity.clone()
+    }
+
+    /// The distance vector `v` advertises: gateway index → distance.
+    fn vector_of(&self, v: usize) -> Vec<Option<u32>> {
+        let gw_count = self.net.gateways().len();
+        let mut out = vec![None; gw_count];
+        if let Some(gi) = self.gateway_index[v] {
+            out[gi] = Some(0);
+        }
+        for (gi, slot) in out.iter_mut().enumerate() {
+            if slot.is_none() {
+                if let Some(e) = self.tables[v][gi] {
+                    *slot = Some(e.dist);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl TimeStepSim for DvSim {
+    fn step(&mut self, _now: Step) {
+        self.net.advance();
+        let links = self.net.links().clone();
+        let n = self.net.node_count();
+
+        // Age and expire.
+        for table in &mut self.tables {
+            for slot in table.iter_mut() {
+                if let Some(e) = slot {
+                    e.age += 1;
+                    if e.age > self.config.max_age {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+
+        // One synchronous advertisement round: every node broadcasts its
+        // (pre-round) vector; hearers relax. Using the pre-round snapshot
+        // keeps the update order-independent and hence deterministic.
+        let vectors: Vec<Vec<Option<u32>>> = (0..n).map(|v| self.vector_of(v)).collect();
+        self.broadcasts += n as u64;
+        for v in 0..n {
+            let from = NodeId::new(v);
+            for &w in links.out_neighbors(from) {
+                self.receptions += 1;
+                // w heard v; w can only use v if it can transmit back.
+                if !links.has_edge(w, from) {
+                    continue;
+                }
+                for (gi, dist) in vectors[v].iter().enumerate() {
+                    let Some(dist) = dist else { continue };
+                    let candidate = dist + 1;
+                    if candidate > self.config.max_dist {
+                        continue;
+                    }
+                    if self.gateway_index[w.index()].is_some() {
+                        continue; // gateways need no routes
+                    }
+                    let slot = &mut self.tables[w.index()][gi];
+                    let adopt = match slot {
+                        None => true,
+                        // Refresh from the same next hop, or strictly
+                        // better distance from anywhere.
+                        Some(e) => e.next == from || candidate < e.dist,
+                    };
+                    if adopt {
+                        *slot = Some(DvEntry { dist: candidate, next: from, age: 0 });
+                    }
+                }
+            }
+        }
+
+        let c = self.connectivity();
+        self.connectivity.record(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_radio::NetworkBuilder;
+
+    fn net(seed: u64) -> WirelessNetwork {
+        NetworkBuilder::new(50).gateways(4).target_edges(400).build(seed).unwrap()
+    }
+
+    fn static_net(seed: u64) -> WirelessNetwork {
+        NetworkBuilder::new(50)
+            .gateways(4)
+            .target_edges(400)
+            .mobile_fraction(0.0)
+            .build(seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(DvSim::new(net(1), DvConfig { max_age: 0, max_dist: 4 }).is_err());
+        assert!(DvSim::new(net(1), DvConfig { max_age: 3, max_dist: 0 }).is_err());
+        let no_gw = NetworkBuilder::new(10).build(1).unwrap();
+        assert!(DvSim::new(no_gw, DvConfig::default()).is_err());
+    }
+
+    #[test]
+    fn static_network_converges_to_near_full_reachability() {
+        let network = static_net(2);
+        let upper = network.reachability_upper_bound();
+        let mut sim = DvSim::new(network, DvConfig::default()).unwrap();
+        let series = sim.run(60);
+        let late = series.window_mean(40..60).unwrap();
+        // The protocol floods every step, so it should track the
+        // bidirectional-usable part of the reachability bound closely.
+        assert!(late > 0.8 * upper, "dv connectivity {late:.3} vs reachability {upper:.3}");
+    }
+
+    #[test]
+    fn dynamic_network_still_achieves_high_connectivity() {
+        let mut sim = DvSim::new(net(3), DvConfig::default()).unwrap();
+        let series = sim.run(150);
+        let late = series.window_mean(100..150).unwrap();
+        assert!(late > 0.5, "dv on dynamic net too low: {late:.3}");
+    }
+
+    #[test]
+    fn entries_expire_without_refresh() {
+        let mut sim = DvSim::new(static_net(4), DvConfig { max_age: 2, max_dist: 32 }).unwrap();
+        let _ = sim.run(20);
+        // Freeze advertisements by clearing gateway status: simulate by
+        // checking ages are always <= max_age instead.
+        for table in &sim.tables {
+            for e in table.iter().flatten() {
+                assert!(e.age <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_consistent_with_neighbors_on_static_net() {
+        let mut sim = DvSim::new(static_net(5), DvConfig::default()).unwrap();
+        let _ = sim.run(40);
+        let gws = sim.network().gateways().to_vec();
+        for v in 0..sim.network().node_count() {
+            let node = NodeId::new(v);
+            for &gw in &gws {
+                if let Some(e) = sim.entry(node, gw) {
+                    // The next hop either is the gateway (dist 1) or has
+                    // an entry one closer (or is a gateway itself).
+                    if e.dist == 1 {
+                        assert_eq!(e.next, gw);
+                    } else {
+                        let next_entry = sim.entry(e.next, gw);
+                        let next_is_gw = e.next == gw;
+                        assert!(
+                            next_is_gw
+                                || next_entry.is_some_and(|ne| ne.dist <= e.dist),
+                            "inconsistent dv chain at {node} towards {gw}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_counters_scale_with_network_size() {
+        let mut sim = DvSim::new(net(6), DvConfig::default()).unwrap();
+        let _ = sim.run(10);
+        assert_eq!(sim.broadcasts(), 50 * 10);
+        assert!(sim.receptions() > sim.broadcasts(), "avg degree > 1 expected");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = DvSim::new(net(7), DvConfig::default()).unwrap().run(40);
+        let b = DvSim::new(net(7), DvConfig::default()).unwrap().run(40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gateways_hold_no_routes() {
+        let mut sim = DvSim::new(net(8), DvConfig::default()).unwrap();
+        let _ = sim.run(30);
+        for &gw in sim.network().gateways() {
+            for (i, slot) in sim.tables[gw.index()].iter().enumerate() {
+                assert!(slot.is_none(), "gateway {gw} holds a route to gateway #{i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Comparator routing systems for the `agentnet` study.
+//!
+//! The paper situates its agents against two families of related work,
+//! both of which we implement so the comparison is runnable:
+//!
+//! * [`aco`] — **ant-colony routing** in the style of AntHocNet
+//!   (Di Caro, Ducatelle & Gambardella, cited as \[9\]): ant agents
+//!   sample paths to gateways "in a Monte Carlo fashion"; successful
+//!   ants retrace their path depositing pheromone, failed ones leave
+//!   nothing; pheromone evaporates; packets follow the pheromone
+//!   gradient.
+//! * [`distance_vector`] — a **node-run distance-vector protocol**
+//!   (Bellman-Ford / DSDV-lite): the paper's agents assume "the nodes
+//!   themselves run no programs", so this is the opposite pole — every
+//!   node advertises its gateway distances to its radio neighbourhood
+//!   every step. It approximates the best connectivity money can buy
+//!   and shows what that costs in messages.
+//!
+//! Both simulations run on the same [`agentnet_radio::WirelessNetwork`]
+//! substrate and report the same connectivity metric (fraction of nodes
+//! whose forwarding chain reaches a gateway over currently-live links),
+//! so numbers are directly comparable with the paper's agents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aco;
+pub mod distance_vector;
+
+pub use aco::{AcoConfig, AcoSim};
+pub use distance_vector::{DvConfig, DvSim};

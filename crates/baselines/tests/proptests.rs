@@ -1,0 +1,107 @@
+//! Property-based tests for the baseline routing systems.
+
+use agentnet_baselines::{AcoConfig, AcoSim, DvConfig, DvSim};
+use agentnet_engine::sim::{Step, TimeStepSim};
+use agentnet_graph::NodeId;
+use agentnet_radio::NetworkBuilder;
+use proptest::prelude::*;
+
+fn network(seed: u64, nodes: usize, gateways: usize) -> agentnet_radio::WirelessNetwork {
+    NetworkBuilder::new(nodes)
+        .gateways(gateways)
+        .min_initial_reachability(0.0)
+        .build(seed)
+        .expect("network builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn aco_connectivity_is_always_a_fraction(
+        seed in 0u64..32,
+        ants in 1usize..40,
+        steps in 1u64..40,
+    ) {
+        let mut sim = AcoSim::new(network(seed, 30, 2), AcoConfig::new(ants), seed).unwrap();
+        let series = sim.run(steps);
+        prop_assert_eq!(series.len() as u64, steps);
+        for &v in series.values() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn aco_pheromone_is_nonnegative_and_gateway_keyed(
+        seed in 0u64..16,
+        steps in 1u64..30,
+    ) {
+        let mut sim = AcoSim::new(network(seed, 30, 3), AcoConfig::new(10), seed).unwrap();
+        let _ = sim.run(steps);
+        let gws: Vec<NodeId> = sim.network().gateways().to_vec();
+        for v in 0..sim.network().node_count() {
+            let node = NodeId::new(v);
+            for &gw in &gws {
+                for nbr in (0..sim.network().node_count()).map(NodeId::new) {
+                    let tau = sim.pheromone(node, gw, nbr);
+                    prop_assert!(tau >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aco_ant_moves_bounded_by_population_times_steps(
+        seed in 0u64..16,
+        ants in 1usize..30,
+        steps in 1u64..30,
+    ) {
+        let mut sim = AcoSim::new(network(seed, 25, 2), AcoConfig::new(ants), seed).unwrap();
+        let _ = sim.run(steps);
+        prop_assert!(sim.ant_moves() <= ants as u64 * steps);
+    }
+
+    #[test]
+    fn dv_connectivity_is_always_a_fraction(
+        seed in 0u64..32,
+        steps in 1u64..40,
+        max_age in 1u32..6,
+    ) {
+        let cfg = DvConfig { max_age, max_dist: 32 };
+        let mut sim = DvSim::new(network(seed, 30, 2), cfg).unwrap();
+        let series = sim.run(steps);
+        for &v in series.values() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn dv_entries_respect_age_and_distance_caps(
+        seed in 0u64..16,
+        steps in 1u64..25,
+        max_age in 1u32..5,
+        max_dist in 1u32..12,
+    ) {
+        let cfg = DvConfig { max_age, max_dist };
+        let mut sim = DvSim::new(network(seed, 30, 3), cfg).unwrap();
+        for s in 0..steps {
+            sim.step(Step::new(s));
+            for v in 0..sim.network().node_count() {
+                for &gw in sim.network().gateways() {
+                    if let Some(e) = sim.entry(NodeId::new(v), gw) {
+                        prop_assert!(e.age <= max_age);
+                        prop_assert!(e.dist >= 1 && e.dist <= max_dist);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dv_broadcast_count_is_exact(seed in 0u64..16, steps in 1u64..20) {
+        let nodes = 25usize;
+        let mut sim = DvSim::new(network(seed, nodes, 2), DvConfig::default()).unwrap();
+        let _ = sim.run(steps);
+        prop_assert_eq!(sim.broadcasts(), nodes as u64 * steps);
+    }
+}

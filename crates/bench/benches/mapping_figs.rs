@@ -1,0 +1,107 @@
+//! Benchmarks for the mapping study, one group per figure (Figs. 1–6).
+//!
+//! Each group first regenerates the figure's data rows in smoke mode
+//! (printed to stderr) and then times the simulation kernel the figure
+//! is built from, at reduced scale so `cargo bench` stays fast.
+
+use agentnet_bench::{bench_mapping_graph, print_figure_rows, run_mapping};
+use agentnet_core::mapping::MappingConfig;
+use agentnet_core::policy::MappingPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn fig1_single_agents(c: &mut Criterion) {
+    print_figure_rows("fig1");
+    let graph = bench_mapping_graph();
+    let mut group = c.benchmark_group("fig1_single_agent");
+    group.sample_size(10);
+    for (name, policy) in
+        [("random", MappingPolicy::Random), ("conscientious", MappingPolicy::Conscientious)]
+    {
+        let config = MappingConfig::new(policy, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_mapping(&graph, cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig2_single_stigmergic(c: &mut Criterion) {
+    print_figure_rows("fig2");
+    let graph = bench_mapping_graph();
+    let mut group = c.benchmark_group("fig2_single_stigmergic");
+    group.sample_size(10);
+    for (name, policy) in
+        [("random", MappingPolicy::Random), ("conscientious", MappingPolicy::Conscientious)]
+    {
+        let config = MappingConfig::new(policy, 1).stigmergic(true);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_mapping(&graph, cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig3_fig4_teams(c: &mut Criterion) {
+    print_figure_rows("fig3");
+    print_figure_rows("fig4");
+    let graph = bench_mapping_graph();
+    let mut group = c.benchmark_group("fig3_fig4_team_of_15");
+    group.sample_size(10);
+    for (name, stig) in [("minar", false), ("stigmergic", true)] {
+        let config = MappingConfig::new(MappingPolicy::Conscientious, 15).stigmergic(stig);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_mapping(&graph, cfg, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig5_fig6_population_sweep(c: &mut Criterion) {
+    print_figure_rows("fig5");
+    print_figure_rows("fig6");
+    let graph = bench_mapping_graph();
+    let mut group = c.benchmark_group("fig5_fig6_population_kernel");
+    group.sample_size(10);
+    for pop in [5usize, 20] {
+        for (name, policy, stig) in [
+            ("minar_super", MappingPolicy::SuperConscientious, false),
+            ("stig_super", MappingPolicy::SuperConscientious, true),
+        ] {
+            let config = MappingConfig::new(policy, pop).stigmergic(stig);
+            group.bench_with_input(
+                BenchmarkId::new(name, pop),
+                &config,
+                |b, cfg| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(run_mapping(&graph, cfg, seed))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    mapping_figs,
+    fig1_single_agents,
+    fig2_single_stigmergic,
+    fig3_fig4_teams,
+    fig5_fig6_population_sweep
+);
+criterion_main!(mapping_figs);

@@ -1,0 +1,120 @@
+//! Benchmarks for the routing study, one group per figure (Figs. 7–11)
+//! plus the stigmergic-routing extension.
+//!
+//! Each group first regenerates the figure's data rows in smoke mode
+//! (printed to stderr) and then times the simulation kernel at reduced
+//! scale (100-node network, 100 steps).
+
+use agentnet_bench::{bench_routing_network, print_figure_rows, run_routing};
+use agentnet_core::policy::RoutingPolicy;
+use agentnet_core::routing::RoutingConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const BENCH_STEPS: u64 = 100;
+
+fn fig7_connectivity_over_time(c: &mut Criterion) {
+    print_figure_rows("fig7");
+    let net = bench_routing_network();
+    let config = RoutingConfig::new(RoutingPolicy::OldestNode, 40);
+    let mut group = c.benchmark_group("fig7_oldest_node_run");
+    group.sample_size(10);
+    group.bench_function("100_nodes_100_steps", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_routing(&net, &config, seed, BENCH_STEPS))
+        });
+    });
+    group.finish();
+}
+
+fn fig8_population(c: &mut Criterion) {
+    print_figure_rows("fig8");
+    let net = bench_routing_network();
+    let mut group = c.benchmark_group("fig8_population_kernel");
+    group.sample_size(10);
+    for pop in [10usize, 40, 80] {
+        let config = RoutingConfig::new(RoutingPolicy::OldestNode, pop);
+        group.bench_with_input(BenchmarkId::from_parameter(pop), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_routing(&net, cfg, seed, BENCH_STEPS))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig9_history(c: &mut Criterion) {
+    print_figure_rows("fig9");
+    let net = bench_routing_network();
+    let mut group = c.benchmark_group("fig9_history_kernel");
+    group.sample_size(10);
+    for h in [5usize, 40] {
+        let config = RoutingConfig::new(RoutingPolicy::OldestNode, 40).history_size(h);
+        group.bench_with_input(BenchmarkId::from_parameter(h), &config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_routing(&net, cfg, seed, BENCH_STEPS))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig10_fig11_communication(c: &mut Criterion) {
+    print_figure_rows("fig10");
+    print_figure_rows("fig11");
+    let net = bench_routing_network();
+    let mut group = c.benchmark_group("fig10_fig11_communication_kernel");
+    group.sample_size(10);
+    let variants: [(&str, RoutingConfig); 4] = [
+        ("random", RoutingConfig::new(RoutingPolicy::Random, 40)),
+        ("random_comm", RoutingConfig::new(RoutingPolicy::Random, 40).communication(true)),
+        ("oldest", RoutingConfig::new(RoutingPolicy::OldestNode, 40)),
+        ("oldest_comm", RoutingConfig::new(RoutingPolicy::OldestNode, 40).communication(true)),
+    ];
+    for (name, config) in &variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), config, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_routing(&net, cfg, seed, BENCH_STEPS))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn extensions(c: &mut Criterion) {
+    print_figure_rows("ext-stigroute");
+    print_figure_rows("ext-tiebreak");
+    print_figure_rows("ext-degradation");
+    let net = bench_routing_network();
+    let config = RoutingConfig::new(RoutingPolicy::OldestNode, 40)
+        .communication(true)
+        .stigmergic(true);
+    let mut group = c.benchmark_group("ext_stigmergic_routing_kernel");
+    group.sample_size(10);
+    group.bench_function("oldest_comm_stig", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_routing(&net, &config, seed, BENCH_STEPS))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    routing_figs,
+    fig7_connectivity_over_time,
+    fig8_population,
+    fig9_history,
+    fig10_fig11_communication,
+    extensions
+);
+criterion_main!(routing_figs);

@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the substrate crates: graph algorithms, the
+//! wireless link rebuild, and the agent-knowledge data structures.
+
+use agentnet_baselines::{AcoConfig, AcoSim, DvConfig, DvSim};
+use agentnet_bench::bench_routing_network;
+use agentnet_core::knowledge::EdgeSet;
+use agentnet_graph::connectivity::{reaches_any, strongly_connected_components};
+use agentnet_graph::generators::GeometricConfig;
+use agentnet_graph::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometric_generation");
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let cfg = GeometricConfig::new(n, n * 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &cfg, |b, cfg| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(cfg.generate(seed).map(|net| net.graph.edge_count()).ok())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn graph_algorithms(c: &mut Criterion) {
+    let net = GeometricConfig::new(300, 2164).generate(42).unwrap();
+    let gateways: Vec<NodeId> = (0..12).map(NodeId::new).collect();
+    let mut group = c.benchmark_group("graph_algorithms");
+    group.bench_function("tarjan_scc_300n", |b| {
+        b.iter(|| black_box(strongly_connected_components(&net.graph).len()))
+    });
+    group.bench_function("reaches_any_300n_12gw", |b| {
+        b.iter(|| black_box(reaches_any(&net.graph, &gateways)))
+    });
+    group.finish();
+}
+
+fn wireless_link_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wireless_advance");
+    group.sample_size(20);
+    group.bench_function("advance_100_nodes", |b| {
+        let mut net = bench_routing_network();
+        b.iter(|| {
+            net.advance();
+            black_box(net.links().edge_count())
+        });
+    });
+    group.finish();
+}
+
+fn knowledge_structures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_set");
+    let n = 300usize;
+    group.bench_function("insert_contains_300n", |b| {
+        b.iter(|| {
+            let mut s = EdgeSet::new(n);
+            for i in 0..n {
+                s.insert(NodeId::new(i), NodeId::new((i + 7) % n));
+            }
+            black_box(s.len())
+        })
+    });
+    group.bench_function("merge_300n", |b| {
+        let mut a = EdgeSet::new(n);
+        let mut bb = EdgeSet::new(n);
+        for i in 0..n {
+            a.insert(NodeId::new(i), NodeId::new((i + 3) % n));
+            bb.insert(NodeId::new(i), NodeId::new((i + 5) % n));
+        }
+        b.iter(|| {
+            let mut m = a.clone();
+            m.merge(&bb);
+            black_box(m.len())
+        })
+    });
+    group.finish();
+}
+
+fn baseline_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_routing");
+    group.sample_size(10);
+    group.bench_function("aco_100_nodes_50_steps", |b| {
+        let net = bench_routing_network();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim = AcoSim::new(net.clone(), AcoConfig::new(30), seed).unwrap();
+            black_box(sim.run(50).values().last().copied())
+        });
+    });
+    group.bench_function("dv_100_nodes_50_steps", |b| {
+        let net = bench_routing_network();
+        b.iter(|| {
+            let mut sim = DvSim::new(net.clone(), DvConfig::default()).unwrap();
+            black_box(sim.run(50).values().last().copied())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    graph_generation,
+    graph_algorithms,
+    wireless_link_rebuild,
+    knowledge_structures,
+    baseline_kernels
+);
+criterion_main!(substrates);

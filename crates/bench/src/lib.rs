@@ -1,0 +1,84 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Each bench group corresponds to one figure of the paper (see
+//! `benches/mapping_figs.rs` and `benches/routing_figs.rs`): it first
+//! regenerates the figure's rows in smoke mode (printed to stderr, so
+//! `cargo bench` output doubles as a miniature repro run) and then times
+//! the simulation kernel behind that figure. `benches/substrates.rs`
+//! micro-benchmarks the substrate crates.
+
+#![forbid(unsafe_code)]
+
+use agentnet_core::mapping::{MappingConfig, MappingSim};
+use agentnet_core::routing::{RoutingConfig, RoutingSim};
+use agentnet_graph::generators::GeometricConfig;
+use agentnet_graph::DiGraph;
+use agentnet_radio::{NetworkBuilder, WirelessNetwork};
+
+/// A reduced-scale mapping graph (fast enough to run inside a bench
+/// iteration, same construction as the paper's network).
+pub fn bench_mapping_graph() -> DiGraph {
+    GeometricConfig::new(100, 720)
+        .generate(42)
+        .expect("bench mapping graph must generate")
+        .graph
+}
+
+/// A reduced-scale routing network.
+pub fn bench_routing_network() -> WirelessNetwork {
+    NetworkBuilder::new(100)
+        .gateways(5)
+        .target_edges(800)
+        .build(42)
+        .expect("bench routing network must build")
+}
+
+/// Runs a mapping config to completion on the bench graph and returns
+/// the finishing time (used as the timed kernel of Figs. 1–6).
+pub fn run_mapping(graph: &DiGraph, config: &MappingConfig, seed: u64) -> u64 {
+    let mut sim =
+        MappingSim::new(graph.clone(), config.clone(), seed).expect("valid mapping config");
+    let out = sim.run(1_000_000);
+    assert!(out.finished, "bench mapping run must finish");
+    out.finishing_time.as_u64()
+}
+
+/// Runs a routing config for `steps` on the bench network and returns
+/// the final connectivity (the timed kernel of Figs. 7–11).
+pub fn run_routing(net: &WirelessNetwork, config: &RoutingConfig, seed: u64, steps: u64) -> f64 {
+    let mut sim = RoutingSim::new(net.clone(), config.clone(), seed).expect("valid routing config");
+    let out = sim.run(steps);
+    out.connectivity.values().last().copied().unwrap_or(0.0)
+}
+
+/// Prints an experiment's smoke-mode report to stderr, prefixed by its
+/// bench group, so `cargo bench` regenerates every figure's rows.
+pub fn print_figure_rows(exp_id: &str) {
+    let exp = agentnet_experiments::registry::by_id(exp_id)
+        .unwrap_or_else(|| panic!("unknown experiment {exp_id}"));
+    let report = (exp.run)(agentnet_experiments::Mode::Smoke);
+    eprintln!("\n===== {exp_id} (smoke-mode regeneration) =====");
+    eprintln!("{}", report.to_markdown());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_core::policy::{MappingPolicy, RoutingPolicy};
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(bench_mapping_graph().node_count(), 100);
+        assert_eq!(bench_routing_network().node_count(), 100);
+    }
+
+    #[test]
+    fn kernels_run() {
+        let g = bench_mapping_graph();
+        let t = run_mapping(&g, &MappingConfig::new(MappingPolicy::Conscientious, 4), 1);
+        assert!(t > 0);
+        let net = bench_routing_network();
+        let c = run_routing(&net, &RoutingConfig::new(RoutingPolicy::OldestNode, 20), 1, 50);
+        assert!((0.0..=1.0).contains(&c));
+    }
+}

@@ -1,0 +1,54 @@
+//! Agent identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a mobile agent (dense, `0..population`).
+///
+/// ```
+/// use agentnet_core::AgentId;
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "a3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct AgentId(u32);
+
+impl AgentId {
+    /// Creates an agent id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn new(index: usize) -> Self {
+        AgentId(u32::try_from(index).expect("agent index exceeds u32::MAX"))
+    }
+
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        assert_eq!(AgentId::new(9).index(), 9);
+        assert_eq!(AgentId::new(9).to_string(), "a9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+    }
+}

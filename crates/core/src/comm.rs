@@ -1,0 +1,96 @@
+//! Direct (meeting-based) communication.
+//!
+//! "Mobile agents that land on a node can share their information about
+//! network so an individual agent can acquire knowledge about parts of the
+//! network that have never visited." In the routing study, agents that
+//! meet "compute best route based on the all agents routing information,
+//! and then all of them use that best route afterword".
+
+use crate::knowledge::{EdgeSet, VisitTimes};
+use agentnet_graph::NodeId;
+
+/// Union of a group's edge knowledge (the second-hand learning of a
+/// mapping meeting). Returns `None` for an empty group.
+pub fn union_edges<'a>(sets: impl IntoIterator<Item = &'a EdgeSet>) -> Option<EdgeSet> {
+    let mut iter = sets.into_iter();
+    let mut acc = iter.next()?.clone();
+    for s in iter {
+        acc.merge(s);
+    }
+    Some(acc)
+}
+
+/// Element-wise most-recent union of a group's visit knowledge. Returns
+/// `None` for an empty group.
+pub fn union_visits<'a>(tables: impl IntoIterator<Item = &'a VisitTimes>) -> Option<VisitTimes> {
+    let mut iter = tables.into_iter();
+    let mut acc = iter.next()?.clone();
+    for t in iter {
+        acc.merge(t);
+    }
+    Some(acc)
+}
+
+/// Selects the best route from a meeting's pooled candidates: fewest hops,
+/// ties broken by gateway id then lexicographic hop list so every
+/// participant deterministically agrees. Each candidate is
+/// `(gateway, hop list from the meeting node to that gateway)`.
+pub fn best_route(candidates: &[(NodeId, Vec<NodeId>)]) -> Option<&(NodeId, Vec<NodeId>)> {
+    candidates
+        .iter()
+        .min_by(|a, b| a.1.len().cmp(&b.1.len()).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_engine::Step;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn union_edges_merges_all() {
+        let mut a = EdgeSet::new(4);
+        a.insert(n(0), n(1));
+        let mut b = EdgeSet::new(4);
+        b.insert(n(1), n(2));
+        let mut c = EdgeSet::new(4);
+        c.insert(n(2), n(3));
+        let u = union_edges([&a, &b, &c]).unwrap();
+        assert_eq!(u.len(), 3);
+        assert!(union_edges(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn union_visits_takes_latest() {
+        let mut a = VisitTimes::new(2);
+        a.record(n(0), Step::new(4));
+        let mut b = VisitTimes::new(2);
+        b.record(n(0), Step::new(9));
+        b.record(n(1), Step::new(1));
+        let u = union_visits([&a, &b]).unwrap();
+        assert_eq!(u.last_visit(n(0)), Some(Step::new(9)));
+        assert_eq!(u.last_visit(n(1)), Some(Step::new(1)));
+    }
+
+    #[test]
+    fn best_route_prefers_fewest_hops() {
+        let routes = vec![
+            (n(9), vec![n(0), n(1), n(2), n(9)]),
+            (n(8), vec![n(0), n(3), n(8)]),
+        ];
+        assert_eq!(best_route(&routes).unwrap().0, n(8));
+    }
+
+    #[test]
+    fn best_route_ties_break_deterministically() {
+        let routes = vec![
+            (n(9), vec![n(0), n(9)]),
+            (n(8), vec![n(0), n(8)]),
+        ];
+        assert_eq!(best_route(&routes).unwrap().0, n(8));
+        assert!(best_route(&[]).is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for simulation configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value was invalid (empty population, zero-node
+    /// network, unmappable topology, ...).
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::InvalidConfig { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::invalid("no agents");
+        assert_eq!(e.to_string(), "invalid configuration: no agents");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

@@ -1,0 +1,386 @@
+//! Bounded agent memory for the routing task.
+//!
+//! Routing agents have a finite *history size* (the paper sweeps it): it
+//! bounds both the [`Trail`] — the recent walk that routes are derived
+//! from — and the [`VisitMemory`] the oldest-node policy steers by.
+//! "The more the history size, the higher the connectivity" is Fig. 9.
+
+use agentnet_engine::Step;
+use agentnet_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The agent's recent walk: a bounded sequence of `(node, arrival step)`
+/// entries, oldest first. Consecutive entries were adjacent (a live
+/// directed link) at the time the hop was taken.
+///
+/// Routes are extracted by walking the trail *backwards* from the current
+/// node to the most recent occurrence of a gateway; see
+/// [`Trail::route_to`].
+///
+/// ```
+/// use agentnet_core::history::Trail;
+/// use agentnet_engine::Step;
+/// use agentnet_graph::NodeId;
+///
+/// let n = NodeId::new;
+/// let mut t = Trail::new(8);
+/// for (i, node) in [n(5), n(2), n(7)].into_iter().enumerate() {
+///     t.push(node, Step::new(i as u64));
+/// }
+/// // Walking backwards from n7 to the gateway n5: 7 -> 2 -> 5.
+/// assert_eq!(t.route_to(n(5)), Some(vec![n(7), n(2), n(5)]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trail {
+    entries: VecDeque<(NodeId, Step)>,
+    capacity: usize,
+}
+
+impl Trail {
+    /// Creates an empty trail bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trail capacity must be positive");
+        Trail { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Maximum number of entries retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the trail holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends an arrival; the oldest entry is dropped when full.
+    /// Consecutive duplicate nodes are collapsed (staying put is not a
+    /// hop).
+    pub fn push(&mut self, node: NodeId, when: Step) {
+        if self.entries.back().is_some_and(|&(last, _)| last == node) {
+            // Refresh the timestamp of the stay instead of duplicating.
+            self.entries.back_mut().expect("nonempty").1 = when;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((node, when));
+    }
+
+    /// Entries oldest-first.
+    pub fn entries(&self) -> impl Iterator<Item = (NodeId, Step)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The node the agent currently stands on (most recent entry).
+    pub fn current(&self) -> Option<NodeId> {
+        self.entries.back().map(|&(n, _)| n)
+    }
+
+    /// Extracts the hop list from the current node back to the **most
+    /// recent** occurrence of `target` in the trail:
+    /// `[current, ..., target]`. Returns `None` if `target` is not in the
+    /// trail. A route of length 1 (`[target]`) is returned when the agent
+    /// stands on the target.
+    pub fn route_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        let pos = self.entries.iter().rposition(|&(n, _)| n == target)?;
+        let mut hops: Vec<NodeId> =
+            self.entries.iter().skip(pos).map(|&(n, _)| n).collect();
+        hops.reverse();
+        Some(hops)
+    }
+
+    /// Every target of `targets` present in the trail, with its extracted
+    /// route, shortest first.
+    pub fn routes_to_any(&self, targets: &[NodeId]) -> Vec<(NodeId, Vec<NodeId>)> {
+        let mut out: Vec<(NodeId, Vec<NodeId>)> = targets
+            .iter()
+            .filter_map(|&t| self.route_to(t).map(|r| (t, r)))
+            .collect();
+        out.sort_by_key(|(_, r)| r.len());
+        out
+    }
+
+    /// Replaces the trail contents with `walk` (oldest first), stamped at
+    /// `when`, truncating to capacity by keeping the **most recent** end.
+    /// Used when an agent adopts a better route learned from a peer: the
+    /// adopted route, reversed, becomes its effective walk.
+    pub fn adopt_walk(&mut self, walk: &[NodeId], when: Step) {
+        self.entries.clear();
+        let skip = walk.len().saturating_sub(self.capacity);
+        for &node in &walk[skip..] {
+            self.entries.push_back((node, when));
+        }
+    }
+}
+
+/// Bounded per-node last-visit memory: "the adjacent node that it last
+/// visited the longest time before, that it never visited, or that it
+/// doesn't remember visiting".
+///
+/// At most `capacity` nodes are remembered; when full, the entry with the
+/// **oldest** visit time is evicted (it is the least useful to keep —
+/// forgetting it merely makes the node "never visited" again, which the
+/// policy treats the same as "oldest").
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitMemory {
+    entries: Vec<(NodeId, Step)>,
+    capacity: usize,
+}
+
+impl VisitMemory {
+    /// Creates an empty memory bounded to `capacity` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "visit memory capacity must be positive");
+        VisitMemory { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Maximum number of nodes remembered.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of nodes currently remembered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The remembered last-visit time of `node`.
+    pub fn last_visit(&self, node: NodeId) -> Option<Step> {
+        self.entries.iter().find(|&&(n, _)| n == node).map(|&(_, t)| t)
+    }
+
+    /// Records a visit, updating an existing entry or evicting the oldest
+    /// entry when at capacity.
+    pub fn record(&mut self, node: NodeId, when: Step) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == node) {
+            e.1 = e.1.max(when);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(n, t))| (t, n))
+                .map(|(i, _)| i)
+                .expect("memory at capacity is nonempty");
+            self.entries.swap_remove(oldest);
+        }
+        self.entries.push((node, when));
+    }
+
+    /// Merges another memory: union with most-recent times, then trims
+    /// back to capacity by dropping the oldest entries. After a mutual
+    /// merge the two memories are identical — "all participating agents
+    /// are going to be identical in term of history knowledge".
+    pub fn merge(&mut self, other: &VisitMemory) {
+        for &(node, when) in &other.entries {
+            if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == node) {
+                e.1 = e.1.max(when);
+            } else {
+                self.entries.push((node, when));
+            }
+        }
+        if self.entries.len() > self.capacity {
+            // Keep the most recent `capacity` entries, deterministically.
+            self.entries.sort_by_key(|&(n, t)| (std::cmp::Reverse(t), n));
+            self.entries.truncate(self.capacity);
+        }
+        // Canonical order so merged memories compare equal.
+        self.entries.sort_by_key(|&(n, _)| n);
+    }
+
+    /// Canonicalizes entry order (sorted by node id); merged memories are
+    /// always canonical, fresh ones may not be.
+    pub fn canonicalize(&mut self) {
+        self.entries.sort_by_key(|&(n, _)| n);
+    }
+
+    /// Order-insensitive digest of the memory contents, used as the
+    /// decision seed for hashed tie-breaking: agents whose memories
+    /// merged to identical contents digest identically and hence move
+    /// identically — the paper's chasing mechanism.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xE703_7ED1_A0B4_28DBu64;
+        // XOR of per-entry mixes is order-insensitive, so fresh (unsorted)
+        // and canonicalized memories with equal contents agree.
+        let mut acc = 0u64;
+        for &(n, t) in &self.entries {
+            acc ^= crate::policy::mix64(u64::from(n.as_u32()) ^ t.as_u64().rotate_left(23));
+        }
+        h ^= acc;
+        crate::policy::mix64(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn t(i: u64) -> Step {
+        Step::new(i)
+    }
+
+    #[test]
+    fn trail_push_and_capacity() {
+        let mut tr = Trail::new(3);
+        for i in 0..5 {
+            tr.push(n(i), t(i as u64));
+        }
+        let nodes: Vec<_> = tr.entries().map(|(node, _)| node).collect();
+        assert_eq!(nodes, vec![n(2), n(3), n(4)]);
+        assert_eq!(tr.current(), Some(n(4)));
+        assert_eq!(tr.capacity(), 3);
+    }
+
+    #[test]
+    fn trail_collapses_stays() {
+        let mut tr = Trail::new(4);
+        tr.push(n(1), t(0));
+        tr.push(n(1), t(1));
+        tr.push(n(1), t(2));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr.entries().next(), Some((n(1), t(2))));
+    }
+
+    #[test]
+    fn route_to_uses_most_recent_occurrence() {
+        let mut tr = Trail::new(10);
+        for (i, node) in [n(9), n(1), n(9), n(2), n(3)].into_iter().enumerate() {
+            tr.push(node, t(i as u64));
+        }
+        // Most recent visit of 9 is at index 2, so route is 3 -> 2 -> 9.
+        assert_eq!(tr.route_to(n(9)), Some(vec![n(3), n(2), n(9)]));
+    }
+
+    #[test]
+    fn route_to_self_is_single_hop() {
+        let mut tr = Trail::new(4);
+        tr.push(n(5), t(0));
+        assert_eq!(tr.route_to(n(5)), Some(vec![n(5)]));
+        assert_eq!(tr.route_to(n(6)), None);
+    }
+
+    #[test]
+    fn routes_to_any_sorted_by_length() {
+        let mut tr = Trail::new(10);
+        for (i, node) in [n(8), n(1), n(2), n(7), n(3)].into_iter().enumerate() {
+            tr.push(node, t(i as u64));
+        }
+        let routes = tr.routes_to_any(&[n(8), n(7), n(99)]);
+        assert_eq!(routes.len(), 2);
+        assert_eq!(routes[0].0, n(7)); // 2 hops beats 5 hops
+        assert_eq!(routes[1].0, n(8));
+    }
+
+    #[test]
+    fn adopt_walk_truncates_to_most_recent_end() {
+        let mut tr = Trail::new(3);
+        tr.adopt_walk(&[n(1), n(2), n(3), n(4), n(5)], t(7));
+        let nodes: Vec<_> = tr.entries().map(|(node, _)| node).collect();
+        assert_eq!(nodes, vec![n(3), n(4), n(5)]);
+        assert!(tr.entries().all(|(_, when)| when == t(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_trail_panics() {
+        let _ = Trail::new(0);
+    }
+
+    #[test]
+    fn memory_record_and_query() {
+        let mut m = VisitMemory::new(4);
+        m.record(n(1), t(3));
+        m.record(n(1), t(1)); // stale report must not regress
+        assert_eq!(m.last_visit(n(1)), Some(t(3)));
+        assert_eq!(m.last_visit(n(2)), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn memory_evicts_oldest_when_full() {
+        let mut m = VisitMemory::new(2);
+        m.record(n(1), t(10));
+        m.record(n(2), t(5));
+        m.record(n(3), t(20)); // evicts n2 (oldest time)
+        assert!(m.last_visit(n(2)).is_none());
+        assert_eq!(m.last_visit(n(1)), Some(t(10)));
+        assert_eq!(m.last_visit(n(3)), Some(t(20)));
+    }
+
+    #[test]
+    fn memory_merge_makes_agents_identical() {
+        let mut a = VisitMemory::new(4);
+        a.record(n(1), t(3));
+        a.record(n(2), t(9));
+        let mut b = VisitMemory::new(4);
+        b.record(n(2), t(4));
+        b.record(n(5), t(7));
+        let mut b2 = b.clone();
+        b2.merge(&a);
+        let mut a2 = a.clone();
+        a2.merge(&b);
+        assert_eq!(a2, b2, "mutual merge must converge");
+        assert_eq!(a2.last_visit(n(2)), Some(t(9)));
+    }
+
+    #[test]
+    fn memory_merge_respects_capacity_keeping_recent() {
+        let mut a = VisitMemory::new(2);
+        a.record(n(1), t(1));
+        a.record(n(2), t(50));
+        let mut b = VisitMemory::new(2);
+        b.record(n(3), t(40));
+        b.record(n(4), t(60));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.last_visit(n(4)), Some(t(60)));
+        assert_eq!(a.last_visit(n(2)), Some(t(50)));
+        assert_eq!(a.last_visit(n(1)), None);
+    }
+
+    #[test]
+    fn content_hash_is_order_insensitive_and_content_sensitive() {
+        let mut a = VisitMemory::new(4);
+        a.record(n(1), t(3));
+        a.record(n(2), t(9));
+        let mut b = VisitMemory::new(4);
+        b.record(n(2), t(9));
+        b.record(n(1), t(3));
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.record(n(3), t(1));
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_memory_panics() {
+        let _ = VisitMemory::new(0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Agent knowledge stores for the mapping task.
+//!
+//! A mapping agent accumulates two kinds of information (paper §II):
+//! *first-hand* knowledge it experienced itself and *second-hand*
+//! knowledge learned from peers. The edge map ([`EdgeSet`]) is the thing
+//! being built; visit times ([`VisitTimes`]) drive the conscientious /
+//! super-conscientious movement policies.
+
+use agentnet_engine::Step;
+use agentnet_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A dense set of directed edges over `n` nodes, stored as a bitset
+/// (`n²` bits), sized for the paper's 300-node networks.
+///
+/// ```
+/// use agentnet_core::knowledge::EdgeSet;
+/// use agentnet_graph::NodeId;
+///
+/// let mut s = EdgeSet::new(4);
+/// assert!(s.insert(NodeId::new(0), NodeId::new(2)));
+/// assert!(!s.insert(NodeId::new(0), NodeId::new(2))); // already known
+/// assert!(s.contains(NodeId::new(0), NodeId::new(2)));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeSet {
+    n: usize,
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl EdgeSet {
+    /// Creates an empty edge set over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let words = (n * n).div_ceil(64);
+        EdgeSet { n, bits: vec![0; words], count: 0 }
+    }
+
+    /// Number of nodes this set is defined over.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of known edges.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` if no edges are known.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    fn bit_index(&self, from: NodeId, to: NodeId) -> usize {
+        debug_assert!(from.index() < self.n && to.index() < self.n, "edge endpoint out of range");
+        from.index() * self.n + to.index()
+    }
+
+    /// Records the edge `from -> to`; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an endpoint is out of range.
+    pub fn insert(&mut self, from: NodeId, to: NodeId) -> bool {
+        let i = self.bit_index(from, to);
+        let (word, mask) = (i / 64, 1u64 << (i % 64));
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns `true` if the edge is known.
+    pub fn contains(&self, from: NodeId, to: NodeId) -> bool {
+        let i = self.bit_index(from, to);
+        self.bits[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Replaces everything known about `from`'s out-edges with `targets`
+    /// — the first-hand refresh an agent performs when standing on
+    /// `from`: stale links that no longer exist are unlearned, current
+    /// ones learned.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if an endpoint is out of range.
+    pub fn replace_row(&mut self, from: NodeId, targets: &[NodeId]) {
+        // Clear the row.
+        let row_start = from.index() * self.n;
+        for bit in row_start..row_start + self.n {
+            let (word, mask) = (bit / 64, 1u64 << (bit % 64));
+            if self.bits[word] & mask != 0 {
+                self.bits[word] &= !mask;
+                self.count -= 1;
+            }
+        }
+        for &t in targets {
+            self.insert(from, t);
+        }
+    }
+
+    /// Number of known edges that exist in `graph` (true positives).
+    pub fn intersection_count(&self, graph: &agentnet_graph::DiGraph) -> usize {
+        graph.edges().filter(|e| self.contains(e.from, e.to)).count()
+    }
+
+    /// Number of known edges that do **not** exist in `graph` (stale
+    /// knowledge a packet would trip over).
+    pub fn stale_count(&self, graph: &agentnet_graph::DiGraph) -> usize {
+        self.count - self.intersection_count(graph)
+    }
+
+    /// Merges every edge known by `other` into `self` (the second-hand
+    /// learning step of a meeting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets cover different node counts.
+    pub fn merge(&mut self, other: &EdgeSet) {
+        assert_eq!(self.n, other.n, "cannot merge edge sets over different node counts");
+        let mut count = 0usize;
+        for (a, &b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+            count += a.count_ones() as usize;
+        }
+        self.count = count;
+    }
+
+    /// Fraction of `total_edges` known, clamped to `[0, 1]`; the paper's
+    /// "knowledge" axis. Returns 1.0 when `total_edges` is zero.
+    pub fn knowledge_fraction(&self, total_edges: usize) -> f64 {
+        if total_edges == 0 {
+            1.0
+        } else {
+            (self.count as f64 / total_edges as f64).min(1.0)
+        }
+    }
+}
+
+/// Per-node last-visit times (`None` = never visited / never heard of a
+/// visit). Merging takes the element-wise most recent time.
+///
+/// ```
+/// use agentnet_core::knowledge::VisitTimes;
+/// use agentnet_engine::Step;
+/// use agentnet_graph::NodeId;
+///
+/// let mut v = VisitTimes::new(3);
+/// v.record(NodeId::new(1), Step::new(5));
+/// assert_eq!(v.last_visit(NodeId::new(1)), Some(Step::new(5)));
+/// assert_eq!(v.last_visit(NodeId::new(0)), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VisitTimes {
+    times: Vec<Option<Step>>,
+}
+
+impl VisitTimes {
+    /// Creates a table over `n` nodes with no recorded visits.
+    pub fn new(n: usize) -> Self {
+        VisitTimes { times: vec![None; n] }
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Records a visit of `node` at `when` (keeps the most recent).
+    pub fn record(&mut self, node: NodeId, when: Step) {
+        let slot = &mut self.times[node.index()];
+        *slot = Some(slot.map_or(when, |t| t.max(when)));
+    }
+
+    /// The most recent known visit of `node`.
+    pub fn last_visit(&self, node: NodeId) -> Option<Step> {
+        self.times[node.index()]
+    }
+
+    /// Returns `true` if a visit of `node` is known.
+    pub fn visited(&self, node: NodeId) -> bool {
+        self.times[node.index()].is_some()
+    }
+
+    /// Number of nodes with a known visit.
+    pub fn visited_count(&self) -> usize {
+        self.times.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Order-stable digest of the table contents, used as the
+    /// decision seed for hashed tie-breaking: agents with identical visit
+    /// knowledge produce identical digests and therefore identical
+    /// choices.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0xA076_1D64_78BD_642Fu64;
+        for (i, t) in self.times.iter().enumerate() {
+            if let Some(t) = t {
+                h = crate::policy::mix64(h ^ (i as u64) ^ t.as_u64().rotate_left(17));
+            }
+        }
+        h
+    }
+
+    /// Element-wise most-recent merge (second-hand visit information).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables cover different node counts.
+    pub fn merge(&mut self, other: &VisitTimes) {
+        assert_eq!(
+            self.times.len(),
+            other.times.len(),
+            "cannot merge visit tables over different node counts"
+        );
+        for (a, &b) in self.times.iter_mut().zip(&other.times) {
+            *a = match (*a, b) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_graph::DiGraph;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn replace_row_unlearns_stale_edges() {
+        let mut s = EdgeSet::new(5);
+        s.insert(n(1), n(2));
+        s.insert(n(1), n(3));
+        s.insert(n(2), n(0)); // other rows untouched
+        s.replace_row(n(1), &[n(3), n(4)]);
+        assert!(!s.contains(n(1), n(2)));
+        assert!(s.contains(n(1), n(3)));
+        assert!(s.contains(n(1), n(4)));
+        assert!(s.contains(n(2), n(0)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn replace_row_with_empty_clears_row() {
+        let mut s = EdgeSet::new(4);
+        s.insert(n(0), n(1));
+        s.insert(n(0), n(2));
+        s.replace_row(n(0), &[]);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn intersection_and_stale_counts() {
+        let g = DiGraph::from_edges(4, [(n(0), n(1)), (n(1), n(2))]).unwrap();
+        let mut s = EdgeSet::new(4);
+        s.insert(n(0), n(1)); // true
+        s.insert(n(2), n(3)); // stale
+        assert_eq!(s.intersection_count(&g), 1);
+        assert_eq!(s.stale_count(&g), 1);
+    }
+
+    #[test]
+    fn edge_set_insert_and_contains() {
+        let mut s = EdgeSet::new(10);
+        assert!(!s.contains(n(3), n(7)));
+        assert!(s.insert(n(3), n(7)));
+        assert!(s.contains(n(3), n(7)));
+        assert!(!s.contains(n(7), n(3)), "direction matters");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn edge_set_duplicate_insert_is_noop() {
+        let mut s = EdgeSet::new(4);
+        assert!(s.insert(n(1), n(2)));
+        assert!(!s.insert(n(1), n(2)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn edge_set_merge_unions() {
+        let mut a = EdgeSet::new(5);
+        a.insert(n(0), n(1));
+        a.insert(n(1), n(2));
+        let mut b = EdgeSet::new(5);
+        b.insert(n(1), n(2));
+        b.insert(n(4), n(0));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(n(4), n(0)));
+    }
+
+    #[test]
+    fn edge_set_covers_last_bit() {
+        // Exercise the highest bit index (n²-1).
+        let mut s = EdgeSet::new(9);
+        assert!(s.insert(n(8), n(8 - 1)));
+        assert!(s.insert(n(8), n(8)) || true); // self edge allowed in set
+        assert!(s.contains(n(8), n(7)));
+    }
+
+    #[test]
+    fn knowledge_fraction_clamps() {
+        let mut s = EdgeSet::new(3);
+        s.insert(n(0), n(1));
+        s.insert(n(1), n(2));
+        assert!((s.knowledge_fraction(4) - 0.5).abs() < 1e-12);
+        assert_eq!(s.knowledge_fraction(1), 1.0);
+        assert_eq!(s.knowledge_fraction(0), 1.0);
+        assert_eq!(EdgeSet::new(3).knowledge_fraction(5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different node counts")]
+    fn edge_set_merge_size_mismatch_panics() {
+        let mut a = EdgeSet::new(3);
+        a.merge(&EdgeSet::new(4));
+    }
+
+    #[test]
+    fn visit_times_record_keeps_latest() {
+        let mut v = VisitTimes::new(2);
+        v.record(n(0), Step::new(5));
+        v.record(n(0), Step::new(3)); // older report must not regress
+        assert_eq!(v.last_visit(n(0)), Some(Step::new(5)));
+        v.record(n(0), Step::new(9));
+        assert_eq!(v.last_visit(n(0)), Some(Step::new(9)));
+    }
+
+    #[test]
+    fn visit_times_merge_takes_most_recent() {
+        let mut a = VisitTimes::new(3);
+        a.record(n(0), Step::new(2));
+        a.record(n(1), Step::new(8));
+        let mut b = VisitTimes::new(3);
+        b.record(n(0), Step::new(5));
+        b.record(n(2), Step::new(1));
+        a.merge(&b);
+        assert_eq!(a.last_visit(n(0)), Some(Step::new(5)));
+        assert_eq!(a.last_visit(n(1)), Some(Step::new(8)));
+        assert_eq!(a.last_visit(n(2)), Some(Step::new(1)));
+    }
+
+    #[test]
+    fn visited_count_tracks_coverage() {
+        let mut v = VisitTimes::new(4);
+        assert_eq!(v.visited_count(), 0);
+        v.record(n(2), Step::ZERO);
+        v.record(n(2), Step::new(1));
+        v.record(n(3), Step::ZERO);
+        assert_eq!(v.visited_count(), 2);
+        assert!(v.visited(n(2)));
+        assert!(!v.visited(n(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different node counts")]
+    fn visit_merge_size_mismatch_panics() {
+        let mut a = VisitTimes::new(2);
+        a.merge(&VisitTimes::new(3));
+    }
+}

@@ -1,0 +1,67 @@
+//! Mobile software agents for wireless network mapping and dynamic routing.
+//!
+//! This crate implements the paper's contribution: cooperating mobile
+//! software agents that (a) **map** an unknown wireless network and
+//! (b) maintain **routing tables** in a dynamic ad-hoc network — with no
+//! central control, using direct (meeting-based) and indirect
+//! (*stigmergic*, footprint-based) communication.
+//!
+//! # Architecture
+//!
+//! * [`agent`] — agent identities.
+//! * [`knowledge`] — what an agent knows: the edge map it is building
+//!   ([`knowledge::EdgeSet`]) and per-node visit times
+//!   ([`knowledge::VisitTimes`]), kept separately for first-hand and
+//!   merged (second-hand) information.
+//! * [`history`] — bounded agent memory for the routing study: the walk
+//!   [`history::Trail`] routes are derived from, and the
+//!   [`history::VisitMemory`] the oldest-node policy steers by.
+//! * [`stigmergy`] — per-node footprint boards: each agent imprints the
+//!   neighbour it departs to, and later agents avoid imprinted exits.
+//! * [`policy`] — movement policies: random / conscientious /
+//!   super-conscientious (mapping), random / oldest-node (routing), each
+//!   with configurable tie-breaking and optional stigmergy.
+//! * [`comm`] — direct communication: mapping agents merge edge knowledge
+//!   and visit times when co-located; routing agents exchange best routes
+//!   and merge visit memories.
+//! * [`mapping`] — the network-mapping simulation (paper §II).
+//! * [`routing`] — the dynamic-routing simulation (paper §III).
+//! * [`overhead`] — migration/message/footprint accounting backing the
+//!   paper's "negligible overhead" claims.
+//! * [`trace`] — optional bounded event tracing (migrations, meetings,
+//!   footprints, table writes) exportable as JSON lines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use agentnet_core::mapping::{MappingConfig, MappingSim};
+//! use agentnet_core::policy::MappingPolicy;
+//! use agentnet_graph::generators::GeometricConfig;
+//!
+//! // A small static wireless network...
+//! let net = GeometricConfig::new(40, 260).generate(1).unwrap();
+//! // ...mapped by 4 cooperating stigmergic conscientious agents.
+//! let config = MappingConfig::new(MappingPolicy::Conscientious, 4)
+//!     .stigmergic(true);
+//! let mut sim = MappingSim::new(net.graph.clone(), config, 7).unwrap();
+//! let outcome = sim.run(100_000);
+//! assert!(outcome.finished, "strongly connected map must complete");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod comm;
+pub mod error;
+pub mod history;
+pub mod knowledge;
+pub mod mapping;
+pub mod overhead;
+pub mod policy;
+pub mod routing;
+pub mod stigmergy;
+pub mod trace;
+
+pub use agent::AgentId;
+pub use error::CoreError;

@@ -1,0 +1,691 @@
+//! The network-mapping simulation (paper §II).
+//!
+//! A team of mobile agents wanders a **static** wireless network (a
+//! directed link graph) and cooperatively builds its map. Each simulated
+//! step every agent:
+//!
+//! 1. learns all edges off the node it is on (first-hand knowledge);
+//! 2. learns everything it can from the other agents on the node
+//!    (second-hand knowledge);
+//! 3. chooses the node to move to (its movement policy, optionally
+//!    avoiding footprint-marked exits);
+//! 4. leaves its footprint on the current node (stigmergic agents);
+//!
+//! and then moves. The *finishing time* is the first step at which every
+//! agent holds a perfect map; *knowledge over time* is the mean fraction
+//! of edges known.
+
+use crate::agent::AgentId;
+use crate::comm::{union_edges, union_visits};
+use crate::error::CoreError;
+use crate::overhead::{mapping_agent_state_bytes, Overhead};
+use crate::knowledge::{EdgeSet, VisitTimes};
+use crate::policy::{choose_move, MappingPolicy, TieBreak};
+use crate::stigmergy::FootprintBoard;
+use crate::trace::{TraceEvent, TraceLog};
+use agentnet_engine::sim::{run_until, RunOutcome, Step, TimeStepSim};
+use agentnet_engine::TimeSeries;
+use agentnet_graph::{DiGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a mapping run.
+///
+/// ```
+/// use agentnet_core::mapping::MappingConfig;
+/// use agentnet_core::policy::MappingPolicy;
+///
+/// let cfg = MappingConfig::new(MappingPolicy::Conscientious, 15).stigmergic(true);
+/// assert_eq!(cfg.population, 15);
+/// assert!(cfg.stigmergic);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Movement algorithm shared by the whole team.
+    pub policy: MappingPolicy,
+    /// Number of agents.
+    pub population: usize,
+    /// Whether agents leave and respect footprints (the paper's
+    /// contribution; `false` reproduces the N. Minar baseline agents).
+    pub stigmergic: bool,
+    /// Tie-breaking rule for equally-preferred neighbours.
+    pub tie_break: TieBreak,
+    /// Footprints kept per node board.
+    pub footprint_capacity: usize,
+    /// Footprint recency window in steps (marks older than this are
+    /// ignored even if still on the board).
+    pub footprint_window: u64,
+    /// Trace ring capacity; 0 disables event tracing (the default).
+    pub trace_capacity: usize,
+}
+
+impl MappingConfig {
+    /// Creates a config with defaults: non-stigmergic, random
+    /// tie-break, footprint board of
+    /// [`FootprintBoard::DEFAULT_CAPACITY`], unbounded footprint window.
+    pub fn new(policy: MappingPolicy, population: usize) -> Self {
+        MappingConfig {
+            policy,
+            population,
+            stigmergic: false,
+            tie_break: TieBreak::default(),
+            footprint_capacity: FootprintBoard::DEFAULT_CAPACITY,
+            footprint_window: u64::MAX,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Enables or disables stigmergy.
+    pub fn stigmergic(mut self, on: bool) -> Self {
+        self.stigmergic = on;
+        self
+    }
+
+    /// Sets the tie-breaking rule.
+    pub fn tie_break(mut self, tie: TieBreak) -> Self {
+        self.tie_break = tie;
+        self
+    }
+
+    /// Sets the per-node footprint board capacity.
+    pub fn footprint_capacity(mut self, capacity: usize) -> Self {
+        self.footprint_capacity = capacity;
+        self
+    }
+
+    /// Sets the footprint recency window.
+    pub fn footprint_window(mut self, window: u64) -> Self {
+        self.footprint_window = window;
+        self
+    }
+
+    /// Enables event tracing with the given ring capacity.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct MappingAgent {
+    at: NodeId,
+    edges: EdgeSet,
+    /// First-hand visit times (what conscientious agents steer by).
+    first_visits: VisitTimes,
+    /// First- and second-hand visit times merged (super-conscientious).
+    merged_visits: VisitTimes,
+    complete: bool,
+}
+
+/// The mapping simulation.
+///
+/// Drive it with [`MappingSim::run`] or step-by-step through
+/// [`TimeStepSim`].
+#[derive(Clone, Debug)]
+pub struct MappingSim {
+    graph: DiGraph,
+    config: MappingConfig,
+    agents: Vec<MappingAgent>,
+    boards: Vec<FootprintBoard>,
+    rng: SmallRng,
+    knowledge: TimeSeries,
+    complete_agents: usize,
+    overhead: Overhead,
+    trace: TraceLog,
+    /// Set once the topology has been swapped mid-run: completeness and
+    /// knowledge then use exact (intersection) accounting, since stale
+    /// knowledge may inflate raw edge counts.
+    graph_changed: bool,
+    scratch_groups: Vec<Vec<usize>>,
+}
+
+/// Result of a mapping run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MappingOutcome {
+    /// `true` if every agent achieved a perfect map within the budget.
+    pub finished: bool,
+    /// The finishing time (steps executed until every agent was complete),
+    /// or the budget if unfinished.
+    pub finishing_time: Step,
+    /// Mean knowledge fraction per step.
+    pub knowledge: TimeSeries,
+}
+
+impl MappingSim {
+    /// Creates a mapping simulation over a static link graph.
+    ///
+    /// Agents are placed on uniformly random nodes using `seed`; all
+    /// randomness of the run derives from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an empty population, an
+    /// empty graph, or a graph with no edges to map.
+    pub fn new(graph: DiGraph, config: MappingConfig, seed: u64) -> Result<Self, CoreError> {
+        if config.population == 0 {
+            return Err(CoreError::invalid("mapping needs at least one agent"));
+        }
+        if graph.node_count() == 0 {
+            return Err(CoreError::invalid("mapping needs a nonempty graph"));
+        }
+        if graph.edge_count() == 0 {
+            return Err(CoreError::invalid("mapping needs a graph with edges"));
+        }
+        if config.footprint_capacity == 0 {
+            return Err(CoreError::invalid("footprint capacity must be positive"));
+        }
+        let n = graph.node_count();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let agents = (0..config.population)
+            .map(|_| MappingAgent {
+                at: NodeId::new(rng.random_range(0..n)),
+                edges: EdgeSet::new(n),
+                first_visits: VisitTimes::new(n),
+                merged_visits: VisitTimes::new(n),
+                complete: false,
+            })
+            .collect();
+        let boards = (0..n).map(|_| FootprintBoard::new(config.footprint_capacity)).collect();
+        let trace = TraceLog::new(config.trace_capacity);
+        Ok(MappingSim {
+            graph,
+            config,
+            agents,
+            boards,
+            rng,
+            knowledge: TimeSeries::new(),
+            complete_agents: 0,
+            overhead: Overhead::default(),
+            trace,
+            graph_changed: false,
+            scratch_groups: Vec::new(),
+        })
+    }
+
+    /// The topology being mapped.
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Swaps in a new topology mid-run — continuous mapping of a network
+    /// whose links drift (the paper: "the topology knowledge of the
+    /// network become invalid after awhile"). Agent knowledge is kept:
+    /// stale edges linger until an agent revisits their source node
+    /// (first-hand refresh) and may re-spread through meetings in the
+    /// meantime. After the first call, knowledge and completeness use
+    /// exact (intersection-based) accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count differs from the current graph's.
+    pub fn set_graph(&mut self, graph: DiGraph) {
+        assert_eq!(
+            graph.node_count(),
+            self.graph.node_count(),
+            "replacement topology must keep the node set"
+        );
+        self.graph = graph;
+        self.graph_changed = true;
+        // Completion must be re-established against the new topology.
+        self.complete_agents = 0;
+        for agent in &mut self.agents {
+            agent.complete = false;
+        }
+    }
+
+    /// Mean fraction of the *current* graph's edges known across agents
+    /// (true positives only).
+    pub fn mean_accuracy(&self) -> f64 {
+        let total = self.graph.edge_count().max(1);
+        let sum: f64 = self
+            .agents
+            .iter()
+            .map(|a| a.edges.intersection_count(&self.graph) as f64 / total as f64)
+            .sum();
+        sum / self.agents.len() as f64
+    }
+
+    /// Mean number of stale (no-longer-existing) edges in agent
+    /// knowledge.
+    pub fn mean_stale_edges(&self) -> f64 {
+        let sum: f64 =
+            self.agents.iter().map(|a| a.edges.stale_count(&self.graph) as f64).sum();
+        sum / self.agents.len() as f64
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &MappingConfig {
+        &self.config
+    }
+
+    /// Mean fraction of edges known across agents right now.
+    pub fn mean_knowledge(&self) -> f64 {
+        let total = self.graph.edge_count();
+        let sum: f64 =
+            self.agents.iter().map(|a| a.edges.knowledge_fraction(total)).sum();
+        sum / self.agents.len() as f64
+    }
+
+    /// Knowledge fraction of the worst-informed agent.
+    pub fn min_knowledge(&self) -> f64 {
+        let total = self.graph.edge_count();
+        self.agents
+            .iter()
+            .map(|a| a.edges.knowledge_fraction(total))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Current node of each agent, in agent order.
+    pub fn positions(&self) -> Vec<NodeId> {
+        self.agents.iter().map(|a| a.at).collect()
+    }
+
+    /// The recorded mean-knowledge series.
+    pub fn knowledge_series(&self) -> &TimeSeries {
+        &self.knowledge
+    }
+
+    /// Cumulative overhead counters (migrations, meeting messages,
+    /// footprint writes) for the run so far.
+    pub fn overhead(&self) -> Overhead {
+        self.overhead
+    }
+
+    /// The event trace (empty unless
+    /// [`MappingConfig::trace_capacity`] is nonzero).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Runs until every agent has a perfect map or `max_steps` elapse.
+    pub fn run(&mut self, max_steps: u64) -> MappingOutcome {
+        let RunOutcome { steps, finished } = run_until(self, Step::new(max_steps));
+        MappingOutcome { finished, finishing_time: steps, knowledge: self.knowledge.clone() }
+    }
+
+    /// Groups agent indices by their current node into `scratch_groups`.
+    fn collect_colocation_groups(&mut self) {
+        for g in &mut self.scratch_groups {
+            g.clear();
+        }
+        let mut by_node: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+        let mut used = 0usize;
+        for (i, agent) in self.agents.iter().enumerate() {
+            let slot = *by_node.entry(agent.at).or_insert_with(|| {
+                if used == self.scratch_groups.len() {
+                    self.scratch_groups.push(Vec::new());
+                }
+                used += 1;
+                used - 1
+            });
+            self.scratch_groups[slot].push(i);
+        }
+        self.scratch_groups.truncate(used);
+    }
+}
+
+impl TimeStepSim for MappingSim {
+    fn step(&mut self, now: Step) {
+        let total_edges = self.graph.edge_count();
+
+        // Phase 1 — first-hand learning: the agent's knowledge of the
+        // current node's out-edges is *refreshed*, not merely extended —
+        // links that no longer exist are unlearned. (On a static graph
+        // this is identical to inserting.)
+        for agent in &mut self.agents {
+            let v = agent.at;
+            agent.first_visits.record(v, now);
+            agent.merged_visits.record(v, now);
+            agent.edges.replace_row(v, self.graph.out_neighbors(v));
+        }
+
+        // Phase 2 — second-hand learning from co-located agents.
+        self.collect_colocation_groups();
+        let groups = std::mem::take(&mut self.scratch_groups);
+        for group in &groups {
+            if group.len() < 2 {
+                continue;
+            }
+            // Each ordered pair exchanges knowledge once.
+            self.overhead.meeting_messages += (group.len() * (group.len() - 1)) as u64;
+            if self.config.trace_capacity > 0 {
+                self.trace.record(TraceEvent::Meeting {
+                    node: self.agents[group[0]].at,
+                    participants: group.len() as u32,
+                    at: now,
+                });
+            }
+            let union_e = union_edges(group.iter().map(|&i| &self.agents[i].edges))
+                .expect("group is nonempty");
+            let union_v =
+                union_visits(group.iter().map(|&i| &self.agents[i].merged_visits))
+                    .expect("group is nonempty");
+            for &i in group {
+                self.agents[i].edges = union_e.clone();
+                self.agents[i].merged_visits = union_v.clone();
+            }
+        }
+        self.scratch_groups = groups;
+
+        // Phase 3+4 — choose the next node and leave a footprint. Choices
+        // are made in agent-id order and footprints are visible
+        // immediately, so two stigmergic agents on one node diverge
+        // within the same step.
+        let mut pending: Vec<Option<NodeId>> = Vec::with_capacity(self.agents.len());
+        for i in 0..self.agents.len() {
+            let at = self.agents[i].at;
+            let candidates = self.graph.out_neighbors(at);
+            let avoid = if self.config.stigmergic {
+                self.boards[at.index()].marked_targets(now, self.config.footprint_window)
+            } else {
+                Vec::new()
+            };
+            let agent = &self.agents[i];
+            let choice = match self.config.policy {
+                MappingPolicy::Random => choose_move(
+                    candidates,
+                    &avoid,
+                    None::<fn(NodeId) -> Option<Step>>,
+                    self.config.tie_break,
+                    0,
+                    &mut self.rng,
+                ),
+                MappingPolicy::Conscientious => choose_move(
+                    candidates,
+                    &avoid,
+                    Some(|n: NodeId| agent.first_visits.last_visit(n)),
+                    self.config.tie_break,
+                    agent.first_visits.content_hash(),
+                    &mut self.rng,
+                ),
+                MappingPolicy::SuperConscientious => choose_move(
+                    candidates,
+                    &avoid,
+                    Some(|n: NodeId| agent.merged_visits.last_visit(n)),
+                    self.config.tie_break,
+                    agent.merged_visits.content_hash(),
+                    &mut self.rng,
+                ),
+            };
+            if self.config.stigmergic {
+                if let Some(target) = choice {
+                    self.boards[at.index()].imprint(AgentId::new(i), target, now);
+                    self.overhead.footprint_writes += 1;
+                    if self.config.trace_capacity > 0 {
+                        self.trace.record(TraceEvent::Footprint {
+                            agent: AgentId::new(i),
+                            node: at,
+                            target,
+                            at: now,
+                        });
+                    }
+                }
+            }
+            pending.push(choice);
+        }
+
+        // Move phase.
+        let state_bytes = mapping_agent_state_bytes(self.graph.node_count());
+        for (i, (agent, choice)) in self.agents.iter_mut().zip(pending).enumerate() {
+            if let Some(target) = choice {
+                if self.config.trace_capacity > 0 {
+                    self.trace.record(TraceEvent::Moved {
+                        agent: AgentId::new(i),
+                        from: agent.at,
+                        to: target,
+                        at: now,
+                    });
+                }
+                agent.at = target;
+                self.overhead.migrations += 1;
+                self.overhead.migrated_bytes += state_bytes;
+            }
+        }
+
+        // Bookkeeping: knowledge metric and completion. On a static run
+        // every known edge exists, so the raw count is exact; once the
+        // graph has been swapped, stale knowledge may inflate counts and
+        // intersection-based accounting takes over.
+        let mut complete = 0usize;
+        let mut sum = 0.0f64;
+        for agent in &mut self.agents {
+            let known = if self.graph_changed {
+                agent.edges.intersection_count(&self.graph)
+            } else {
+                agent.edges.len()
+            };
+            sum += (known as f64 / total_edges.max(1) as f64).min(1.0);
+            agent.complete = known >= total_edges;
+            if agent.complete {
+                complete += 1;
+            }
+        }
+        self.complete_agents = complete;
+        self.knowledge.record(sum / self.agents.len() as f64);
+    }
+
+    fn is_done(&self) -> bool {
+        self.complete_agents == self.agents.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_graph::generators::{directed_ring, grid, GeometricConfig};
+
+    fn small_net() -> DiGraph {
+        GeometricConfig::new(30, 180).generate(5).unwrap().graph
+    }
+
+    fn run(policy: MappingPolicy, pop: usize, stig: bool, seed: u64) -> MappingOutcome {
+        let cfg = MappingConfig::new(policy, pop).stigmergic(stig);
+        MappingSim::new(small_net(), cfg, seed).unwrap().run(200_000)
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let g = small_net();
+        assert!(MappingSim::new(g.clone(), MappingConfig::new(MappingPolicy::Random, 0), 1)
+            .is_err());
+        assert!(MappingSim::new(DiGraph::new(0), MappingConfig::new(MappingPolicy::Random, 1), 1)
+            .is_err());
+        assert!(MappingSim::new(DiGraph::new(5), MappingConfig::new(MappingPolicy::Random, 1), 1)
+            .is_err());
+        let zero_fp = MappingConfig::new(MappingPolicy::Random, 1).footprint_capacity(0);
+        assert!(MappingSim::new(g, zero_fp, 1).is_err());
+    }
+
+    #[test]
+    fn single_conscientious_agent_finishes_on_ring() {
+        let g = directed_ring(12);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 1);
+        let mut sim = MappingSim::new(g, cfg, 3).unwrap();
+        let out = sim.run(10_000);
+        assert!(out.finished);
+        // A directed ring forces exactly one lap (12 nodes) to learn all
+        // 12 edges; the agent needs at most n steps after placement.
+        assert!(out.finishing_time.as_u64() <= 13, "took {}", out.finishing_time);
+    }
+
+    #[test]
+    fn all_policies_finish_on_small_network() {
+        for policy in
+            [MappingPolicy::Random, MappingPolicy::Conscientious, MappingPolicy::SuperConscientious]
+        {
+            let out = run(policy, 3, false, 11);
+            assert!(out.finished, "{policy} did not finish");
+        }
+    }
+
+    #[test]
+    fn stigmergy_also_finishes() {
+        for policy in [MappingPolicy::Random, MappingPolicy::Conscientious] {
+            let out = run(policy, 3, true, 11);
+            assert!(out.finished, "stigmergic {policy} did not finish");
+        }
+    }
+
+    #[test]
+    fn knowledge_series_is_monotone_nondecreasing() {
+        let out = run(MappingPolicy::Conscientious, 2, false, 7);
+        let vals = out.knowledge.values();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        assert!((vals[vals.len() - 1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_agents_do_not_finish_slower() {
+        let lone = run(MappingPolicy::Conscientious, 1, false, 5);
+        let team = run(MappingPolicy::Conscientious, 10, false, 5);
+        assert!(team.finishing_time <= lone.finishing_time);
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let a = run(MappingPolicy::Random, 4, true, 9);
+        let b = run(MappingPolicy::Random, 4, true, 9);
+        assert_eq!(a.finishing_time, b.finishing_time);
+        assert_eq!(a.knowledge, b.knowledge);
+        let c = run(MappingPolicy::Random, 4, true, 10);
+        assert_ne!(a.finishing_time, c.finishing_time);
+    }
+
+    #[test]
+    fn grid_with_team_finishes_quickly() {
+        let g = grid(5, 5);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 5);
+        let out = MappingSim::new(g, cfg, 2).unwrap().run(5_000);
+        assert!(out.finished);
+        assert!(out.finishing_time.as_u64() < 500);
+    }
+
+    #[test]
+    fn mean_and_min_knowledge_track_progress() {
+        let g = grid(4, 4);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 2);
+        let mut sim = MappingSim::new(g, cfg, 2).unwrap();
+        assert_eq!(sim.mean_knowledge(), 0.0);
+        assert_eq!(sim.min_knowledge(), 0.0);
+        sim.step(Step::ZERO);
+        assert!(sim.mean_knowledge() > 0.0);
+        assert!(sim.min_knowledge() <= sim.mean_knowledge());
+    }
+
+    #[test]
+    fn overhead_counts_migrations_and_footprints() {
+        let g = grid(4, 4);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 3).stigmergic(true);
+        let mut sim = MappingSim::new(g, cfg, 6).unwrap();
+        for s in 0..10 {
+            sim.step(Step::new(s));
+        }
+        let o = sim.overhead();
+        // 3 agents, 10 steps, grid never strands anyone.
+        assert_eq!(o.migrations, 30);
+        assert_eq!(o.footprint_writes, 30);
+        assert!(o.migrated_bytes > 0);
+        assert_eq!(o.table_writes, 0, "mapping writes no routing tables");
+    }
+
+    #[test]
+    fn non_stigmergic_run_writes_no_footprints() {
+        let g = grid(4, 4);
+        let cfg = MappingConfig::new(MappingPolicy::Random, 2);
+        let mut sim = MappingSim::new(g, cfg, 6).unwrap();
+        sim.step(Step::ZERO);
+        assert_eq!(sim.overhead().footprint_writes, 0);
+    }
+
+    #[test]
+    fn set_graph_resets_completion_and_tracks_accuracy() {
+        let g1 = grid(4, 4);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 4);
+        let mut sim = MappingSim::new(g1.clone(), cfg, 8).unwrap();
+        let out = sim.run(10_000);
+        assert!(out.finished);
+        assert_eq!(sim.mean_accuracy(), 1.0);
+        assert_eq!(sim.mean_stale_edges(), 0.0);
+
+        // Drift: one link pair dies, a new long link appears.
+        let mut g2 = g1.clone();
+        g2.remove_edge(NodeId::new(0), NodeId::new(1));
+        g2.remove_edge(NodeId::new(1), NodeId::new(0));
+        g2.add_edge(NodeId::new(0), NodeId::new(5));
+        g2.add_edge(NodeId::new(5), NodeId::new(0));
+        sim.set_graph(g2.clone());
+        assert!(!sim.is_done(), "completion must be re-established");
+        assert!(sim.mean_stale_edges() >= 2.0 - 1e-9);
+        // Continued running re-converges on the new topology.
+        let out = sim.run(10_000);
+        assert!(out.finished, "agents never re-mapped the drifted topology");
+        assert_eq!(sim.mean_accuracy(), 1.0);
+        // Completion does not force the purge, but continued wandering
+        // refreshes every row; stale knowledge dies out.
+        let mut extra = 0u64;
+        while sim.mean_stale_edges() > 0.0 {
+            sim.step(Step::new(10_000 + extra));
+            extra += 1;
+            assert!(extra < 20_000, "stale edges were never purged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "node set")]
+    fn set_graph_rejects_different_node_count() {
+        let cfg = MappingConfig::new(MappingPolicy::Random, 1);
+        let mut sim = MappingSim::new(grid(3, 3), cfg, 1).unwrap();
+        sim.set_graph(grid(2, 2));
+    }
+
+    #[test]
+    fn positions_move_along_edges() {
+        let g = directed_ring(6);
+        let cfg = MappingConfig::new(MappingPolicy::Random, 3);
+        let mut sim = MappingSim::new(g.clone(), cfg, 4).unwrap();
+        let before = sim.positions();
+        sim.step(Step::ZERO);
+        let after = sim.positions();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(g.has_edge(*b, *a), "agent teleported {b} -> {a}");
+        }
+    }
+
+    #[test]
+    fn stigmergic_colocated_agents_diverge() {
+        // Place many agents; after one step, stigmergic conscientious
+        // agents that started together should not all pick the same exit.
+        let g = grid(3, 3);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 6)
+            .stigmergic(true)
+            .footprint_capacity(4);
+        let mut sim = MappingSim::new(g, cfg, 1).unwrap();
+        // Force co-location.
+        for a in &mut sim.agents {
+            a.at = NodeId::new(4); // grid centre: 4 neighbours
+        }
+        sim.step(Step::ZERO);
+        let mut dests: Vec<NodeId> = sim.positions();
+        dests.sort_unstable();
+        dests.dedup();
+        assert!(dests.len() >= 3, "stigmergy failed to disperse: {dests:?}");
+    }
+
+    #[test]
+    fn non_stigmergic_identical_agents_herd() {
+        // Same setup without stigmergy: deterministic tie-break makes
+        // co-located super-conscientious agents pick the same exit.
+        let g = grid(3, 3);
+        let cfg = MappingConfig::new(MappingPolicy::SuperConscientious, 4)
+            .tie_break(TieBreak::LowestId);
+        let mut sim = MappingSim::new(g, cfg, 1).unwrap();
+        for a in &mut sim.agents {
+            a.at = NodeId::new(4);
+        }
+        sim.step(Step::ZERO);
+        let mut dests = sim.positions();
+        dests.dedup();
+        assert_eq!(dests.len(), 1, "expected herding, got {dests:?}");
+    }
+}

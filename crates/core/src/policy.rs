@@ -1,0 +1,353 @@
+//! Agent movement policies.
+//!
+//! Mapping (paper §II.B): *random* agents wander blindly; *conscientious*
+//! agents prefer the neighbour they have never visited or visited least
+//! recently, judged by **first-hand** experience only;
+//! *super-conscientious* agents judge by first- **and** second-hand
+//! (peer-learned) visit information.
+//!
+//! Routing (paper §III.B): *random* and *oldest-node* (the conscientious
+//! rule over a bounded [`crate::history::VisitMemory`]).
+//!
+//! Every policy composes with stigmergy the same way: footprint-marked
+//! exits are removed from the candidate set first, unless that would
+//! empty it — see [`choose_move`].
+
+use agentnet_engine::Step;
+use agentnet_graph::NodeId;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mapping-agent movement algorithms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum MappingPolicy {
+    /// Move to a uniformly random out-neighbour.
+    Random,
+    /// Prefer never/least-recently visited, first-hand knowledge only.
+    Conscientious,
+    /// Prefer never/least-recently visited using merged first- and
+    /// second-hand knowledge.
+    SuperConscientious,
+}
+
+impl fmt::Display for MappingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MappingPolicy::Random => "random",
+            MappingPolicy::Conscientious => "conscientious",
+            MappingPolicy::SuperConscientious => "super-conscientious",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Routing-agent movement algorithms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Move to a uniformly random reachable neighbour.
+    Random,
+    /// Prefer the neighbour last visited longest ago (or never / not
+    /// remembered), per the agent's bounded visit memory.
+    OldestNode,
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RoutingPolicy::Random => "random",
+            RoutingPolicy::OldestNode => "oldest-node",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How equally-preferred candidates are resolved.
+///
+/// The default, [`TieBreak::Hashed`], is a *knowledge-conditioned*
+/// deterministic rule: the pick is a hash of the agent's own knowledge
+/// (and the tied candidates). Two agents whose knowledge became
+/// identical after a meeting therefore make **identical** choices — the
+/// paper's herding/chasing mechanism — while independently-informed
+/// agents are unbiased, as if random.
+///
+/// [`TieBreak::Random`] is the paper's proposed fix ("add randomness to
+/// the decision"): it dissolves the herding. [`TieBreak::LowestId`] is a
+/// globally-biased determinism that makes *all* equally-informed agents
+/// drift towards low node ids; it is kept as an ablation showing why
+/// naive determinism is catastrophic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Pick the tied candidate with the lowest node id (deterministic,
+    /// globally biased).
+    LowestId,
+    /// Pick uniformly at random among tied candidates.
+    Random,
+    /// Pick deterministically from a hash of the agent's knowledge and
+    /// the tied candidate set (default).
+    #[default]
+    Hashed,
+}
+
+impl fmt::Display for TieBreak {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TieBreak::LowestId => "lowest-id",
+            TieBreak::Random => "random",
+            TieBreak::Hashed => "hashed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Chooses the next node from `candidates` (the current node's
+/// out-neighbours, sorted by id).
+///
+/// * `avoid` — footprint-marked exits; they are excluded unless that
+///   leaves no candidate (stigmergy never strands an agent).
+/// * `last_visit` — `None` for the random policy; otherwise the visit
+///   lookup the preferential policies rank by: never-visited first, then
+///   oldest visit time.
+/// * `tie` — how ties are broken; [`TieBreak::Hashed`] mixes
+///   `decision_seed` (a digest of the agent's knowledge) with the tied
+///   candidate ids.
+///
+/// Returns `None` only when `candidates` is empty (a node with no
+/// out-links — the agent must wait for the topology to change).
+pub fn choose_move<F>(
+    candidates: &[NodeId],
+    avoid: &[NodeId],
+    last_visit: Option<F>,
+    tie: TieBreak,
+    decision_seed: u64,
+    rng: &mut impl RngExt,
+) -> Option<NodeId>
+where
+    F: Fn(NodeId) -> Option<Step>,
+{
+    if candidates.is_empty() {
+        return None;
+    }
+    let unmarked: Vec<NodeId> =
+        candidates.iter().copied().filter(|c| !avoid.contains(c)).collect();
+    let pool: &[NodeId] = if unmarked.is_empty() { candidates } else { &unmarked };
+
+    let Some(lookup) = last_visit else {
+        return Some(pool[rng.random_range(0..pool.len())]);
+    };
+
+    // Rank: never-visited (None) beats any visit; then older is better.
+    let key = |n: NodeId| -> (bool, Step) {
+        match lookup(n) {
+            None => (false, Step::ZERO),
+            Some(t) => (true, t),
+        }
+    };
+    let best = pool.iter().map(|&n| key(n)).min().expect("pool is nonempty");
+    let tied: Vec<NodeId> = pool.iter().copied().filter(|&n| key(n) == best).collect();
+    match tie {
+        TieBreak::LowestId => tied.iter().copied().min(),
+        TieBreak::Random => Some(tied[rng.random_range(0..tied.len())]),
+        TieBreak::Hashed => {
+            let mut h = decision_seed;
+            for c in &tied {
+                h = mix64(h ^ u64::from(c.as_u32()));
+            }
+            Some(tied[(h % tied.len() as u64) as usize])
+        }
+    }
+}
+
+/// SplitMix64 finalizer used by [`TieBreak::Hashed`] and the knowledge
+/// digests that feed it.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn visits(entries: &[(usize, u64)]) -> impl Fn(NodeId) -> Option<Step> {
+        let map: HashMap<NodeId, Step> =
+            entries.iter().map(|&(i, t)| (n(i), Step::new(t))).collect();
+        move |node| map.get(&node).copied()
+    }
+
+    type NoLookup = fn(NodeId) -> Option<Step>;
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert_eq!(
+            choose_move(&[], &[], None::<NoLookup>, TieBreak::LowestId, 0, &mut rng()),
+            None
+        );
+    }
+
+    #[test]
+    fn random_policy_picks_from_candidates() {
+        let cands = [n(1), n(2), n(3)];
+        let mut r = rng();
+        for _ in 0..50 {
+            let pick =
+                choose_move(&cands, &[], None::<NoLookup>, TieBreak::Random, 0, &mut r).unwrap();
+            assert!(cands.contains(&pick));
+        }
+    }
+
+    #[test]
+    fn random_policy_eventually_covers_all_candidates() {
+        let cands = [n(1), n(2), n(3)];
+        let mut seen = std::collections::HashSet::new();
+        let mut r = rng();
+        for _ in 0..200 {
+            seen.insert(
+                choose_move(&cands, &[], None::<NoLookup>, TieBreak::Random, 0, &mut r).unwrap(),
+            );
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn never_visited_beats_visited() {
+        let pick = choose_move(
+            &[n(1), n(2), n(3)],
+            &[],
+            Some(visits(&[(1, 5), (3, 2)])),
+            TieBreak::LowestId,
+            0,
+            &mut rng(),
+        );
+        assert_eq!(pick, Some(n(2)));
+    }
+
+    #[test]
+    fn oldest_visit_wins_when_all_visited() {
+        let pick = choose_move(
+            &[n(1), n(2), n(3)],
+            &[],
+            Some(visits(&[(1, 5), (2, 9), (3, 2)])),
+            TieBreak::LowestId,
+            0,
+            &mut rng(),
+        );
+        assert_eq!(pick, Some(n(3)));
+    }
+
+    #[test]
+    fn deterministic_tie_break_is_lowest_id() {
+        let pick = choose_move(
+            &[n(4), n(2), n(9)],
+            &[],
+            Some(visits(&[])),
+            TieBreak::LowestId,
+            0,
+            &mut rng(),
+        );
+        assert_eq!(pick, Some(n(2)));
+    }
+
+    #[test]
+    fn random_tie_break_varies() {
+        let cands = [n(1), n(2), n(3)];
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(
+                choose_move(&cands, &[], Some(visits(&[])), TieBreak::Random, 0, &mut r).unwrap(),
+            );
+        }
+        assert!(seen.len() > 1, "random tie-break never varied");
+    }
+
+    #[test]
+    fn avoid_excludes_marked_exits() {
+        let pick = choose_move(
+            &[n(1), n(2)],
+            &[n(1)],
+            Some(visits(&[])),
+            TieBreak::LowestId,
+            0,
+            &mut rng(),
+        );
+        assert_eq!(pick, Some(n(2)));
+    }
+
+    #[test]
+    fn all_marked_falls_back_to_full_pool() {
+        let pick = choose_move(
+            &[n(1), n(2)],
+            &[n(1), n(2)],
+            Some(visits(&[])),
+            TieBreak::LowestId,
+            0,
+            &mut rng(),
+        );
+        assert_eq!(pick, Some(n(1)));
+    }
+
+    #[test]
+    fn avoidance_beats_preference() {
+        // n1 is never-visited (preferred) but marked; n2 was visited.
+        let pick = choose_move(
+            &[n(1), n(2)],
+            &[n(1)],
+            Some(visits(&[(2, 3)])),
+            TieBreak::LowestId,
+            0,
+            &mut rng(),
+        );
+        assert_eq!(pick, Some(n(2)));
+    }
+
+    #[test]
+    fn hashed_tie_break_is_deterministic_in_seed() {
+        let cands = [n(1), n(2), n(3)];
+        let a = choose_move(&cands, &[], Some(visits(&[])), TieBreak::Hashed, 42, &mut rng());
+        let b = choose_move(&cands, &[], Some(visits(&[])), TieBreak::Hashed, 42, &mut rng());
+        assert_eq!(a, b, "same seed must pick the same candidate");
+    }
+
+    #[test]
+    fn hashed_tie_break_varies_with_seed() {
+        let cands: Vec<NodeId> = (1..=8).map(n).collect();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            seen.insert(choose_move(
+                &cands,
+                &[],
+                Some(visits(&[])),
+                TieBreak::Hashed,
+                seed,
+                &mut rng(),
+            ));
+        }
+        assert!(seen.len() > 3, "hashed tie-break is too biased: {seen:?}");
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(MappingPolicy::SuperConscientious.to_string(), "super-conscientious");
+        assert_eq!(MappingPolicy::Random.to_string(), "random");
+        assert_eq!(MappingPolicy::Conscientious.to_string(), "conscientious");
+        assert_eq!(RoutingPolicy::OldestNode.to_string(), "oldest-node");
+        assert_eq!(RoutingPolicy::Random.to_string(), "random");
+        assert_eq!(TieBreak::LowestId.to_string(), "lowest-id");
+        assert_eq!(TieBreak::Random.to_string(), "random");
+        assert_eq!(TieBreak::Hashed.to_string(), "hashed");
+    }
+}

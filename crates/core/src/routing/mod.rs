@@ -1,0 +1,23 @@
+//! The dynamic-routing simulation (paper §III).
+//!
+//! Mobile agents maintain per-node routing tables in a wireless ad-hoc
+//! network whose links break and reform as nodes move and batteries decay.
+//! Nodes run no programs; all route maintenance is carried by the agents.
+//!
+//! * [`table`] — explicit hop-list routes and per-node routing tables;
+//!   the connectivity metric counts nodes whose table holds a route whose
+//!   every hop is a currently-live directed link.
+//! * [`sim`] — the simulation itself, with random / oldest-node agents,
+//!   optional direct communication ("visiting") and optional stigmergy
+//!   (the paper's future-work extension).
+//! * [`traffic`] — packet-level evaluation: inject packets and forward
+//!   them along the agent-maintained tables, measuring delivery ratio,
+//!   latency and hop stretch.
+
+pub mod sim;
+pub mod table;
+pub mod traffic;
+
+pub use sim::{RoutingConfig, RoutingOutcome, RoutingSim};
+pub use table::{RouteEntry, RoutingTable};
+pub use traffic::{TrafficConfig, TrafficSim, TrafficStats};

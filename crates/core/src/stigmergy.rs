@@ -1,0 +1,182 @@
+//! Stigmergic (footprint-based) indirect communication.
+//!
+//! "Every agent leaves behind his footprint on the current node. Agents
+//! imprint their next target node in the current node ... so that
+//! subsequent agents avoid following previous one." Unlike ant pheromones
+//! that *attract*, these footprints *repel*: the intent is "to not be
+//! followed by others as opposed to encourage others to come after you".
+//!
+//! Each node carries a small bounded [`FootprintBoard`] of the most recent
+//! imprints. The overhead is negligible by design — a few words per node —
+//! matching the paper's claim that stigmergy "adds almost no extra cost in
+//! agents computational complexity".
+
+use crate::agent::AgentId;
+use agentnet_engine::Step;
+use agentnet_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One imprint: who left it, which neighbour they departed to, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Footprint {
+    /// The agent that left the footprint.
+    pub agent: AgentId,
+    /// The neighbour the agent moved to.
+    pub target: NodeId,
+    /// When the footprint was left.
+    pub at: Step,
+}
+
+/// A node's footprint board: the most recent `capacity` imprints.
+///
+/// ```
+/// use agentnet_core::stigmergy::FootprintBoard;
+/// use agentnet_core::AgentId;
+/// use agentnet_engine::Step;
+/// use agentnet_graph::NodeId;
+///
+/// let mut board = FootprintBoard::new(2);
+/// board.imprint(AgentId::new(0), NodeId::new(4), Step::new(1));
+/// assert!(board.is_marked(NodeId::new(4), Step::new(2), 100));
+/// assert!(!board.is_marked(NodeId::new(5), Step::new(2), 100));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintBoard {
+    slots: VecDeque<Footprint>,
+    capacity: usize,
+}
+
+impl FootprintBoard {
+    /// Default board capacity used by the simulations: one footprint —
+    /// each node remembers only the most recent exit taken from it, the
+    /// paper's "the mark it left behind during its previous visit".
+    pub const DEFAULT_CAPACITY: usize = 1;
+
+    /// Creates an empty board keeping the `capacity` most recent imprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "footprint board capacity must be positive");
+        FootprintBoard { slots: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Number of imprints currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the board holds no imprints.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Records that `agent` departs towards `target` at step `at`,
+    /// displacing the oldest imprint when full.
+    pub fn imprint(&mut self, agent: AgentId, target: NodeId, at: Step) {
+        if self.slots.len() == self.capacity {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(Footprint { agent, target, at });
+    }
+
+    /// Returns `true` if some imprint within `window` steps of `now`
+    /// points at `target` — i.e. a recent agent already left this node in
+    /// that direction.
+    pub fn is_marked(&self, target: NodeId, now: Step, window: u64) -> bool {
+        self.slots
+            .iter()
+            .any(|fp| fp.target == target && now.since(fp.at) <= window)
+    }
+
+    /// All distinct targets marked within `window` steps of `now`.
+    pub fn marked_targets(&self, now: Step, window: u64) -> Vec<NodeId> {
+        let mut targets: Vec<NodeId> = self
+            .slots
+            .iter()
+            .filter(|fp| now.since(fp.at) <= window)
+            .map(|fp| fp.target)
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    /// Iterator over the raw imprints, oldest first.
+    pub fn footprints(&self) -> impl Iterator<Item = &Footprint> + '_ {
+        self.slots.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn board() -> FootprintBoard {
+        FootprintBoard::new(3)
+    }
+
+    fn fp(b: &mut FootprintBoard, agent: usize, target: usize, at: u64) {
+        b.imprint(AgentId::new(agent), NodeId::new(target), Step::new(at));
+    }
+
+    #[test]
+    fn imprint_and_mark() {
+        let mut b = board();
+        fp(&mut b, 0, 7, 10);
+        assert!(b.is_marked(NodeId::new(7), Step::new(10), 0));
+        assert!(!b.is_marked(NodeId::new(8), Step::new(10), 0));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn window_expires_old_marks() {
+        let mut b = board();
+        fp(&mut b, 0, 7, 10);
+        assert!(b.is_marked(NodeId::new(7), Step::new(15), 5));
+        assert!(!b.is_marked(NodeId::new(7), Step::new(16), 5));
+    }
+
+    #[test]
+    fn capacity_displaces_oldest() {
+        let mut b = board();
+        fp(&mut b, 0, 1, 1);
+        fp(&mut b, 0, 2, 2);
+        fp(&mut b, 0, 3, 3);
+        fp(&mut b, 0, 4, 4); // displaces target 1
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_marked(NodeId::new(1), Step::new(4), 100));
+        assert!(b.is_marked(NodeId::new(2), Step::new(4), 100));
+    }
+
+    #[test]
+    fn marked_targets_dedups_and_sorts() {
+        let mut b = board();
+        fp(&mut b, 0, 9, 1);
+        fp(&mut b, 1, 3, 2);
+        fp(&mut b, 2, 9, 3);
+        assert_eq!(
+            b.marked_targets(Step::new(3), 100),
+            vec![NodeId::new(3), NodeId::new(9)]
+        );
+        // Tight window keeps only the latest imprint.
+        assert_eq!(b.marked_targets(Step::new(3), 0), vec![NodeId::new(9)]);
+    }
+
+    #[test]
+    fn footprints_iterate_oldest_first() {
+        let mut b = board();
+        fp(&mut b, 0, 1, 1);
+        fp(&mut b, 1, 2, 2);
+        let agents: Vec<usize> = b.footprints().map(|f| f.agent.index()).collect();
+        assert_eq!(agents, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FootprintBoard::new(0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Event tracing — the "data-collection system" of the paper's
+//! simulator.
+//!
+//! When enabled on a simulation config, every agent migration, meeting,
+//! footprint and table write is recorded into a bounded ring
+//! ([`TraceLog`]), exportable as JSON-lines for external analysis or
+//! replay. Tracing is off by default and costs nothing when disabled.
+
+use crate::agent::AgentId;
+use agentnet_engine::Step;
+use agentnet_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One simulation event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// An agent migrated across a link.
+    Moved {
+        /// The migrating agent.
+        agent: AgentId,
+        /// Link source.
+        from: NodeId,
+        /// Link target.
+        to: NodeId,
+        /// When.
+        at: Step,
+    },
+    /// Two or more agents met on a node and exchanged knowledge.
+    Meeting {
+        /// Where the meeting happened.
+        node: NodeId,
+        /// Number of participants.
+        participants: u32,
+        /// When.
+        at: Step,
+    },
+    /// An agent left a footprint.
+    Footprint {
+        /// The imprinting agent.
+        agent: AgentId,
+        /// The node carrying the footprint.
+        node: NodeId,
+        /// The exit the footprint marks.
+        target: NodeId,
+        /// When.
+        at: Step,
+    },
+    /// An agent wrote a routing-table entry.
+    TableWrite {
+        /// The node whose table was updated.
+        node: NodeId,
+        /// The gateway the entry leads to.
+        gateway: NodeId,
+        /// The installed next hop.
+        next_hop: NodeId,
+        /// The claimed hop count.
+        hops: u32,
+        /// When.
+        at: Step,
+    },
+}
+
+impl TraceEvent {
+    /// The step the event happened at.
+    pub fn at(&self) -> Step {
+        match *self {
+            TraceEvent::Moved { at, .. }
+            | TraceEvent::Meeting { at, .. }
+            | TraceEvent::Footprint { at, .. }
+            | TraceEvent::TableWrite { at, .. } => at,
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s: the most recent `capacity` events
+/// are retained; `total_recorded` counts everything ever seen.
+///
+/// ```
+/// use agentnet_core::trace::{TraceEvent, TraceLog};
+/// use agentnet_core::AgentId;
+/// use agentnet_engine::Step;
+/// use agentnet_graph::NodeId;
+///
+/// let mut log = TraceLog::new(2);
+/// for i in 0..3 {
+///     log.record(TraceEvent::Meeting {
+///         node: NodeId::new(i),
+///         participants: 2,
+///         at: Step::new(i as u64),
+///     });
+/// }
+/// assert_eq!(log.len(), 2);            // ring kept the newest two
+/// assert_eq!(log.total_recorded(), 3); // but counted all three
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceLog {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    total: u64,
+}
+
+impl TraceLog {
+    /// Creates a log retaining at most `capacity` events (0 = record
+    /// nothing but still count).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog { ring: VecDeque::with_capacity(capacity.min(4096)), capacity, total: 0 }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.ring.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Returns `true` if no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Serializes the retained events as JSON lines (one event per
+    /// line), ready for external tooling.
+    pub fn to_jsonl(&self) -> String {
+        self.ring
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("trace events serialize"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moved(i: u64) -> TraceEvent {
+        TraceEvent::Moved {
+            agent: AgentId::new(0),
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            at: Step::new(i),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5 {
+            log.record(moved(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_recorded(), 5);
+        let first = log.events().next().unwrap();
+        assert_eq!(first.at(), Step::new(2));
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut log = TraceLog::new(0);
+        log.record(moved(0));
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 1);
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let mut log = TraceLog::new(8);
+        log.record(moved(1));
+        log.record(TraceEvent::TableWrite {
+            node: NodeId::new(2),
+            gateway: NodeId::new(9),
+            next_hop: NodeId::new(1),
+            hops: 3,
+            at: Step::new(4),
+        });
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.lines().nth(1).unwrap().contains("\"table_write\""));
+        // Round-trips through serde.
+        let back: TraceEvent = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(&back, log.events().next().unwrap());
+    }
+
+    #[test]
+    fn at_extracts_step_for_all_variants() {
+        let events = [
+            moved(7),
+            TraceEvent::Meeting { node: NodeId::new(0), participants: 3, at: Step::new(7) },
+            TraceEvent::Footprint {
+                agent: AgentId::new(1),
+                node: NodeId::new(0),
+                target: NodeId::new(2),
+                at: Step::new(7),
+            },
+        ];
+        assert!(events.iter().all(|e| e.at() == Step::new(7)));
+    }
+}

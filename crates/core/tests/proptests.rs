@@ -1,0 +1,248 @@
+//! Property-based tests for the agent core: knowledge stores, bounded
+//! memories, footprint boards and the movement-choice function.
+
+use agentnet_core::history::{Trail, VisitMemory};
+use agentnet_core::knowledge::{EdgeSet, VisitTimes};
+use agentnet_core::policy::{choose_move, TieBreak};
+use agentnet_core::stigmergy::FootprintBoard;
+use agentnet_core::AgentId;
+use agentnet_engine::Step;
+use agentnet_graph::NodeId;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    #[test]
+    fn edge_set_behaves_like_hashset(
+        n in 2usize..20,
+        ops in proptest::collection::vec((0usize..20, 0usize..20), 0..200),
+    ) {
+        let mut set = EdgeSet::new(n);
+        let mut model: HashSet<(usize, usize)> = HashSet::new();
+        for (a, b) in ops {
+            let (a, b) = (a % n, b % n);
+            let inserted = set.insert(NodeId::new(a), NodeId::new(b));
+            prop_assert_eq!(inserted, model.insert((a, b)));
+        }
+        prop_assert_eq!(set.len(), model.len());
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    set.contains(NodeId::new(a), NodeId::new(b)),
+                    model.contains(&(a, b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edge_set_merge_is_union_and_idempotent(
+        n in 2usize..16,
+        left in proptest::collection::vec((0usize..16, 0usize..16), 0..60),
+        right in proptest::collection::vec((0usize..16, 0usize..16), 0..60),
+    ) {
+        let build = |edges: &[(usize, usize)]| {
+            let mut s = EdgeSet::new(n);
+            for &(a, b) in edges {
+                s.insert(NodeId::new(a % n), NodeId::new(b % n));
+            }
+            s
+        };
+        let a = build(&left);
+        let b = build(&right);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+        let mut twice = ab.clone();
+        twice.merge(&b);
+        prop_assert_eq!(&twice, &ab, "merge must be idempotent");
+        prop_assert!(ab.len() <= a.len() + b.len());
+        prop_assert!(ab.len() >= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn visit_times_merge_takes_pointwise_max(
+        n in 1usize..16,
+        left in proptest::collection::vec((0usize..16, 0u64..100), 0..40),
+        right in proptest::collection::vec((0usize..16, 0u64..100), 0..40),
+    ) {
+        let build = |recs: &[(usize, u64)]| {
+            let mut v = VisitTimes::new(n);
+            for &(node, t) in recs {
+                v.record(NodeId::new(node % n), Step::new(t));
+            }
+            v
+        };
+        let a = build(&left);
+        let b = build(&right);
+        let mut m = a.clone();
+        m.merge(&b);
+        for i in 0..n {
+            let id = NodeId::new(i);
+            let expect = match (a.last_visit(id), b.last_visit(id)) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            };
+            prop_assert_eq!(m.last_visit(id), expect);
+        }
+    }
+
+    #[test]
+    fn visit_memory_never_exceeds_capacity_and_keeps_latest(
+        cap in 1usize..12,
+        recs in proptest::collection::vec((0usize..30, 0u64..100), 0..100),
+    ) {
+        let mut mem = VisitMemory::new(cap);
+        let mut model: HashMap<usize, u64> = HashMap::new();
+        for &(node, t) in &recs {
+            mem.record(NodeId::new(node), Step::new(t));
+            let e = model.entry(node).or_insert(0);
+            *e = (*e).max(t);
+            prop_assert!(mem.len() <= cap);
+        }
+        // Every remembered entry is a time that was actually recorded for
+        // that node, and never newer than the newest report. (It may be
+        // older: bounded memories forget, and a later, staler report can
+        // re-populate a forgotten node.)
+        for (node, &newest) in &model {
+            if let Some(t) = mem.last_visit(NodeId::new(*node)) {
+                prop_assert!(t.as_u64() <= newest);
+                prop_assert!(recs
+                    .iter()
+                    .any(|&(rn, rt)| rn == *node && rt == t.as_u64()));
+            }
+        }
+    }
+
+    #[test]
+    fn visit_memory_mutual_merge_converges(
+        cap in 1usize..10,
+        left in proptest::collection::vec((0usize..20, 0u64..100), 0..30),
+        right in proptest::collection::vec((0usize..20, 0u64..100), 0..30),
+    ) {
+        let build = |recs: &[(usize, u64)]| {
+            let mut m = VisitMemory::new(cap);
+            for &(node, t) in recs {
+                m.record(NodeId::new(node), Step::new(t));
+            }
+            m
+        };
+        let a = build(&left);
+        let b = build(&right);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "mutual merge must converge to identical memories");
+        prop_assert_eq!(ab.content_hash(), ba.content_hash());
+        prop_assert!(ab.len() <= cap);
+    }
+
+    #[test]
+    fn trail_routes_are_contiguous_suffixes(
+        cap in 1usize..12,
+        walk in proptest::collection::vec(0usize..15, 1..40),
+    ) {
+        let mut trail = Trail::new(cap);
+        for (i, &node) in walk.iter().enumerate() {
+            trail.push(NodeId::new(node), Step::new(i as u64));
+        }
+        prop_assert!(trail.len() <= cap);
+        let entries: Vec<NodeId> = trail.entries().map(|(n, _)| n).collect();
+        let mut targets = entries.clone();
+        targets.dedup();
+        for target in targets {
+            let route = trail.route_to(target).expect("target is in the trail");
+            // Route starts at the current node and ends at the target...
+            prop_assert_eq!(route[0], *entries.last().unwrap());
+            prop_assert_eq!(*route.last().unwrap(), target);
+            // ...and is exactly the reversed suffix from the *most recent*
+            // occurrence of the target.
+            let pos = entries.iter().rposition(|&n| n == target).unwrap();
+            let mut expected: Vec<NodeId> = entries[pos..].to_vec();
+            expected.reverse();
+            prop_assert_eq!(route, expected);
+        }
+    }
+
+    #[test]
+    fn footprint_board_respects_capacity_and_recency(
+        cap in 1usize..8,
+        imprints in proptest::collection::vec((0usize..8, 0usize..20), 0..60),
+    ) {
+        let mut board = FootprintBoard::new(cap);
+        for (i, &(agent, target)) in imprints.iter().enumerate() {
+            board.imprint(AgentId::new(agent), NodeId::new(target), Step::new(i as u64));
+            prop_assert!(board.len() <= cap);
+        }
+        let now = Step::new(imprints.len() as u64);
+        // Marked targets are exactly the targets of the last `cap` imprints.
+        let expected: HashSet<usize> = imprints
+            .iter()
+            .rev()
+            .take(cap)
+            .map(|&(_, t)| t)
+            .collect();
+        let marked: HashSet<usize> = board
+            .marked_targets(now, u64::MAX)
+            .into_iter()
+            .map(|n| n.index())
+            .collect();
+        prop_assert_eq!(marked, expected);
+    }
+
+    #[test]
+    fn choose_move_always_picks_a_candidate(
+        cands in proptest::collection::vec(0usize..30, 1..10),
+        avoid in proptest::collection::vec(0usize..30, 0..10),
+        seed in 0u64..64,
+        tie in 0usize..3,
+    ) {
+        let mut cands: Vec<NodeId> = cands.into_iter().map(NodeId::new).collect();
+        cands.sort_unstable();
+        cands.dedup();
+        let avoid: Vec<NodeId> = avoid.into_iter().map(NodeId::new).collect();
+        let tie = [TieBreak::LowestId, TieBreak::Random, TieBreak::Hashed][tie];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pick = choose_move(
+            &cands,
+            &avoid,
+            Some(|_n: NodeId| None),
+            tie,
+            seed,
+            &mut rng,
+        )
+        .expect("nonempty candidates must yield a pick");
+        prop_assert!(cands.contains(&pick));
+        // If any unmarked candidate exists, the pick must be unmarked.
+        if cands.iter().any(|c| !avoid.contains(c)) {
+            prop_assert!(!avoid.contains(&pick));
+        }
+    }
+
+    #[test]
+    fn choose_move_prefers_strictly_older_visits(
+        times in proptest::collection::vec(0u64..1000, 2..8),
+        seed in 0u64..32,
+    ) {
+        let cands: Vec<NodeId> = (0..times.len()).map(NodeId::new).collect();
+        let table: HashMap<NodeId, Step> = cands
+            .iter()
+            .zip(&times)
+            .map(|(&c, &t)| (c, Step::new(t)))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lookup = {
+            let table = table.clone();
+            move |n: NodeId| table.get(&n).copied()
+        };
+        let pick =
+            choose_move(&cands, &[], Some(lookup), TieBreak::Hashed, seed, &mut rng).unwrap();
+        let oldest = *times.iter().min().unwrap();
+        prop_assert_eq!(table[&pick].as_u64(), oldest);
+    }
+}

@@ -1,0 +1,180 @@
+//! A deterministic discrete-event queue.
+//!
+//! The time-step simulations in this workspace mostly advance in lockstep,
+//! but several extensions (link-failure injection, agent re-firing after
+//! topology drift) are naturally event-driven. [`EventQueue`] orders events
+//! by `(time, insertion sequence)`, so two events scheduled for the same
+//! step pop in the order they were scheduled — never in allocation or hash
+//! order — keeping runs bit-reproducible.
+
+use crate::sim::Step;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a step, carrying a payload `E`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: Step,
+    /// The payload.
+    pub event: E,
+}
+
+/// Min-heap of events ordered by time, with FIFO tie-breaking.
+///
+/// ```
+/// use agentnet_engine::events::EventQueue;
+/// use agentnet_engine::Step;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Step::new(5), "b");
+/// q.schedule(Step::new(3), "a");
+/// q.schedule(Step::new(5), "c");
+/// assert_eq!(q.pop().unwrap().event, "a");
+/// assert_eq!(q.pop().unwrap().event, "b"); // same-time events pop FIFO
+/// assert_eq!(q.pop().unwrap().event, "c");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    at: Step,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `event` to fire at step `at`.
+    pub fn schedule(&mut self, at: Step, event: E) {
+        let entry = Entry { at, seq: self.seq, event };
+        self.seq += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|Reverse(e)| Scheduled { at: e.at, event: e.event })
+    }
+
+    /// The firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Step> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops every event scheduled at or before `now`, in order.
+    pub fn drain_due(&mut self, now: Step) -> Vec<Scheduled<E>> {
+        let mut due = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= now) {
+            due.push(self.pop().expect("peeked event vanished"));
+        }
+        due
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Step::new(9), 9);
+        q.schedule(Step::new(1), 1);
+        q.schedule(Step::new(4), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Step::new(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_due_takes_only_due_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Step::new(2), "a");
+        q.schedule(Step::new(5), "b");
+        q.schedule(Step::new(5), "c");
+        q.schedule(Step::new(8), "d");
+        let due = q.drain_due(Step::new(5));
+        let names: Vec<_> = due.iter().map(|s| s.event).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Step::new(8)));
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        assert!(q.drain_due(Step::new(100)).is_empty());
+    }
+
+    #[test]
+    fn schedule_in_past_still_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Step::new(0), "late");
+        assert_eq!(q.drain_due(Step::new(10)).len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Step::new(1), ());
+        q.schedule(Step::new(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic time-step / discrete-event simulation engine.
+//!
+//! This crate is the paper's "2000/3000 lines of Java ... discrete event
+//! scheduler, data-collection system" substrate, rebuilt as a reusable Rust
+//! library:
+//!
+//! * [`sim`] — the time-step driver ([`TimeStepSim`]) used by both the
+//!   mapping and routing simulations, plus the [`Step`] clock type.
+//! * [`events`] — a deterministic discrete-event queue (time plus insertion
+//!   sequence ordering) for event-driven extensions.
+//! * [`rng`] — reproducible random-number streams: a master seed fans out
+//!   into independent per-run / per-component streams.
+//! * [`timeseries`] — per-step metric recording with windowed statistics
+//!   (the paper averages connectivity over steps 150–300).
+//! * [`stats`] — summary statistics and normal-approximation confidence
+//!   intervals over replicate runs.
+//! * [`replicate`] — a parallel replication runner (the paper repeats every
+//!   parameter setting 40 times).
+//! * [`sweep`] — parameter sweeps producing labelled result rows.
+//! * [`table`] — markdown / CSV / JSON emission of result tables.
+//! * [`plot`] — terminal sparklines and block charts of time series.
+//!
+//! # Example
+//!
+//! ```
+//! use agentnet_engine::sim::{run_until, Step, TimeStepSim};
+//!
+//! struct Counter { ticks: u64 }
+//! impl TimeStepSim for Counter {
+//!     fn step(&mut self, _now: Step) { self.ticks += 1; }
+//!     fn is_done(&self) -> bool { self.ticks >= 10 }
+//! }
+//!
+//! let mut sim = Counter { ticks: 0 };
+//! let outcome = run_until(&mut sim, Step::new(100));
+//! assert!(outcome.finished);
+//! assert_eq!(outcome.steps.as_u64(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod plot;
+pub mod replicate;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+pub mod timeseries;
+
+pub use rng::SeedSequence;
+pub use sim::{run_until, RunOutcome, Step, TimeStepSim};
+pub use stats::Summary;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,176 @@
+//! Terminal plotting of time series.
+//!
+//! The paper's Java simulator shipped "a graphical view and plots"; this
+//! is the terminal equivalent — Unicode sparklines and block charts used
+//! by the examples and the `repro` binary to show knowledge/connectivity
+//! curves without leaving the shell.
+
+use crate::timeseries::TimeSeries;
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a one-line sparkline of the series, resampled to at most
+/// `width` characters. Values are scaled to the series' own min..max
+/// (a flat series renders as a line of mid blocks). Returns an empty
+/// string for an empty series or zero width.
+///
+/// ```
+/// use agentnet_engine::plot::sparkline;
+/// use agentnet_engine::TimeSeries;
+/// let s: TimeSeries = (0..32).map(|i| i as f64).collect();
+/// let line = sparkline(&s, 8);
+/// assert_eq!(line.chars().count(), 8);
+/// assert!(line.starts_with('▁') && line.ends_with('█'));
+/// ```
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    let values = series.values();
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let resampled = resample(values, width);
+    let (lo, hi) = bounds(&resampled);
+    let span = (hi - lo).max(f64::EPSILON);
+    resampled
+        .iter()
+        .map(|v| {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            SPARKS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// Renders a multi-line block chart (`height` rows by up to `width`
+/// columns) with a `y`-axis legend of the value range. Returns an empty
+/// string for an empty series or degenerate dimensions.
+///
+/// ```
+/// use agentnet_engine::plot::chart;
+/// use agentnet_engine::TimeSeries;
+/// let s: TimeSeries = (0..20).map(|i| (i as f64).sin().abs()).collect();
+/// let art = chart(&s, 20, 4);
+/// assert_eq!(art.lines().count(), 4);
+/// ```
+pub fn chart(series: &TimeSeries, width: usize, height: usize) -> String {
+    let values = series.values();
+    if values.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let resampled = resample(values, width);
+    // Label with the *original* series' range: bucket averaging shrinks
+    // extrema and would make the axis lie.
+    let (lo, hi) = bounds(values);
+    let span = (hi - lo).max(f64::EPSILON);
+    let mut rows = Vec::with_capacity(height);
+    for row in 0..height {
+        // Row 0 is the top of the chart.
+        let upper = 1.0 - row as f64 / height as f64;
+        let lower = 1.0 - (row + 1) as f64 / height as f64;
+        let label = if row == 0 {
+            format!("{hi:>8.3} ")
+        } else if row == height - 1 {
+            format!("{lo:>8.3} ")
+        } else {
+            " ".repeat(9)
+        };
+        let mut line = label;
+        for v in &resampled {
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            line.push(if t >= upper {
+                '█'
+            } else if t > lower {
+                // Partial fill of this row.
+                let frac = (t - lower) * height as f64;
+                SPARKS[((frac * 7.0).round() as usize).min(7)]
+            } else {
+                ' '
+            });
+        }
+        rows.push(line);
+    }
+    rows.join("\n")
+}
+
+/// Averages `values` into at most `width` buckets.
+fn resample(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    (0..width)
+        .map(|i| {
+            let start = i * values.len() / width;
+            let end = (((i + 1) * values.len()) / width).max(start + 1);
+            let bucket = &values[start..end];
+            bucket.iter().sum::<f64>() / bucket.len() as f64
+        })
+        .collect()
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn sparkline_empty_and_zero_width() {
+        assert_eq!(sparkline(&TimeSeries::new(), 10), "");
+        assert_eq!(sparkline(&series(&[1.0]), 0), "");
+    }
+
+    #[test]
+    fn sparkline_short_series_is_not_resampled() {
+        let line = sparkline(&series(&[0.0, 1.0]), 10);
+        assert_eq!(line.chars().count(), 2);
+        assert_eq!(line, "▁█");
+    }
+
+    #[test]
+    fn sparkline_monotone_series_is_monotone() {
+        let s: TimeSeries = (0..100).map(|i| i as f64).collect();
+        let line: Vec<char> = sparkline(&s, 10).chars().collect();
+        assert!(line.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sparkline_flat_series_renders_uniformly() {
+        let line = sparkline(&series(&[5.0; 16]), 8);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars.len(), 8);
+        assert!(chars.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn chart_dimensions_and_labels() {
+        let s: TimeSeries = (0..50).map(|i| i as f64 / 49.0).collect();
+        let art = chart(&s, 30, 5);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].trim_start().starts_with("1.000"));
+        assert!(lines[4].trim_start().starts_with("0.000"));
+    }
+
+    #[test]
+    fn chart_empty_inputs() {
+        assert_eq!(chart(&TimeSeries::new(), 10, 5), "");
+        assert_eq!(chart(&series(&[1.0]), 0, 5), "");
+        assert_eq!(chart(&series(&[1.0]), 5, 0), "");
+    }
+
+    #[test]
+    fn resample_preserves_mean_roughly() {
+        let values: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let r = resample(&values, 10);
+        assert_eq!(r.len(), 10);
+        let mean_in = values.iter().sum::<f64>() / values.len() as f64;
+        let mean_out = r.iter().sum::<f64>() / r.len() as f64;
+        assert!((mean_in - mean_out).abs() < 0.5);
+    }
+}

@@ -1,0 +1,226 @@
+//! The time-step simulation driver.
+//!
+//! Both of the paper's studies use a "simple discrete event, time-step based
+//! simulation": every simulated step, every agent performs its four-phase
+//! update. [`TimeStepSim`] abstracts "one step of simulated time";
+//! [`run_until`] drives a simulation to completion or a step budget.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in whole time steps.
+///
+/// ```
+/// use agentnet_engine::Step;
+/// let t = Step::new(10) + Step::new(5);
+/// assert_eq!(t.as_u64(), 15);
+/// assert!(t > Step::ZERO);
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Step(u64);
+
+impl Step {
+    /// Time zero.
+    pub const ZERO: Step = Step(0);
+
+    /// Creates a step count.
+    #[inline]
+    pub const fn new(steps: u64) -> Self {
+        Step(steps)
+    }
+
+    /// The raw step count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The step count as `f64` (for plotting / statistics).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The next step.
+    #[inline]
+    pub fn next(self) -> Step {
+        Step(self.0 + 1)
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn since(self, earlier: Step) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add for Step {
+    type Output = Step;
+    fn add(self, rhs: Step) -> Step {
+        Step(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Step {
+    fn add_assign(&mut self, rhs: Step) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Step {
+    type Output = Step;
+    fn sub(self, rhs: Step) -> Step {
+        Step(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Step {
+    fn from(value: u64) -> Self {
+        Step(value)
+    }
+}
+
+impl From<Step> for u64 {
+    fn from(value: Step) -> Self {
+        value.0
+    }
+}
+
+/// One simulation advanced in discrete time steps.
+///
+/// Implementors perform *all* per-step work in [`TimeStepSim::step`]; the
+/// driver queries [`TimeStepSim::is_done`] *before* each step, so a
+/// simulation that starts in a done state runs zero steps.
+pub trait TimeStepSim {
+    /// Advances the simulation by one time step. `now` is the index of the
+    /// step being executed, starting from 0.
+    fn step(&mut self, now: Step);
+
+    /// Returns `true` once the simulation has reached its terminal
+    /// condition (e.g. every agent holds a perfect map). Simulations that
+    /// run for a fixed horizon may simply return `false` and rely on the
+    /// driver's step budget.
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+/// Outcome of [`run_until`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Number of steps actually executed.
+    pub steps: Step,
+    /// `true` if the simulation reported [`TimeStepSim::is_done`] within
+    /// the budget, `false` if the budget expired first.
+    pub finished: bool,
+}
+
+/// Runs `sim` until it reports done or `max_steps` steps have executed.
+///
+/// Returns how many steps ran and whether the simulation finished. The
+/// paper's *finishing time* metric is exactly `outcome.steps` of a run with
+/// `finished == true`.
+pub fn run_until<S: TimeStepSim + ?Sized>(sim: &mut S, max_steps: Step) -> RunOutcome {
+    let mut now = Step::ZERO;
+    while now < max_steps {
+        if sim.is_done() {
+            return RunOutcome { steps: now, finished: true };
+        }
+        sim.step(now);
+        now = now.next();
+    }
+    RunOutcome { steps: now, finished: sim.is_done() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Upto {
+        ticks: u64,
+        done_at: u64,
+        seen: Vec<u64>,
+    }
+
+    impl TimeStepSim for Upto {
+        fn step(&mut self, now: Step) {
+            self.seen.push(now.as_u64());
+            self.ticks += 1;
+        }
+        fn is_done(&self) -> bool {
+            self.ticks >= self.done_at
+        }
+    }
+
+    #[test]
+    fn step_arithmetic() {
+        assert_eq!(Step::new(3) + Step::new(4), Step::new(7));
+        assert_eq!(Step::new(4) - Step::new(3), Step::new(1));
+        assert_eq!(Step::new(3) - Step::new(4), Step::ZERO);
+        assert_eq!(Step::new(9).since(Step::new(4)), 5);
+        assert_eq!(Step::new(4).since(Step::new(9)), 0);
+        let mut s = Step::ZERO;
+        s += Step::new(2);
+        assert_eq!(s, Step::new(2));
+        assert_eq!(Step::new(5).next(), Step::new(6));
+    }
+
+    #[test]
+    fn step_display_and_conversions() {
+        assert_eq!(Step::new(12).to_string(), "t12");
+        assert_eq!(u64::from(Step::from(3u64)), 3);
+        assert_eq!(Step::new(2).as_f64(), 2.0);
+    }
+
+    #[test]
+    fn run_until_stops_at_done() {
+        let mut sim = Upto { ticks: 0, done_at: 5, seen: vec![] };
+        let out = run_until(&mut sim, Step::new(100));
+        assert!(out.finished);
+        assert_eq!(out.steps, Step::new(5));
+        assert_eq!(sim.seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn run_until_respects_budget() {
+        let mut sim = Upto { ticks: 0, done_at: 1000, seen: vec![] };
+        let out = run_until(&mut sim, Step::new(10));
+        assert!(!out.finished);
+        assert_eq!(out.steps, Step::new(10));
+    }
+
+    #[test]
+    fn run_until_zero_budget_runs_nothing() {
+        let mut sim = Upto { ticks: 0, done_at: 1, seen: vec![] };
+        let out = run_until(&mut sim, Step::ZERO);
+        assert_eq!(out.steps, Step::ZERO);
+        assert!(!out.finished);
+        assert!(sim.seen.is_empty());
+    }
+
+    #[test]
+    fn run_until_already_done_runs_nothing() {
+        let mut sim = Upto { ticks: 5, done_at: 5, seen: vec![] };
+        let out = run_until(&mut sim, Step::new(10));
+        assert!(out.finished);
+        assert_eq!(out.steps, Step::ZERO);
+    }
+
+    #[test]
+    fn budget_boundary_reports_finished_if_done_exactly_at_budget() {
+        let mut sim = Upto { ticks: 0, done_at: 10, seen: vec![] };
+        let out = run_until(&mut sim, Step::new(10));
+        assert!(out.finished);
+        assert_eq!(out.steps, Step::new(10));
+    }
+}

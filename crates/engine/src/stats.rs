@@ -1,0 +1,185 @@
+//! Summary statistics over replicate runs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary of a sample: count, mean, sample standard deviation, extrema and
+/// a normal-approximation 95 % confidence half-width on the mean.
+///
+/// The paper reports "numbers averaged over a set of 40 different runs";
+/// `Summary` is what every experiment in this workspace reports per
+/// parameter setting.
+///
+/// ```
+/// use agentnet_engine::Summary;
+/// let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert_eq!(s.n, 8);
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.min, 2.0);
+/// assert_eq!(s.max, 9.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub std: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Half-width of the 95 % confidence interval on the mean
+    /// (`1.96 * std / sqrt(n)`; 0 for a single sample).
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty sample. Returns `None` for an empty iterator.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Option<Summary> {
+        let values: Vec<f64> = samples.into_iter().collect();
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std = var.sqrt();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in &values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let ci95 = if n > 1 { 1.96 * std / (n as f64).sqrt() } else { 0.0 };
+        Some(Summary { n, mean, std, min, max, ci95 })
+    }
+
+    /// `mean ± ci95` as a compact string, e.g. `"0.873 ± 0.012"`.
+    pub fn mean_ci_string(&self, decimals: usize) -> String {
+        format!("{:.d$} ± {:.d$}", self.mean, self.ci95, d = decimals)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} max={:.4} ci95={:.4}",
+            self.n, self.mean, self.std, self.min, self.max, self.ci95
+        )
+    }
+}
+
+/// Mean of an iterator of samples; `None` when empty.
+pub fn mean(samples: impl IntoIterator<Item = f64>) -> Option<f64> {
+    Summary::from_samples(samples).map(|s| s.mean)
+}
+
+/// The `p`-th percentile (`0.0..=1.0`) of a sample, with linear
+/// interpolation between order statistics. Returns `None` for an empty
+/// sample or `p` outside `[0, 1]`.
+///
+/// ```
+/// use agentnet_engine::stats::percentile;
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&data, 0.0), Some(1.0));
+/// assert_eq!(percentile(&data, 0.5), Some(2.5));
+/// assert_eq!(percentile(&data, 1.0), Some(4.0));
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Median of a sample (`percentile(_, 0.5)`).
+pub fn median(samples: &[f64]) -> Option<f64> {
+    percentile(samples, 0.5)
+}
+
+/// Relative change `(b - a) / a`, e.g. a speed-up when `a` and `b` are
+/// finishing times. Returns `None` if `a` is zero.
+pub fn relative_change(a: f64, b: f64) -> Option<f64> {
+    if a == 0.0 {
+        None
+    } else {
+        Some((b - a) / a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::from_samples(std::iter::empty()).is_none());
+        assert!(mean(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::from_samples([3.5]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+    }
+
+    #[test]
+    fn known_sample_statistics() {
+        let s = Summary::from_samples([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.std - 2.138089935).abs() < 1e-6);
+        assert!((s.ci95 - 1.96 * s.std / 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_helper_matches_summary() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn relative_change_basic() {
+        assert_eq!(relative_change(100.0, 90.0), Some(-0.1));
+        assert_eq!(relative_change(0.0, 5.0), None);
+    }
+
+    #[test]
+    fn percentile_interpolates_and_bounds() {
+        let data = [5.0, 1.0, 3.0]; // unsorted on purpose
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 0.5), Some(3.0));
+        assert_eq!(percentile(&data, 1.0), Some(5.0));
+        assert_eq!(percentile(&data, 0.25), Some(2.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&data, 1.5), None);
+        assert_eq!(median(&data), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn display_and_ci_string() {
+        let s = Summary::from_samples([1.0, 3.0]).unwrap();
+        assert!(s.to_string().contains("n=2"));
+        assert_eq!(s.mean_ci_string(1), format!("{:.1} ± {:.1}", 2.0, s.ci95));
+    }
+}

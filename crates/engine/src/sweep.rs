@@ -1,0 +1,118 @@
+//! Parameter sweeps.
+//!
+//! The paper varies "types of agents, population size and history size ...
+//! independently". A [`Sweep`] runs one closure per parameter value and
+//! collects labelled rows ready for [`crate::table::Table`].
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// One labelled outcome of a sweep: the parameter value (as a string,
+/// so heterogeneous sweeps print uniformly) and the replicate summary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The swept parameter's display value (e.g. `"15"` agents).
+    pub param: String,
+    /// Summary of the replicate samples at this parameter value.
+    pub summary: Summary,
+}
+
+/// Result of sweeping a parameter: a named parameter axis and its rows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Name of the swept parameter (e.g. `"population"`).
+    pub param_name: String,
+    /// Name of the measured quantity (e.g. `"finishing time"`).
+    pub metric_name: String,
+    /// One row per parameter value, in sweep order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl Sweep {
+    /// Runs `measure` once per value in `values`, collecting a summary per
+    /// value.
+    ///
+    /// `measure` returns the replicate [`Summary`] for that parameter value
+    /// (typically via [`crate::replicate::replicate_summary`]).
+    ///
+    /// ```
+    /// use agentnet_engine::sweep::Sweep;
+    /// use agentnet_engine::Summary;
+    /// let sweep = Sweep::run("population", "finish", [1, 5, 15], |&p| {
+    ///     Summary::from_samples([p as f64 * 2.0]).unwrap()
+    /// });
+    /// assert_eq!(sweep.means(), vec![2.0, 10.0, 30.0]);
+    /// assert_eq!(sweep.best_by_min_mean().unwrap().param, "1");
+    /// ```
+    pub fn run<P, F>(
+        param_name: impl Into<String>,
+        metric_name: impl Into<String>,
+        values: impl IntoIterator<Item = P>,
+        mut measure: F,
+    ) -> Sweep
+    where
+        P: std::fmt::Display,
+        F: FnMut(&P) -> Summary,
+    {
+        let rows = values
+            .into_iter()
+            .map(|p| {
+                let summary = measure(&p);
+                SweepRow { param: p.to_string(), summary }
+            })
+            .collect();
+        Sweep { param_name: param_name.into(), metric_name: metric_name.into(), rows }
+    }
+
+    /// The row whose summary mean is smallest (e.g. the fastest finishing
+    /// time), or `None` for an empty sweep.
+    pub fn best_by_min_mean(&self) -> Option<&SweepRow> {
+        self.rows
+            .iter()
+            .min_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
+    }
+
+    /// The row whose summary mean is largest (e.g. the best connectivity).
+    pub fn best_by_max_mean(&self) -> Option<&SweepRow> {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
+    }
+
+    /// Means in sweep order (convenient for shape assertions in tests).
+    pub fn means(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.summary.mean).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary_of(v: f64) -> Summary {
+        Summary::from_samples([v, v]).unwrap()
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_labels() {
+        let s = Sweep::run("population", "finish", [1, 5, 15], |&p| summary_of(p as f64));
+        assert_eq!(s.rows.len(), 3);
+        assert_eq!(s.rows[0].param, "1");
+        assert_eq!(s.rows[2].param, "15");
+        assert_eq!(s.means(), vec![1.0, 5.0, 15.0]);
+    }
+
+    #[test]
+    fn best_rows() {
+        let s = Sweep::run("h", "conn", [3, 1, 2], |&p| summary_of(p as f64));
+        assert_eq!(s.best_by_min_mean().unwrap().param, "1");
+        assert_eq!(s.best_by_max_mean().unwrap().param, "3");
+    }
+
+    #[test]
+    fn empty_sweep_has_no_best() {
+        let s = Sweep::run("x", "y", Vec::<u32>::new(), |_| unreachable!());
+        assert!(s.best_by_min_mean().is_none());
+        assert!(s.best_by_max_mean().is_none());
+    }
+}

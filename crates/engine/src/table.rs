@@ -1,0 +1,198 @@
+//! Result tables: markdown, CSV and JSON emission.
+//!
+//! Every experiment prints "the same rows/series the paper reports" through
+//! this type, so the repro binary, the benches and EXPERIMENTS.md all share
+//! one formatter.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A rectangular table of strings with a header row.
+///
+/// ```
+/// use agentnet_engine::table::Table;
+/// let mut t = Table::new(["agent", "finish"]);
+/// t.push_row(["random", "8000"]);
+/// t.push_row(["conscientious", "3000"]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| agent"));
+/// assert!(md.contains("| conscientious | 3000"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a GitHub-flavoured markdown table with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {cell:<w$} |");
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas, quotes or
+    /// newlines are quoted; embedded quotes doubled).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let mut write_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers);
+        for row in &self.rows {
+            write_row(row);
+        }
+        out
+    }
+
+    /// Renders a JSON array of objects keyed by header.
+    pub fn to_json(&self) -> serde_json::Value {
+        let objects: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let map: serde_json::Map<String, serde_json::Value> = self
+                    .headers
+                    .iter()
+                    .cloned()
+                    .zip(row.iter().map(|c| serde_json::Value::String(c.clone())))
+                    .collect();
+                serde_json::Value::Object(map)
+            })
+            .collect();
+        serde_json::Value::Array(objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["1", "x"]);
+        t.push_row(["22", "yy"]);
+        t
+    }
+
+    #[test]
+    fn markdown_has_separator_and_alignment() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].starts_with("| 1 "));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(["v"]);
+        t.push_row(["a,b"]);
+        t.push_row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().next(), Some("a,b"));
+        assert_eq!(csv.lines().nth(1), Some("1,x"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let json = sample().to_json();
+        assert_eq!(json[1]["a"], "22");
+        assert_eq!(json.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["h"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.to_markdown().lines().count(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-step metric recording.
+
+use crate::sim::Step;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A metric sampled once per simulation step (step `i` is index `i`).
+///
+/// The routing study's headline number is "the average fraction of
+/// connectivity for all nodes from time 150 to 300" — i.e.
+/// [`TimeSeries::window_mean`] over `150..300`.
+///
+/// ```
+/// use agentnet_engine::TimeSeries;
+/// let mut s = TimeSeries::new();
+/// for v in [0.0, 0.5, 1.0, 1.0] { s.record(v); }
+/// assert_eq!(s.len(), 4);
+/// assert_eq!(s.window_mean(2..4), Some(1.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { values: Vec::new() }
+    }
+
+    /// Creates an empty series with capacity for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        TimeSeries { values: Vec::with_capacity(n) }
+    }
+
+    /// Appends the sample for the next step.
+    pub fn record(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The sample at `step`, if recorded.
+    pub fn get(&self, step: Step) -> Option<f64> {
+        self.values.get(step.as_u64() as usize).copied()
+    }
+
+    /// All samples in step order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mean over the half-open step range, or `None` if the range is empty
+    /// or extends past the recorded data.
+    pub fn window_mean(&self, range: Range<usize>) -> Option<f64> {
+        if range.is_empty() || range.end > self.values.len() {
+            return None;
+        }
+        let slice = &self.values[range.clone()];
+        Some(slice.iter().sum::<f64>() / slice.len() as f64)
+    }
+
+    /// Sample standard deviation over the half-open step range (`None` for
+    /// windows of fewer than two samples or out-of-range windows).
+    pub fn window_std(&self, range: Range<usize>) -> Option<f64> {
+        if range.len() < 2 || range.end > self.values.len() {
+            return None;
+        }
+        let slice = &self.values[range];
+        let mean = slice.iter().sum::<f64>() / slice.len() as f64;
+        let var =
+            slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (slice.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// First step index at which the series reaches `threshold`
+    /// (`values[i] >= threshold`), or `None` if it never does.
+    pub fn first_reaching(&self, threshold: f64) -> Option<Step> {
+        self.values
+            .iter()
+            .position(|&v| v >= threshold)
+            .map(|i| Step::new(i as u64))
+    }
+
+    /// Element-wise mean of several equal-length series (used to average
+    /// knowledge-over-time curves across the paper's 40 replicate runs).
+    ///
+    /// Series shorter than the longest are treated as holding their final
+    /// value afterwards (a finished mapping run stays at knowledge = 1).
+    /// Returns an empty series when `series` is empty or all-empty.
+    pub fn mean_of(series: &[TimeSeries]) -> TimeSeries {
+        let longest = series.iter().map(|s| s.len()).max().unwrap_or(0);
+        if longest == 0 {
+            return TimeSeries::new();
+        }
+        let nonempty: Vec<&TimeSeries> = series.iter().filter(|s| !s.is_empty()).collect();
+        let mut out = TimeSeries::with_capacity(longest);
+        for i in 0..longest {
+            let sum: f64 = nonempty
+                .iter()
+                .map(|s| s.values[i.min(s.len() - 1)])
+                .sum();
+            out.record(sum / nonempty.len() as f64);
+        }
+        out
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        TimeSeries { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[f64]) -> TimeSeries {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn record_and_get() {
+        let mut s = TimeSeries::new();
+        assert!(s.is_empty());
+        s.record(0.25);
+        s.record(0.75);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(Step::new(1)), Some(0.75));
+        assert_eq!(s.get(Step::new(2)), None);
+    }
+
+    #[test]
+    fn window_mean_basic() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.window_mean(0..4), Some(2.5));
+        assert_eq!(s.window_mean(1..3), Some(2.5));
+    }
+
+    #[test]
+    fn window_mean_rejects_bad_ranges() {
+        let s = series(&[1.0, 2.0]);
+        assert_eq!(s.window_mean(0..0), None);
+        assert_eq!(s.window_mean(0..3), None);
+    }
+
+    #[test]
+    fn window_std_constant_is_zero() {
+        let s = series(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.window_std(0..3), Some(0.0));
+        assert_eq!(s.window_std(0..1), None);
+    }
+
+    #[test]
+    fn first_reaching_finds_threshold() {
+        let s = series(&[0.1, 0.4, 0.9, 1.0]);
+        assert_eq!(s.first_reaching(0.9), Some(Step::new(2)));
+        assert_eq!(s.first_reaching(1.1), None);
+        assert_eq!(s.first_reaching(0.0), Some(Step::ZERO));
+    }
+
+    #[test]
+    fn mean_of_equal_lengths() {
+        let m = TimeSeries::mean_of(&[series(&[0.0, 1.0]), series(&[1.0, 1.0])]);
+        assert_eq!(m.values(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_of_extends_short_series_with_final_value() {
+        // A run that finished at step 1 holds its last value while the
+        // longer run continues.
+        let m = TimeSeries::mean_of(&[series(&[0.5, 1.0]), series(&[0.0, 0.0, 1.0])]);
+        assert_eq!(m.values(), &[0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_input() {
+        assert!(TimeSeries::mean_of(&[]).is_empty());
+        assert!(TimeSeries::mean_of(&[TimeSeries::new()]).is_empty());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = series(&[1.0]);
+        s.extend([2.0, 3.0]);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+}

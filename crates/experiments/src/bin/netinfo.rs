@@ -1,0 +1,145 @@
+//! `netinfo` — diagnostics for generated wireless topologies.
+//!
+//! ```text
+//! netinfo [--nodes N] [--edges E] [--seed S] [--gateways G] [--steps T]
+//! ```
+//!
+//! Generates the seeded topology the experiments run on and prints its
+//! structural profile: degree distribution, symmetry, strong
+//! connectivity, diameter, and (with gateways) reachability over a
+//! simulated horizon. Useful when porting the experiments to other
+//! network shapes.
+
+use agentnet_engine::stats::{percentile, Summary};
+use agentnet_engine::table::Table;
+use agentnet_graph::connectivity::{is_strongly_connected, strongly_connected_components};
+use agentnet_graph::paths::diameter;
+use agentnet_graph::DiGraph;
+use agentnet_radio::NetworkBuilder;
+
+struct Args {
+    nodes: usize,
+    edges: usize,
+    seed: u64,
+    gateways: usize,
+    steps: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { nodes: 300, edges: 2164, seed: 42, gateways: 0, steps: 0 };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut next = |name: &str| {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--nodes" => args.nodes = next("--nodes").parse().expect("integer"),
+            "--edges" => args.edges = next("--edges").parse().expect("integer"),
+            "--seed" => args.seed = next("--seed").parse().expect("integer"),
+            "--gateways" => args.gateways = next("--gateways").parse().expect("integer"),
+            "--steps" => args.steps = next("--steps").parse().expect("integer"),
+            _ => {
+                eprintln!(
+                    "usage: netinfo [--nodes N] [--edges E] [--seed S] [--gateways G] [--steps T]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn degree_row(name: &str, degrees: &[f64]) -> [String; 5] {
+    let s = Summary::from_samples(degrees.iter().copied()).expect("nonempty graph");
+    [
+        name.to_string(),
+        format!("{:.2}", s.mean),
+        format!("{:.0}", percentile(degrees, 0.5).unwrap()),
+        format!("{:.0}", percentile(degrees, 0.9).unwrap()),
+        format!("{:.0}", s.max),
+    ]
+}
+
+fn print_graph_profile(graph: &DiGraph) {
+    let out_degrees: Vec<f64> = graph.nodes().map(|v| graph.out_degree(v) as f64).collect();
+    let in_degrees: Vec<f64> = graph.nodes().map(|v| graph.in_degree(v) as f64).collect();
+
+    let mut table = Table::new(["metric", "value"]);
+    table.push_row(["nodes", &graph.node_count().to_string()]);
+    table.push_row(["directed edges", &graph.edge_count().to_string()]);
+    table.push_row(["density", &format!("{:.4}", graph.density())]);
+    let sym = graph
+        .edges()
+        .filter(|e| graph.has_edge(e.to, e.from))
+        .count();
+    table.push_row([
+        "bidirectional edge fraction",
+        &format!("{:.3}", sym as f64 / graph.edge_count().max(1) as f64),
+    ]);
+    table.push_row([
+        "strongly connected",
+        &is_strongly_connected(graph).to_string(),
+    ]);
+    table.push_row([
+        "strongly connected components",
+        &strongly_connected_components(graph).len().to_string(),
+    ]);
+    table.push_row([
+        "directed diameter",
+        &diameter(graph).map_or("∞ (not strongly connected)".into(), |d| d.to_string()),
+    ]);
+    println!("{}", table.to_markdown());
+
+    let mut table = Table::new(["degree", "mean", "p50", "p90", "max"]);
+    table.push_row(degree_row("out", &out_degrees));
+    table.push_row(degree_row("in", &in_degrees));
+    println!("{}", table.to_markdown());
+}
+
+fn main() {
+    let args = parse_args();
+    let mut builder = NetworkBuilder::new(args.nodes)
+        .target_edges(args.edges)
+        .gateways(args.gateways)
+        .min_initial_reachability(if args.gateways > 0 { 0.9 } else { 0.0 });
+    if args.gateways == 0 {
+        builder = builder.mobile_fraction(0.0);
+    }
+    let mut net = match builder.build(args.seed) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("failed to build network: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "# netinfo — {} nodes, target {} edges, seed {}\n",
+        args.nodes, args.edges, args.seed
+    );
+    print_graph_profile(net.links());
+
+    if args.gateways > 0 {
+        println!(
+            "gateway reachability at t=0: {:.3}",
+            net.reachability_upper_bound()
+        );
+    }
+    if args.steps > 0 {
+        let mut series = Vec::new();
+        for _ in 0..args.steps {
+            net.advance();
+            series.push(net.reachability_upper_bound());
+        }
+        let s = Summary::from_samples(series.iter().copied()).expect("steps > 0");
+        println!(
+            "reachability over {} steps: mean {:.3} min {:.3} max {:.3}",
+            args.steps, s.mean, s.min, s.max
+        );
+        println!("\nfinal-topology profile after {} steps:\n", args.steps);
+        print_graph_profile(net.links());
+    }
+}

@@ -1,0 +1,127 @@
+//! `repro` — regenerate every table/figure of the paper.
+//!
+//! ```text
+//! repro [--full] [--json FILE] [--out DIR] [--list] [EXPERIMENT_ID ...]
+//! ```
+//!
+//! Without ids, runs the whole registry. `--full` uses the paper's 40
+//! replicates per setting (default is a quick 8-replicate pass).
+//! `--json FILE` additionally writes machine-readable results and
+//! `--out DIR` writes one CSV per experiment.
+
+use agentnet_experiments::{registry, Mode};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--full] [--json FILE] [--out DIR] [--list] [EXPERIMENT_ID ...]");
+    eprintln!("experiments:");
+    for e in registry::all() {
+        eprintln!("  {:<16} {}", e.id, e.title);
+    }
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Quick;
+    let mut json_path: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => mode = Mode::Full,
+            "--quick" => mode = Mode::Quick,
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => usage(),
+            },
+            "--out" => match args.next() {
+                Some(dir) => out_dir = Some(dir),
+                None => usage(),
+            },
+            "--list" => {
+                for e in registry::all() {
+                    println!("{:<16} {}", e.id, e.title);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let experiments: Vec<_> = if ids.is_empty() {
+        registry::all()
+    } else {
+        ids.iter()
+            .map(|id| registry::by_id(id).unwrap_or_else(|| {
+                eprintln!("unknown experiment id: {id}");
+                usage()
+            }))
+            .collect()
+    };
+
+    println!(
+        "# agentnet repro — {} mode ({} replicates per setting)\n",
+        if mode == Mode::Full { "full" } else { "quick" },
+        mode.runs()
+    );
+
+    let mut reports = Vec::new();
+    let mut failures = 0usize;
+    for exp in &experiments {
+        eprintln!("running {} ...", exp.id);
+        let started = std::time::Instant::now();
+        let report = (exp.run)(mode);
+        let secs = started.elapsed().as_secs_f64();
+        if !report.passed() {
+            failures += 1;
+        }
+        println!("{}", report.to_markdown());
+        println!("_elapsed: {secs:.1}s_\n");
+        if let Some(dir) = &out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("failed to create {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let path = format!("{dir}/{}.csv", report.id);
+            if let Err(e) = std::fs::write(&path, report.table.to_csv()) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        reports.push(report);
+    }
+
+    println!("---\n## Summary\n");
+    for r in &reports {
+        println!("- {}: **{}** — {}", r.id, if r.passed() { "PASS" } else { "FAIL" }, r.title);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::json!({
+            "mode": if mode == Mode::Full { "full" } else { "quick" },
+            "reports": reports.iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+        });
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                if let Err(e) = writeln!(f, "{}", serde_json::to_string_pretty(&json).unwrap()) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) had failing shape claims");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,327 @@
+//! Extension and ablation experiments (E12–E14 in DESIGN.md).
+
+use crate::report::{Claim, ExperimentReport};
+use crate::{routing_connectivity, Mode, TOPOLOGY_SEED};
+use agentnet_core::policy::{RoutingPolicy, TieBreak};
+use agentnet_core::routing::RoutingConfig;
+use agentnet_engine::table::Table;
+use agentnet_radio::{BatteryModel, BatteryState, NetworkBuilder, WirelessNetwork};
+
+/// E12 — the paper's stated future work: "employing indirect
+/// communication, stigmergy, in dynamic routing ... we strongly believe
+/// stigmergy can improve the agents performance effectively."
+///
+/// Footprints repel followers, so they break exactly the chasing that
+/// direct communication induces in oldest-node agents (Fig. 11).
+pub fn ext_stigroute(mode: Mode) -> ExperimentReport {
+    let base = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
+    let plain = routing_connectivity(&base, mode, 1200);
+    let stig = routing_connectivity(&base.clone().stigmergic(true), mode, 1201);
+    let comm = routing_connectivity(&base.clone().communication(true), mode, 1202);
+    let comm_stig = routing_connectivity(
+        &base.clone().communication(true).stigmergic(true),
+        mode,
+        1203,
+    );
+    let mut table = Table::new(["variant", "connectivity"]);
+    table.push_row(["oldest-node", &plain.mean_ci_string(3)]);
+    table.push_row(["oldest-node + stigmergy", &stig.mean_ci_string(3)]);
+    table.push_row(["oldest-node + visiting", &comm.mean_ci_string(3)]);
+    table.push_row(["oldest-node + visiting + stigmergy", &comm_stig.mean_ci_string(3)]);
+    let claims = vec![
+        Claim::new(
+            "stigmergy recovers the connectivity lost to visiting",
+            format!(
+                "visiting {:.3} -> visiting+stigmergy {:.3} (plain {:.3})",
+                comm.mean, comm_stig.mean, plain.mean
+            ),
+            comm_stig.mean > comm.mean && comm_stig.mean >= plain.mean * 0.95,
+        ),
+        Claim::new(
+            "stigmergy does not hurt the non-visiting baseline",
+            format!("{:.3} vs {:.3}", stig.mean, plain.mean),
+            stig.mean >= plain.mean * 0.95,
+        ),
+    ];
+    ExperimentReport {
+        id: "ext-stigroute".into(),
+        title: "stigmergic dynamic routing (paper future work)".into(),
+        paper_claim: "stigmergy should effectively improve routing agents".into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// E13 — tie-breaking ablation. The paper suggests randomness as the fix
+/// for meeting-induced herding ("use randomness in wandering for the
+/// oldest-node agents like what N. Minar did for super-conscientious
+/// agents"). We compare three rules:
+///
+/// * `hashed` (default) — deterministic given the agent's knowledge:
+///   reproduces the paper's chasing after meetings;
+/// * `random` — the paper's fix: the chasing penalty disappears;
+/// * `lowest-id` — globally-biased determinism: herds catastrophically
+///   even *without* meetings.
+pub fn ext_tiebreak(mode: Mode) -> ExperimentReport {
+    let variants = [
+        ("hashed", TieBreak::Hashed),
+        ("random", TieBreak::Random),
+        ("lowest-id", TieBreak::LowestId),
+    ];
+    let mut table = Table::new(["tie-break", "no visiting", "visiting", "penalty"]);
+    let mut results = Vec::new();
+    for (i, (name, tie)) in variants.iter().enumerate() {
+        let base = RoutingConfig::new(RoutingPolicy::OldestNode, 100).tie_break(*tie);
+        let plain = routing_connectivity(&base, mode, 1300 + 2 * i as u64);
+        let comm =
+            routing_connectivity(&base.clone().communication(true), mode, 1301 + 2 * i as u64);
+        table.push_row([
+            name.to_string(),
+            plain.mean_ci_string(3),
+            comm.mean_ci_string(3),
+            format!("{:+.3}", comm.mean - plain.mean),
+        ]);
+        results.push((*name, plain.mean, comm.mean));
+    }
+    let hashed = results[0];
+    let random = results[1];
+    let lowest = results[2];
+    let claims = vec![
+        Claim::new(
+            "randomized tie-breaking removes most of the visiting penalty",
+            format!(
+                "penalty {:.3} under hashed vs {:.3} under random",
+                hashed.1 - hashed.2,
+                random.1 - random.2
+            ),
+            (random.1 - random.2) < 0.5 * (hashed.1 - hashed.2),
+        ),
+        Claim::new(
+            "globally-biased determinism (lowest-id) collapses the baseline",
+            format!("{:.3} vs {:.3} under hashed", lowest.1, hashed.1),
+            lowest.1 < 0.6 * hashed.1,
+        ),
+    ];
+    ExperimentReport {
+        id: "ext-tiebreak".into(),
+        title: "tie-breaking ablation for oldest-node routing".into(),
+        paper_claim: "adding randomness to decisions disperses agents (paper §III.F)".into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// Builds a stationary 300-node wireless network in which `fraction` of
+/// the nodes run on decaying batteries (the mapping study's "degradation
+/// on a percentage of radio links due to rely on battery power").
+fn degradable_network(fraction: f64, seed: u64) -> WirelessNetwork {
+    let net = NetworkBuilder::new(300)
+        .mobile_fraction(0.0)
+        .target_edges(2164)
+        .min_initial_reachability(0.0)
+        .build(seed)
+        .expect("degradation network must build");
+    let arena = net.arena();
+    let count = (net.node_count() as f64 * fraction).round() as usize;
+    let nodes = net
+        .nodes()
+        .iter()
+        .cloned()
+        .map(|mut node| {
+            // Deterministically mark the first `count` ids battery-powered.
+            if node.id.index() < count {
+                node.battery = BatteryState::new(BatteryModel::Linear {
+                    per_step: 0.5 / 300.0,
+                    floor: 0.3,
+                });
+            }
+            node
+        })
+        .collect();
+    WirelessNetwork::from_nodes(arena, nodes, seed)
+}
+
+/// E14 — link degradation in the mapping environment: battery decay
+/// invalidates a once-perfect map over time ("the topology knowledge of
+/// the network become invalid after awhile, such that we need to fire up
+/// the agents again").
+pub fn ext_degradation(_mode: Mode) -> ExperimentReport {
+    let horizon = 300u64;
+    let mut table = Table::new(["battery fraction", "edges lost by t=150", "edges lost by t=300"]);
+    let mut losses = Vec::new();
+    for &fraction in &[0.0f64, 0.15, 0.3, 0.6] {
+        let mut net = degradable_network(fraction, TOPOLOGY_SEED);
+        let initial = net.links().clone();
+        let mut lost_mid = 0usize;
+        let mut lost_end = 0usize;
+        for t in 1..=horizon {
+            net.advance();
+            let lost = initial
+                .edges()
+                .filter(|e| !net.links().has_edge(e.from, e.to))
+                .count();
+            if t == 150 {
+                lost_mid = lost;
+            }
+            if t == horizon {
+                lost_end = lost;
+            }
+        }
+        let total = initial.edge_count().max(1);
+        table.push_row([
+            format!("{fraction:.2}"),
+            format!("{:.1}%", 100.0 * lost_mid as f64 / total as f64),
+            format!("{:.1}%", 100.0 * lost_end as f64 / total as f64),
+        ]);
+        losses.push((fraction, lost_mid as f64 / total as f64, lost_end as f64 / total as f64));
+    }
+    let claims = vec![
+        Claim::new(
+            "without battery decay the map never goes stale",
+            format!("{:.1}% of edges lost", 100.0 * losses[0].2),
+            losses[0].2 == 0.0,
+        ),
+        Claim::new(
+            "staleness grows with time",
+            losses
+                .iter()
+                .skip(1)
+                .map(|l| format!("{:.0}%: {:.1}% -> {:.1}%", l.0 * 100.0, l.1 * 100.0, l.2 * 100.0))
+                .collect::<Vec<_>>()
+                .join("; "),
+            losses.iter().skip(1).all(|l| l.2 >= l.1),
+        ),
+        Claim::new(
+            "staleness grows with the battery-powered fraction",
+            format!(
+                "{:.1}% lost at fraction 0.15 vs {:.1}% at 0.6",
+                100.0 * losses[1].2,
+                100.0 * losses[3].2
+            ),
+            losses[3].2 > losses[1].2 && losses[1].2 > 0.0,
+        ),
+    ];
+    ExperimentReport {
+        id: "ext-degradation".into(),
+        title: "battery-driven link degradation invalidates a finished map".into(),
+        paper_claim:
+            "some links degrade over the network lifetime, so mapping must be re-fired \
+             periodically (§II.A)"
+                .into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// E20 — continuous mapping of a drifting topology: instead of
+/// re-firing agents from scratch when the map goes stale (§II.A), leave
+/// them running; first-hand refresh unlearns dead links while meetings
+/// keep spreading fresh ones. Measures the steady-state map accuracy a
+/// team sustains against continuous battery-driven link loss.
+pub fn ext_livemap(mode: Mode) -> ExperimentReport {
+    use agentnet_core::mapping::{MappingConfig, MappingSim};
+    use agentnet_core::policy::MappingPolicy;
+    use agentnet_engine::replicate::run_replicates;
+    use agentnet_engine::rng::SeedSequence;
+    use agentnet_engine::sim::{Step, TimeStepSim};
+    use agentnet_engine::Summary;
+
+    const STEPS: u64 = 400;
+    const WINDOW: std::ops::Range<usize> = 200..400;
+
+    let mut table =
+        Table::new(["population", "steady accuracy", "stale edges / agent"]);
+    let mut rows = Vec::new();
+    for (i, &pop) in [5usize, 15, 40].iter().enumerate() {
+        let seeds = SeedSequence::new(crate::MASTER_SEED).child(2000 + i as u64);
+        let results = run_replicates(mode.runs(), seeds, |_, s| {
+            // A stationary wireless field whose battery-powered nodes
+            // keep losing range: links die throughout the run.
+            let mut net = degradable_network(0.3, TOPOLOGY_SEED);
+            let config =
+                MappingConfig::new(MappingPolicy::Conscientious, pop).stigmergic(true);
+            let mut sim = MappingSim::new(net.links().clone(), config, s.seed())
+                .expect("valid mapping config");
+            let mut accuracy = Vec::new();
+            let mut stale = Vec::new();
+            for step in 0..STEPS {
+                net.advance();
+                sim.set_graph(net.links().clone());
+                sim.step(Step::new(step));
+                accuracy.push(sim.mean_accuracy());
+                stale.push(sim.mean_stale_edges());
+            }
+            let acc = accuracy[WINDOW].iter().sum::<f64>() / WINDOW.len() as f64;
+            let stl = stale[WINDOW].iter().sum::<f64>() / WINDOW.len() as f64;
+            (acc, stl)
+        });
+        let acc = Summary::from_samples(results.iter().map(|r| r.0)).expect("replicates ran");
+        let stl = Summary::from_samples(results.iter().map(|r| r.1)).expect("replicates ran");
+        table.push_row([pop.to_string(), acc.mean_ci_string(3), format!("{:.1}", stl.mean)]);
+        rows.push((pop, acc.mean, stl.mean));
+    }
+    let claims = vec![
+        Claim::new(
+            "a live team sustains a mostly accurate map against continuous drift",
+            format!("accuracy {:.3} at population 15, {:.3} at 40", rows[1].1, rows[2].1),
+            rows[1].1 > 0.75 && rows[2].1 > 0.95,
+        ),
+        Claim::new(
+            "more agents sustain a fresher map",
+            rows.iter()
+                .map(|r| format!("pop {}: {:.3}", r.0, r.1))
+                .collect::<Vec<_>>()
+                .join("; "),
+            rows[2].1 > rows[0].1,
+        ),
+        Claim::new(
+            "perfect knowledge is unattainable on a drifting topology",
+            format!("best accuracy {:.4} < 1", rows[2].1),
+            rows[2].1 < 0.9999,
+        ),
+        Claim::new(
+            "meetings spread stale knowledge: stale edges per agent grow with population",
+            rows.iter()
+                .map(|r| format!("pop {}: {:.0}", r.0, r.2))
+                .collect::<Vec<_>>()
+                .join("; "),
+            rows[2].2 > rows[0].2,
+        ),
+    ];
+    ExperimentReport {
+        id: "ext-livemap".into(),
+        title: "continuous mapping of a drifting topology".into(),
+        paper_claim:
+            "the topology knowledge becomes invalid after a while, so mapping must be              maintained, not computed once (§II.A)"
+                .into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradable_network_marks_requested_fraction() {
+        let net = degradable_network(0.3, 7);
+        let battery = net
+            .nodes()
+            .iter()
+            .filter(|n| n.battery.model() != BatteryModel::Mains)
+            .count();
+        assert_eq!(battery, 90);
+    }
+
+    #[test]
+    fn degradation_report_is_cheap_and_passes() {
+        let report = ext_degradation(Mode::Quick);
+        assert!(report.passed(), "{}", report.to_markdown());
+        assert_eq!(report.table.len(), 4);
+    }
+}

@@ -1,0 +1,264 @@
+//! Experiment harness: one experiment per figure of the paper, plus
+//! extensions and ablations.
+//!
+//! Every experiment regenerates the rows/series its figure reports and
+//! checks the figure's *shape claims* — who wins, by roughly what factor,
+//! where crossovers fall — against the measured data. Absolute step
+//! counts are not expected to match the paper (different simulator,
+//! different RNG, stronger baselines); directions and orderings are.
+//!
+//! * [`mapping_figs`] — Figs. 1–6 (network mapping, §II).
+//! * [`routing_figs`] — Figs. 7–11 (dynamic routing, §III).
+//! * [`extensions`] — E12 stigmergic routing (the paper's future work),
+//!   E13 tie-breaking ablation, E14 link-degradation ablation.
+//! * [`comparisons`] — E15 overhead accounting, E16 packet traffic,
+//!   E17 ant-colony and E18 distance-vector baselines.
+//! * [`registry`] — every experiment by id, for the `repro` binary.
+//! * [`report`] — rendering of experiment reports as markdown/JSON.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use agentnet_experiments::{registry, Mode};
+//!
+//! for exp in registry::all() {
+//!     let report = (exp.run)(Mode::Quick);
+//!     println!("{}", report.to_markdown());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comparisons;
+pub mod extensions;
+pub mod mapping_figs;
+pub mod registry;
+pub mod report;
+pub mod routing_figs;
+
+pub use registry::Experiment;
+pub use report::{Claim, ExperimentReport};
+
+use agentnet_core::mapping::{MappingConfig, MappingSim};
+use agentnet_core::routing::{RoutingConfig, RoutingSim};
+use agentnet_engine::replicate::run_replicates;
+use agentnet_engine::rng::SeedSequence;
+use agentnet_engine::{Summary, TimeSeries};
+use agentnet_graph::generators::GeometricConfig;
+use agentnet_graph::DiGraph;
+use agentnet_radio::NetworkBuilder;
+use serde::{Deserialize, Serialize};
+
+/// How much compute an experiment run spends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Mode {
+    /// Two replicates — seconds; used by benches and integration tests
+    /// to exercise the experiment code paths, not to judge shapes.
+    Smoke,
+    /// A few replicates — minutes for the whole suite; shapes are checked
+    /// with generous tolerances.
+    Quick,
+    /// The paper's 40 replicates per parameter setting.
+    Full,
+}
+
+impl Mode {
+    /// Replicates per parameter setting (paper: 40).
+    pub fn runs(self) -> usize {
+        match self {
+            Mode::Smoke => 2,
+            Mode::Quick => 8,
+            Mode::Full => 40,
+        }
+    }
+}
+
+/// Master seed all experiments derive their randomness from.
+pub const MASTER_SEED: u64 = 2010;
+
+/// Seed of the fixed shared topologies ("a single connected network ...
+/// for all experiments", "same configuration and movement path").
+pub const TOPOLOGY_SEED: u64 = 42;
+
+/// Step budget for mapping runs (every run in practice finishes far
+/// earlier; a run hitting the budget is a bug).
+pub const MAPPING_STEP_BUDGET: u64 = 2_000_000;
+
+/// Routing run length (paper: 300 steps).
+pub const ROUTING_STEPS: u64 = 300;
+
+/// The paper's measurement window: "the average fraction of connectivity
+/// for all nodes from time 150 to 300".
+pub const ROUTING_WINDOW: std::ops::Range<usize> = 150..300;
+
+/// The shared mapping topology: the paper's 300-node, ≈2164-edge
+/// strongly connected wireless digraph.
+pub fn paper_mapping_graph() -> DiGraph {
+    GeometricConfig::paper_mapping()
+        .generate(TOPOLOGY_SEED)
+        .expect("paper mapping topology must generate")
+        .graph
+}
+
+/// The shared routing network builder: 250 nodes, 12 gateways, half the
+/// nodes mobile. Every replicate re-instantiates it with
+/// [`TOPOLOGY_SEED`] so all runs share "the same configuration and
+/// movement path of nodes"; only agent placement/decisions vary.
+pub fn paper_routing_network() -> NetworkBuilder {
+    NetworkBuilder::paper_routing()
+}
+
+/// Replicated mapping finishing times for a config on a fixed graph.
+///
+/// # Panics
+///
+/// Panics if any replicate fails to finish within
+/// [`MAPPING_STEP_BUDGET`] — only possible on a non-strongly-connected
+/// graph, which the generator excludes.
+pub fn mapping_finishing_times(
+    graph: &DiGraph,
+    config: &MappingConfig,
+    mode: Mode,
+    stream: u64,
+) -> Summary {
+    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
+    let samples = run_replicates(mode.runs(), seeds, |_, s| {
+        let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
+            .expect("mapping config must be valid");
+        let out = sim.run(MAPPING_STEP_BUDGET);
+        assert!(out.finished, "mapping run exhausted its step budget");
+        out.finishing_time.as_f64()
+    });
+    Summary::from_samples(samples).expect("at least one replicate")
+}
+
+/// Replicated mean knowledge-over-time curve for a mapping config.
+pub fn mapping_knowledge_curve(
+    graph: &DiGraph,
+    config: &MappingConfig,
+    mode: Mode,
+    stream: u64,
+) -> TimeSeries {
+    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
+    let curves = run_replicates(mode.runs(), seeds, |_, s| {
+        let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
+            .expect("mapping config must be valid");
+        let out = sim.run(MAPPING_STEP_BUDGET);
+        assert!(out.finished, "mapping run exhausted its step budget");
+        out.knowledge
+    });
+    TimeSeries::mean_of(&curves)
+}
+
+/// Replicated routing connectivity (mean over the paper's 150–300
+/// window).
+pub fn routing_connectivity(config: &RoutingConfig, mode: Mode, stream: u64) -> Summary {
+    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
+    let samples = run_replicates(mode.runs(), seeds, |_, s| {
+        let net = paper_routing_network()
+            .build(TOPOLOGY_SEED)
+            .expect("paper routing network must build");
+        let mut sim =
+            RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
+        let out = sim.run(ROUTING_STEPS);
+        out.mean_connectivity(ROUTING_WINDOW).expect("window inside run")
+    });
+    Summary::from_samples(samples).expect("at least one replicate")
+}
+
+/// Replicated per-run temporal fluctuation: the within-window standard
+/// deviation of each run's connectivity series, summarized across
+/// replicates. This is the "stability" the paper reads off its plots —
+/// it must be measured per run, not on the replicate-averaged curve
+/// (averaging smooths fluctuations away).
+pub fn routing_temporal_wobble(config: &RoutingConfig, mode: Mode, stream: u64) -> Summary {
+    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
+    let samples = run_replicates(mode.runs(), seeds, |_, s| {
+        let net = paper_routing_network()
+            .build(TOPOLOGY_SEED)
+            .expect("paper routing network must build");
+        let mut sim =
+            RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
+        let out = sim.run(ROUTING_STEPS);
+        out.connectivity.window_std(ROUTING_WINDOW).expect("window inside run")
+    });
+    Summary::from_samples(samples).expect("at least one replicate")
+}
+
+/// Replicated mean connectivity-over-time curve for a routing config.
+pub fn routing_connectivity_curve(config: &RoutingConfig, mode: Mode, stream: u64) -> TimeSeries {
+    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
+    let curves = run_replicates(mode.runs(), seeds, |_, s| {
+        let net = paper_routing_network()
+            .build(TOPOLOGY_SEED)
+            .expect("paper routing network must build");
+        let mut sim =
+            RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
+        sim.run(ROUTING_STEPS).connectivity
+    });
+    TimeSeries::mean_of(&curves)
+}
+
+/// Decimates a time series into at most `points` evenly spaced samples —
+/// the series a figure plots, at table-friendly resolution.
+pub fn sample_curve(series: &TimeSeries, points: usize) -> Vec<(usize, f64)> {
+    let len = series.len();
+    if len == 0 || points == 0 {
+        return Vec::new();
+    }
+    let stride = (len / points).max(1);
+    let mut out: Vec<(usize, f64)> =
+        (0..len).step_by(stride).map(|i| (i, series.values()[i])).collect();
+    if out.last().map(|&(i, _)| i) != Some(len - 1) {
+        out.push((len - 1, series.values()[len - 1]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_core::policy::MappingPolicy;
+
+    #[test]
+    fn paper_mapping_graph_matches_paper_constants() {
+        let g = paper_mapping_graph();
+        assert_eq!(g.node_count(), 300);
+        let err = (g.edge_count() as i64 - 2164).unsigned_abs() as usize;
+        assert!(err <= 2164 / 50 + 1, "edge count {} too far from 2164", g.edge_count());
+    }
+
+    #[test]
+    fn paper_routing_network_matches_paper_constants() {
+        let net = paper_routing_network().build(TOPOLOGY_SEED).unwrap();
+        assert_eq!(net.node_count(), 250);
+        assert_eq!(net.gateways().len(), 12);
+    }
+
+    #[test]
+    fn modes_have_expected_replicates() {
+        assert_eq!(Mode::Smoke.runs(), 2);
+        assert_eq!(Mode::Quick.runs(), 8);
+        assert_eq!(Mode::Full.runs(), 40);
+    }
+
+    #[test]
+    fn sample_curve_keeps_endpoints() {
+        let s: TimeSeries = (0..100).map(|i| i as f64).collect();
+        let pts = sample_curve(&s, 10);
+        assert_eq!(pts.first(), Some(&(0, 0.0)));
+        assert_eq!(pts.last(), Some(&(99, 99.0)));
+        assert!(pts.len() <= 12);
+        assert!(sample_curve(&TimeSeries::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn mapping_helper_is_deterministic() {
+        let g = agentnet_graph::generators::grid(5, 5);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 3);
+        let a = mapping_finishing_times(&g, &cfg, Mode::Quick, 1);
+        let b = mapping_finishing_times(&g, &cfg, Mode::Quick, 1);
+        assert_eq!(a, b);
+    }
+}

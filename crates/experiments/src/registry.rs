@@ -1,0 +1,167 @@
+//! The experiment registry: every figure and extension by id.
+
+use crate::report::ExperimentReport;
+use crate::{comparisons, extensions, mapping_figs, routing_figs, Mode};
+
+/// A runnable experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Experiment {
+    /// Stable id (`fig1` ... `fig11`, `ext-*`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Regenerates the figure and checks its shape claims.
+    pub run: fn(Mode) -> ExperimentReport,
+}
+
+/// Every experiment, in paper order followed by extensions.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig1",
+            title: "single agent, Minar baselines",
+            run: mapping_figs::fig1,
+        },
+        Experiment {
+            id: "fig2",
+            title: "single agent, stigmergic variants",
+            run: mapping_figs::fig2,
+        },
+        Experiment {
+            id: "fig3",
+            title: "knowledge over time, 15 Minar conscientious agents",
+            run: mapping_figs::fig3,
+        },
+        Experiment {
+            id: "fig4",
+            title: "knowledge over time, 15 stigmergic conscientious agents",
+            run: mapping_figs::fig4,
+        },
+        Experiment {
+            id: "fig5",
+            title: "population sweep, Minar agents",
+            run: mapping_figs::fig5,
+        },
+        Experiment {
+            id: "fig6",
+            title: "population sweep, stigmergic agents",
+            run: mapping_figs::fig6,
+        },
+        Experiment {
+            id: "fig7",
+            title: "connectivity over time, 100 oldest-node agents",
+            run: routing_figs::fig7,
+        },
+        Experiment {
+            id: "fig8",
+            title: "connectivity vs population",
+            run: routing_figs::fig8,
+        },
+        Experiment {
+            id: "fig9",
+            title: "connectivity vs history size",
+            run: routing_figs::fig9,
+        },
+        Experiment {
+            id: "fig10",
+            title: "random agents, visiting vs not",
+            run: routing_figs::fig10,
+        },
+        Experiment {
+            id: "fig11",
+            title: "oldest-node agents, visiting vs not",
+            run: routing_figs::fig11,
+        },
+        Experiment {
+            id: "ext-stigroute",
+            title: "stigmergic dynamic routing (future work)",
+            run: extensions::ext_stigroute,
+        },
+        Experiment {
+            id: "ext-tiebreak",
+            title: "tie-breaking ablation",
+            run: extensions::ext_tiebreak,
+        },
+        Experiment {
+            id: "ext-degradation",
+            title: "battery-driven link degradation",
+            run: extensions::ext_degradation,
+        },
+        Experiment {
+            id: "ext-overhead",
+            title: "overhead accounting: stigmergy vs communication",
+            run: comparisons::ext_overhead,
+        },
+        Experiment {
+            id: "ext-traffic",
+            title: "packet delivery over agent tables",
+            run: comparisons::ext_traffic,
+        },
+        Experiment {
+            id: "ext-aco",
+            title: "ant-colony routing baseline",
+            run: comparisons::ext_aco,
+        },
+        Experiment {
+            id: "ext-dv",
+            title: "distance-vector protocol baseline",
+            run: comparisons::ext_dv,
+        },
+        Experiment {
+            id: "ext-failure",
+            title: "gateway-failure resilience",
+            run: comparisons::ext_failure,
+        },
+        Experiment {
+            id: "ext-livemap",
+            title: "continuous mapping of a drifting topology",
+            run: extensions::ext_livemap,
+        },
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_figures_and_extensions() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        for fig in 1..=11 {
+            assert!(ids.contains(&format!("fig{fig}").as_str()), "missing fig{fig}");
+        }
+        for ext in [
+            "ext-stigroute",
+            "ext-tiebreak",
+            "ext-degradation",
+            "ext-overhead",
+            "ext-traffic",
+            "ext-aco",
+            "ext-dv",
+            "ext-failure",
+            "ext-livemap",
+        ] {
+            assert!(ids.contains(&ext), "missing {ext}");
+        }
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all().len());
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("fig5").is_some());
+        assert!(by_id("fig99").is_none());
+    }
+}

@@ -1,0 +1,128 @@
+//! Experiment reports: measured tables plus checked shape claims.
+
+use agentnet_engine::table::Table;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One checkable statement a figure makes, with the measured verdict.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Claim {
+    /// The paper's qualitative statement (e.g. "conscientious beats
+    /// random").
+    pub statement: String,
+    /// What we measured, phrased for a human.
+    pub observed: String,
+    /// Whether the measurement supports the statement.
+    pub holds: bool,
+}
+
+impl Claim {
+    /// Creates a checked claim.
+    pub fn new(statement: impl Into<String>, observed: impl Into<String>, holds: bool) -> Self {
+        Claim { statement: statement.into(), observed: observed.into(), holds }
+    }
+}
+
+/// The output of one experiment: the regenerated figure data and the
+/// shape-claim verdicts.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. `"fig5"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper's figure shows, in one sentence.
+    pub paper_claim: String,
+    /// The regenerated rows/series.
+    pub table: Table,
+    /// Checked shape claims.
+    pub claims: Vec<Claim>,
+    /// Optional pre-rendered terminal chart of the figure's curve.
+    #[serde(default)]
+    pub figure: Option<String>,
+}
+
+impl ExperimentReport {
+    /// `true` iff every claim holds.
+    pub fn passed(&self) -> bool {
+        self.claims.iter().all(|c| c.holds)
+    }
+
+    /// Renders the report as markdown (title, claim verdicts, data
+    /// table).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = writeln!(out, "\n*Paper:* {}\n", self.paper_claim);
+        for c in &self.claims {
+            let mark = if c.holds { "PASS" } else { "FAIL" };
+            let _ = writeln!(out, "- [{mark}] {} — measured: {}", c.statement, c.observed);
+        }
+        out.push('\n');
+        if let Some(figure) = &self.figure {
+            out.push_str("```text\n");
+            out.push_str(figure);
+            out.push_str("\n```\n\n");
+        }
+        out.push_str(&self.table.to_markdown());
+        out
+    }
+
+    /// Renders the report as a JSON value.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "paper_claim": self.paper_claim,
+            "passed": self.passed(),
+            "claims": self.claims,
+            "table": self.table.to_json(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut table = Table::new(["k", "v"]);
+        table.push_row(["a", "1"]);
+        ExperimentReport {
+            id: "fig0".into(),
+            title: "sample".into(),
+            paper_claim: "a beats b".into(),
+            table,
+            claims: vec![
+                Claim::new("a < b", "1 < 2", true),
+                Claim::new("b < c", "2 > 3", false),
+            ],
+            figure: Some("▁▂█".into()),
+        }
+    }
+
+    #[test]
+    fn passed_requires_all_claims() {
+        let mut r = sample();
+        assert!(!r.passed());
+        r.claims.pop();
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn markdown_contains_verdicts_and_table() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## fig0"));
+        assert!(md.contains("[PASS] a < b"));
+        assert!(md.contains("[FAIL] b < c"));
+        assert!(md.contains("| a | 1 |"));
+        assert!(md.contains("▁▂█"));
+    }
+
+    #[test]
+    fn json_round_trips_status() {
+        let j = sample().to_json();
+        assert_eq!(j["passed"], false);
+        assert_eq!(j["claims"].as_array().unwrap().len(), 2);
+    }
+}

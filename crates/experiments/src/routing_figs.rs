@@ -1,0 +1,258 @@
+//! Figures 7–11: the dynamic-routing study (§III).
+
+use crate::report::{Claim, ExperimentReport};
+use crate::{
+    routing_connectivity, routing_connectivity_curve, routing_temporal_wobble, sample_curve,
+    Mode, ROUTING_WINDOW,
+};
+use agentnet_core::policy::RoutingPolicy;
+use agentnet_core::routing::RoutingConfig;
+use agentnet_engine::table::Table;
+
+/// Population axis of Fig. 8.
+pub const POPULATIONS: [usize; 5] = [10, 25, 50, 100, 200];
+
+/// History-size axis of Fig. 9. (The axis starts at 5: below that the
+/// bounded route claim expires within a couple of hops of a gateway and
+/// *neither* algorithm can cover the network — see EXPERIMENTS.md.)
+pub const HISTORY_SIZES: [usize; 5] = [5, 10, 20, 40, 80];
+
+/// Fig. 7 — connectivity over time for 100 oldest-node agents: starts at
+/// zero, rises quickly, then fluctuates around its converged mean.
+pub fn fig7(mode: Mode) -> ExperimentReport {
+    let config = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
+    let curve = routing_connectivity_curve(&config, mode, 700);
+    let mut table = Table::new(["step", "connectivity"]);
+    for (step, c) in sample_curve(&curve, 20) {
+        table.push_row([step.to_string(), format!("{c:.4}")]);
+    }
+    let first = curve.values().first().copied().unwrap_or(1.0);
+    let converged = curve.window_mean(ROUTING_WINDOW).unwrap_or(0.0);
+    let wobble = curve.window_std(ROUTING_WINDOW).unwrap_or(1.0);
+    let claims = vec![
+        Claim::new(
+            "the network starts with (near) zero connectivity",
+            format!("step 0 connectivity {first:.3}"),
+            first < 0.2,
+        ),
+        Claim::new(
+            "connectivity converges to a substantial level",
+            format!("mean over steps 150-300: {converged:.3}"),
+            converged > 0.4 && converged > 3.0 * first,
+        ),
+        Claim::new(
+            "after convergence connectivity fluctuates around its mean",
+            format!("within-window std {wobble:.4}"),
+            wobble < 0.1,
+        ),
+    ];
+    ExperimentReport {
+        id: "fig7".into(),
+        title: "connectivity over time, 100 oldest-node agents".into(),
+        paper_claim: "connectivity rises from zero and fluctuates around a converged value"
+            .into(),
+        table,
+        claims,
+        figure: Some(agentnet_engine::plot::chart(&curve, 60, 8)),
+    }
+}
+
+/// Fig. 8 — population sweep: more agents mean higher and more stable
+/// connectivity; oldest-node beats random at every population.
+pub fn fig8(mode: Mode) -> ExperimentReport {
+    let mut table =
+        Table::new(["population", "oldest-node", "random", "oldest wobble (temporal CV)"]);
+    let mut oldest = Vec::new();
+    let mut random = Vec::new();
+    let mut wobbles = Vec::new();
+    for (i, &pop) in POPULATIONS.iter().enumerate() {
+        let o = routing_connectivity(
+            &RoutingConfig::new(RoutingPolicy::OldestNode, pop),
+            mode,
+            800 + 2 * i as u64,
+        );
+        let r = routing_connectivity(
+            &RoutingConfig::new(RoutingPolicy::Random, pop),
+            mode,
+            801 + 2 * i as u64,
+        );
+        // Relative fluctuation (std / mean): the visual "stability" of
+        // the paper's plots, comparable across very different levels.
+        let wobble = routing_temporal_wobble(
+            &RoutingConfig::new(RoutingPolicy::OldestNode, pop),
+            mode,
+            810 + i as u64,
+        )
+        .mean
+            / o.mean.max(1e-9);
+        table.push_row([
+            pop.to_string(),
+            o.mean_ci_string(3),
+            r.mean_ci_string(3),
+            format!("{wobble:.4}"),
+        ]);
+        oldest.push((pop, o.mean));
+        random.push((pop, r.mean));
+        wobbles.push((pop, wobble));
+    }
+    let claims = vec![
+        Claim::new(
+            "higher population yields higher connectivity",
+            format!(
+                "oldest-node: {:.3} at pop {} vs {:.3} at pop {}",
+                oldest[0].1,
+                oldest[0].0,
+                oldest.last().unwrap().1,
+                oldest.last().unwrap().0
+            ),
+            oldest.last().unwrap().1 > oldest[0].1,
+        ),
+        Claim::new(
+            "oldest-node beats random at every population size",
+            oldest
+                .iter()
+                .zip(&random)
+                .map(|(o, r)| format!("pop {}: {:.3} vs {:.3}", o.0, o.1, r.1))
+                .collect::<Vec<_>>()
+                .join("; "),
+            oldest.iter().zip(&random).all(|(o, r)| o.1 > r.1),
+        ),
+        Claim::new(
+            "higher population yields more stable connectivity",
+            format!(
+                "relative fluctuation {:.4} at pop {} vs {:.4} at pop {}",
+                wobbles[0].1,
+                wobbles[0].0,
+                wobbles.last().unwrap().1,
+                wobbles.last().unwrap().0
+            ),
+            wobbles.last().unwrap().1 < wobbles[0].1,
+        ),
+    ];
+    ExperimentReport {
+        id: "fig8".into(),
+        title: "connectivity vs agent population".into(),
+        paper_claim:
+            "the higher the population, the higher and more stable the connectivity; \
+             oldest-node always beats random"
+                .into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// Fig. 9 — history-size sweep: the more history, the higher (and more
+/// stable) the connectivity; oldest-node beats random at every setting.
+pub fn fig9(mode: Mode) -> ExperimentReport {
+    let mut table = Table::new(["history size", "oldest-node", "random"]);
+    let mut oldest = Vec::new();
+    let mut random = Vec::new();
+    for (i, &h) in HISTORY_SIZES.iter().enumerate() {
+        let o = routing_connectivity(
+            &RoutingConfig::new(RoutingPolicy::OldestNode, 100).history_size(h),
+            mode,
+            900 + 2 * i as u64,
+        );
+        let r = routing_connectivity(
+            &RoutingConfig::new(RoutingPolicy::Random, 100).history_size(h),
+            mode,
+            901 + 2 * i as u64,
+        );
+        table.push_row([h.to_string(), o.mean_ci_string(3), r.mean_ci_string(3)]);
+        oldest.push((h, o.mean));
+        random.push((h, r.mean));
+    }
+    let claims = vec![
+        Claim::new(
+            "more history yields higher connectivity",
+            format!(
+                "oldest-node: {:.3} at h={} vs {:.3} at h={}",
+                oldest[0].1,
+                oldest[0].0,
+                oldest.last().unwrap().1,
+                oldest.last().unwrap().0
+            ),
+            oldest.last().unwrap().1 > 1.5 * oldest[0].1,
+        ),
+        Claim::new(
+            "oldest-node beats random at every history size",
+            oldest
+                .iter()
+                .zip(&random)
+                .map(|(o, r)| format!("h {}: {:.3} vs {:.3}", o.0, o.1, r.1))
+                .collect::<Vec<_>>()
+                .join("; "),
+            oldest.iter().zip(&random).all(|(o, r)| o.1 > r.1),
+        ),
+    ];
+    ExperimentReport {
+        id: "fig9".into(),
+        title: "connectivity vs history (cache) size".into(),
+        paper_claim: "the more the history size, the higher the connectivity and stability"
+            .into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// Fig. 10 — direct communication for **random** agents: meeting agents
+/// exchange their best route; connectivity improves.
+pub fn fig10(mode: Mode) -> ExperimentReport {
+    let base = RoutingConfig::new(RoutingPolicy::Random, 100);
+    let plain = routing_connectivity(&base, mode, 1000);
+    let comm = routing_connectivity(&base.clone().communication(true), mode, 1001);
+    let mut table = Table::new(["variant", "connectivity"]);
+    table.push_row(["random, no visiting", &plain.mean_ci_string(3)]);
+    table.push_row(["random, visiting", &comm.mean_ci_string(3)]);
+    let claims = vec![Claim::new(
+        "visiting (best-route exchange) improves random agents",
+        format!("{:.3} -> {:.3}", plain.mean, comm.mean),
+        comm.mean > plain.mean,
+    )];
+    ExperimentReport {
+        id: "fig10".into(),
+        title: "random agents, visiting vs not".into(),
+        paper_claim: "direct communication has a positive effect for random agents".into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// Fig. 11 — direct communication for **oldest-node** agents: after a
+/// meeting the participants hold identical histories, make identical
+/// decisions and chase one another; connectivity *drops*.
+pub fn fig11(mode: Mode) -> ExperimentReport {
+    let base = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
+    let plain = routing_connectivity(&base, mode, 1100);
+    let comm = routing_connectivity(&base.clone().communication(true), mode, 1101);
+    let mut table = Table::new(["variant", "connectivity"]);
+    table.push_row(["oldest-node, no visiting", &plain.mean_ci_string(3)]);
+    table.push_row(["oldest-node, visiting", &comm.mean_ci_string(3)]);
+    let claims = vec![Claim::new(
+        "visiting hurts oldest-node agents (identical histories cause chasing)",
+        format!("{:.3} -> {:.3}", plain.mean, comm.mean),
+        comm.mean < plain.mean,
+    )];
+    ExperimentReport {
+        id: "fig11".into(),
+        title: "oldest-node agents, visiting vs not".into(),
+        paper_claim: "direct communication has a negative effect for oldest-node agents".into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_match_paper() {
+        assert_eq!(POPULATIONS, [10, 25, 50, 100, 200]);
+        assert_eq!(HISTORY_SIZES, [5, 10, 20, 40, 80]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Connectivity queries: strongly connected components, reachability, and
+//! the "reaches a gateway" primitive behind the paper's routing metric.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use crate::traversal::Bfs;
+
+/// Computes the strongly connected components of `graph` using Tarjan's
+/// algorithm (iterative, so deep graphs cannot overflow the stack).
+///
+/// Components are returned in reverse topological order of the condensation
+/// (Tarjan's natural output order); every node appears in exactly one
+/// component.
+///
+/// ```
+/// use agentnet_graph::{DiGraph, NodeId, connectivity::strongly_connected_components};
+/// let n = NodeId::new;
+/// let g = DiGraph::from_edges(4, [(n(0), n(1)), (n(1), n(0)), (n(2), n(3))]).unwrap();
+/// let sccs = strongly_connected_components(&g);
+/// assert_eq!(sccs.len(), 3); // {0,1}, {2}, {3}
+/// ```
+pub fn strongly_connected_components(graph: &DiGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Explicit DFS call stack: (node, next-neighbour cursor).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in graph.nodes() {
+        if index[root.index()] != usize::MAX {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&mut (v, ref mut cursor)) = call.last_mut() {
+            if *cursor == 0 {
+                index[v.index()] = next_index;
+                lowlink[v.index()] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v.index()] = true;
+            }
+            let neighbors = graph.out_neighbors(v);
+            if *cursor < neighbors.len() {
+                let w = neighbors[*cursor];
+                *cursor += 1;
+                if index[w.index()] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Returns `true` if every node can reach every other node following edge
+/// direction.
+///
+/// The empty graph and the single-node graph are strongly connected by
+/// convention.
+///
+/// ```
+/// use agentnet_graph::{connectivity::is_strongly_connected, generators};
+/// assert!(is_strongly_connected(&generators::directed_ring(5)));
+/// assert!(!is_strongly_connected(&agentnet_graph::DiGraph::new(2)));
+/// ```
+pub fn is_strongly_connected(graph: &DiGraph) -> bool {
+    let n = graph.node_count();
+    if n <= 1 {
+        return true;
+    }
+    // Cheaper than full SCC: forward + backward BFS from node 0.
+    let start = NodeId::new(0);
+    if Bfs::new(graph, start).count() != n {
+        return false;
+    }
+    Bfs::new(&graph.reversed(), start).count() == n
+}
+
+/// Boolean reachability vector: `result[i]` is `true` iff node `i` is
+/// reachable from `start` (including `start` itself).
+pub fn reachable_set(graph: &DiGraph, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; graph.node_count()];
+    for node in Bfs::new(graph, start) {
+        seen[node.index()] = true;
+    }
+    seen
+}
+
+/// Returns, for every node, whether it can reach **at least one** of
+/// `targets` following edge direction.
+///
+/// ```
+/// use agentnet_graph::{DiGraph, NodeId, connectivity::reaches_any};
+/// let n = NodeId::new;
+/// let g = DiGraph::from_edges(3, [(n(0), n(1))]).unwrap();
+/// assert_eq!(reaches_any(&g, &[n(1)]), vec![true, true, false]);
+/// ```
+///
+/// This is the primitive behind the paper's connectivity measure: "the
+/// fraction of nodes in the system that has a valid route to at least one
+/// gateway". Implemented as a single multi-source BFS on the reversed graph,
+/// so it costs `O(V + E)` regardless of the number of targets.
+///
+/// Targets out of range are ignored.
+pub fn reaches_any(graph: &DiGraph, targets: &[NodeId]) -> Vec<bool> {
+    let n = graph.node_count();
+    let mut reached = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &t in targets {
+        if t.index() < n && !reached[t.index()] {
+            reached[t.index()] = true;
+            queue.push_back(t);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        // Walking in-neighbours of v == walking the reversed graph.
+        for &u in graph.in_neighbors(v) {
+            if !reached[u.index()] {
+                reached[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    reached
+}
+
+/// Fraction of nodes (in `[0, 1]`) that can reach at least one target.
+/// Returns 0 for an empty graph.
+pub fn fraction_reaching(graph: &DiGraph, targets: &[NodeId]) -> f64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let hits = reaches_any(graph, targets).iter().filter(|&&b| b).count();
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ring(len: usize) -> DiGraph {
+        DiGraph::from_edges(len, (0..len).map(|i| (n(i), n((i + 1) % len)))).unwrap()
+    }
+
+    #[test]
+    fn ring_is_one_scc() {
+        let sccs = strongly_connected_components(&ring(6));
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].len(), 6);
+    }
+
+    #[test]
+    fn chain_is_all_singletons() {
+        let g = DiGraph::from_edges(4, (0..3).map(|i| (n(i), n(i + 1)))).unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn scc_partition_covers_all_nodes_once() {
+        let g = DiGraph::from_edges(
+            6,
+            [(n(0), n(1)), (n(1), n(0)), (n(1), n(2)), (n(2), n(3)), (n(3), n(2)), (n(4), n(5))],
+        )
+        .unwrap();
+        let sccs = strongly_connected_components(&g);
+        let mut all: Vec<_> = sccs.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).map(n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_cycles_bridged_one_way_are_two_sccs() {
+        let g = DiGraph::from_edges(
+            4,
+            [(n(0), n(1)), (n(1), n(0)), (n(2), n(3)), (n(3), n(2)), (n(1), n(2))],
+        )
+        .unwrap();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 2);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn ring_is_strongly_connected() {
+        assert!(is_strongly_connected(&ring(10)));
+    }
+
+    #[test]
+    fn trivial_graphs_are_strongly_connected() {
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+        assert!(!is_strongly_connected(&DiGraph::new(2)));
+    }
+
+    #[test]
+    fn reachable_set_respects_direction() {
+        let g = DiGraph::from_edges(3, [(n(0), n(1))]).unwrap();
+        let r = reachable_set(&g, n(0));
+        assert_eq!(r, vec![true, true, false]);
+        let r = reachable_set(&g, n(1));
+        assert_eq!(r, vec![false, true, false]);
+    }
+
+    #[test]
+    fn reaches_any_multi_target() {
+        // 0 -> 1 -> 2 (gateway), 3 -> 4 (gateway), 5 isolated
+        let g = DiGraph::from_edges(6, [(n(0), n(1)), (n(1), n(2)), (n(3), n(4))]).unwrap();
+        let r = reaches_any(&g, &[n(2), n(4)]);
+        assert_eq!(r, vec![true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn reaches_any_counts_gateways_themselves() {
+        let g = DiGraph::new(3);
+        let r = reaches_any(&g, &[n(1)]);
+        assert_eq!(r, vec![false, true, false]);
+    }
+
+    #[test]
+    fn reaches_any_ignores_out_of_range_targets() {
+        let g = DiGraph::new(2);
+        let r = reaches_any(&g, &[n(7)]);
+        assert_eq!(r, vec![false, false]);
+    }
+
+    #[test]
+    fn fraction_reaching_matches_manual_count() {
+        let g = DiGraph::from_edges(4, [(n(0), n(1)), (n(2), n(1))]).unwrap();
+        let f = fraction_reaching(&g, &[n(1)]);
+        assert!((f - 0.75).abs() < 1e-12);
+        assert_eq!(fraction_reaching(&DiGraph::new(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn scc_on_larger_random_ish_structure() {
+        // Two rings joined by a bidirectional bridge form one SCC.
+        let mut g = DiGraph::new(8);
+        for i in 0..4 {
+            g.add_edge(n(i), n((i + 1) % 4));
+        }
+        for i in 4..8 {
+            g.add_edge(n(i), n(4 + (i + 1 - 4) % 4));
+        }
+        g.add_edge(n(0), n(4));
+        g.add_edge(n(4), n(0));
+        assert!(is_strongly_connected(&g));
+        assert_eq!(strongly_connected_components(&g).len(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for graph construction and generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph operations and generators.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        index: usize,
+        /// The number of nodes in the graph.
+        len: usize,
+    },
+    /// A generator could not satisfy its constraints (e.g. no strongly
+    /// connected geometric digraph found within the retry budget).
+    GenerationFailed {
+        /// Human-readable description of the unsatisfied constraint.
+        reason: String,
+    },
+    /// A requested parameter was invalid (e.g. zero nodes).
+    InvalidParameter {
+        /// Description of the invalid parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { index, len } => {
+                write!(f, "node index {index} out of range for graph of {len} nodes")
+            }
+            GraphError::GenerationFailed { reason } => {
+                write!(f, "graph generation failed: {reason}")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { index: 9, len: 3 };
+        assert_eq!(e.to_string(), "node index 9 out of range for graph of 3 nodes");
+        let e = GraphError::GenerationFailed { reason: "no luck".into() };
+        assert!(e.to_string().contains("no luck"));
+        let e = GraphError::InvalidParameter { reason: "zero nodes".into() };
+        assert!(e.to_string().starts_with("invalid parameter"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal 2-D geometry used for node placement and radio-range tests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or vector) in the 2-D simulation plane, in metres.
+///
+/// ```
+/// use agentnet_graph::Point2;
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed, e.g. radio-range checks).
+    #[inline]
+    pub fn distance_sq(self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm when the point is interpreted as a vector.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Returns the vector scaled to unit length, or `None` for the zero
+    /// vector.
+    pub fn normalized(self) -> Option<Point2> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(Point2::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// Clamps both coordinates into `[0, width] x [0, height]`.
+    pub fn clamped(self, width: f64, height: f64) -> Point2 {
+        Point2::new(self.x.clamp(0.0, width), self.y.clamp(0.0, height))
+    }
+}
+
+impl Add for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Point2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point2 {
+    type Output = Point2;
+    fn mul(self, rhs: f64) -> Point2 {
+        Point2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle `[0, width] x [0, height]` — the simulation
+/// arena nodes live in.
+///
+/// ```
+/// use agentnet_graph::geometry::Rect;
+/// use agentnet_graph::Point2;
+/// let arena = Rect::new(1000.0, 600.0);
+/// assert!(arena.contains(Point2::new(500.0, 300.0)));
+/// assert!(!arena.contains(Point2::new(-1.0, 0.0)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Rect {
+    /// Arena width in metres.
+    pub width: f64,
+    /// Arena height in metres.
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates an arena of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "arena dimensions must be positive and finite"
+        );
+        Rect { width, height }
+    }
+
+    /// A square arena with the given side length.
+    pub fn square(side: f64) -> Self {
+        Rect::new(side, side)
+    }
+
+    /// Returns `true` if `p` lies inside (or on the boundary of) the arena.
+    pub fn contains(&self, p: Point2) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Area in square metres.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Diagonal length — an upper bound on any pairwise distance.
+    pub fn diagonal(&self) -> f64 {
+        (self.width * self.width + self.height * self.height).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(-4.0, 7.5);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_sq_matches_distance() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+        assert_eq!(a.distance(b), 5.0);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(3.0, -1.0);
+        assert_eq!(a + b, Point2::new(4.0, 1.0));
+        assert_eq!(a - b, Point2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point2::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Point2::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Point2::ORIGIN.normalized().is_none());
+    }
+
+    #[test]
+    fn clamp_keeps_points_in_arena() {
+        let p = Point2::new(-5.0, 99.0).clamped(10.0, 20.0);
+        assert_eq!(p, Point2::new(0.0, 20.0));
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::square(10.0);
+        assert!(r.contains(Point2::new(0.0, 10.0)));
+        assert!(!r.contains(Point2::new(10.1, 0.0)));
+    }
+
+    #[test]
+    fn rect_area_and_diagonal() {
+        let r = Rect::new(3.0, 4.0);
+        assert_eq!(r.area(), 12.0);
+        assert_eq!(r.diagonal(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rect_rejects_zero_width() {
+        let _ = Rect::new(0.0, 5.0);
+    }
+}

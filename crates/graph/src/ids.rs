@@ -1,0 +1,158 @@
+//! Dense node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`crate::DiGraph`].
+///
+/// Node ids are dense (`0..n`) so they double as vector indices throughout
+/// the simulator; [`NodeId::index`] performs that conversion.
+///
+/// ```
+/// use agentnet_graph::NodeId;
+/// let id = NodeId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "n7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node id.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// A directed edge `(from, to)`.
+///
+/// ```
+/// use agentnet_graph::ids::Edge;
+/// use agentnet_graph::NodeId;
+/// let e = Edge::new(NodeId::new(0), NodeId::new(1));
+/// assert_eq!(e.reversed(), Edge::new(NodeId::new(1), NodeId::new(0)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge from `from` to `to`.
+    #[inline]
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        Edge { from, to }
+    }
+
+    /// Returns the edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge { from: self.to, to: self.from }
+    }
+
+    /// Returns `true` if this edge is a self-loop.
+    #[inline]
+    pub fn is_loop(self) -> bool {
+        self.from == self.to
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        for i in [0usize, 1, 42, 65_535] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_display_is_compact() {
+        assert_eq!(NodeId::new(12).to_string(), "n12");
+    }
+
+    #[test]
+    fn node_id_orders_by_index() {
+        assert!(NodeId::new(3) < NodeId::new(10));
+    }
+
+    #[test]
+    fn node_id_u32_conversions() {
+        let id = NodeId::from(9u32);
+        assert_eq!(u32::from(id), 9);
+        assert_eq!(id.as_u32(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds")]
+    fn node_id_rejects_huge_index() {
+        let _ = NodeId::new(usize::MAX);
+    }
+
+    #[test]
+    fn edge_reverse_swaps_endpoints() {
+        let e = Edge::new(NodeId::new(1), NodeId::new(2));
+        assert_eq!(e.reversed().from, NodeId::new(2));
+        assert_eq!(e.reversed().to, NodeId::new(1));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn edge_loop_detection() {
+        assert!(Edge::new(NodeId::new(5), NodeId::new(5)).is_loop());
+        assert!(!Edge::new(NodeId::new(5), NodeId::new(6)).is_loop());
+    }
+
+    #[test]
+    fn edge_display_shows_direction() {
+        let e = Edge::new(NodeId::new(0), NodeId::new(3));
+        assert_eq!(e.to_string(), "n0->n3");
+    }
+}

@@ -1,0 +1,197 @@
+//! Shortest hop paths and hop-by-hop route validation.
+//!
+//! Routing agents install *explicit hop lists* into node routing tables; a
+//! route is only useful while every hop is still a live directed link. The
+//! validators here are the authoritative definition of "valid route" used by
+//! the connectivity metric.
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Shortest path (minimum hop count) from `from` to `to`, as the full node
+/// sequence including both endpoints, or `None` if unreachable.
+///
+/// BFS with deterministic (sorted-neighbour) expansion, so equal-length
+/// paths always resolve to the lexicographically smallest parent choice.
+///
+/// ```
+/// use agentnet_graph::{DiGraph, NodeId, paths::shortest_path};
+/// let n = NodeId::new;
+/// let g = DiGraph::from_edges(4, [(n(0), n(1)), (n(1), n(3)), (n(0), n(2)), (n(2), n(3))])
+///     .unwrap();
+/// assert_eq!(shortest_path(&g, n(0), n(3)), Some(vec![n(0), n(1), n(3)]));
+/// ```
+pub fn shortest_path(graph: &DiGraph, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from.index() >= graph.node_count() || to.index() >= graph.node_count() {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: Vec<Option<NodeId>> = vec![None; graph.node_count()];
+    let mut queue = VecDeque::new();
+    parent[from.index()] = Some(from);
+    queue.push_back(from);
+    while let Some(v) = queue.pop_front() {
+        for &w in graph.out_neighbors(v) {
+            if parent[w.index()].is_none() {
+                parent[w.index()] = Some(v);
+                if w == to {
+                    let mut path = vec![w];
+                    let mut cur = v;
+                    while cur != from {
+                        path.push(cur);
+                        cur = parent[cur.index()].expect("parent chain broken");
+                    }
+                    path.push(from);
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Hop distance (number of edges) from `from` to `to`, or `None` if
+/// unreachable.
+pub fn hop_distance(graph: &DiGraph, from: NodeId, to: NodeId) -> Option<usize> {
+    shortest_path(graph, from, to).map(|p| p.len() - 1)
+}
+
+/// Returns `true` if `path` is a currently-live directed walk in `graph`:
+/// non-empty, every node in range, and every consecutive pair an existing
+/// edge. A single-node path is valid iff the node is in range.
+pub fn is_live_path(graph: &DiGraph, path: &[NodeId]) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    if path.iter().any(|v| v.index() >= graph.node_count()) {
+        return false;
+    }
+    path.windows(2).all(|w| graph.has_edge(w[0], w[1]))
+}
+
+/// All-hops BFS distances from `start`; `usize::MAX` marks unreachable
+/// nodes. Useful for eccentricity/diameter style diagnostics on generated
+/// networks.
+pub fn bfs_distances(graph: &DiGraph, start: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.node_count()];
+    if start.index() >= graph.node_count() {
+        return dist;
+    }
+    dist[start.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &w in graph.out_neighbors(v) {
+            if dist[w.index()] == usize::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The directed diameter (longest shortest path) of the graph, or `None`
+/// if some ordered pair is unreachable. `O(V·(V+E))`; intended for
+/// diagnostics on generated topologies, not inner simulation loops.
+pub fn diameter(graph: &DiGraph) -> Option<usize> {
+    let mut best = 0usize;
+    for v in graph.nodes() {
+        let dist = bfs_distances(graph, v);
+        for &d in &dist {
+            if d == usize::MAX {
+                return None;
+            }
+            best = best.max(d);
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn shortest_path_trivial_same_node() {
+        let g = DiGraph::new(2);
+        assert_eq!(shortest_path(&g, n(1), n(1)), Some(vec![n(1)]));
+    }
+
+    #[test]
+    fn shortest_path_unreachable_is_none() {
+        let g = DiGraph::from_edges(3, [(n(0), n(1))]).unwrap();
+        assert_eq!(shortest_path(&g, n(1), n(0)), None);
+        assert_eq!(shortest_path(&g, n(0), n(2)), None);
+    }
+
+    #[test]
+    fn shortest_path_picks_minimum_hops() {
+        // 0->1->2->3 and 0->3 direct
+        let g = DiGraph::from_edges(4, [(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(0), n(3))])
+            .unwrap();
+        assert_eq!(shortest_path(&g, n(0), n(3)), Some(vec![n(0), n(3)]));
+        assert_eq!(hop_distance(&g, n(0), n(3)), Some(1));
+        assert_eq!(hop_distance(&g, n(0), n(2)), Some(2));
+    }
+
+    #[test]
+    fn shortest_path_out_of_range_is_none() {
+        let g = DiGraph::new(2);
+        assert_eq!(shortest_path(&g, n(0), n(9)), None);
+        assert_eq!(shortest_path(&g, n(9), n(0)), None);
+    }
+
+    #[test]
+    fn live_path_checks_every_hop() {
+        let mut g = DiGraph::from_edges(4, [(n(0), n(1)), (n(1), n(2)), (n(2), n(3))]).unwrap();
+        let path = [n(0), n(1), n(2), n(3)];
+        assert!(is_live_path(&g, &path));
+        g.remove_edge(n(1), n(2));
+        assert!(!is_live_path(&g, &path));
+    }
+
+    #[test]
+    fn live_path_edge_cases() {
+        let g = DiGraph::new(2);
+        assert!(!is_live_path(&g, &[]));
+        assert!(is_live_path(&g, &[n(1)]));
+        assert!(!is_live_path(&g, &[n(5)]));
+    }
+
+    #[test]
+    fn live_path_respects_direction() {
+        let g = DiGraph::from_edges(2, [(n(0), n(1))]).unwrap();
+        assert!(is_live_path(&g, &[n(0), n(1)]));
+        assert!(!is_live_path(&g, &[n(1), n(0)]));
+    }
+
+    #[test]
+    fn bfs_distances_marks_unreachable() {
+        let g = DiGraph::from_edges(3, [(n(0), n(1))]).unwrap();
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d, vec![0, 1, usize::MAX]);
+    }
+
+    #[test]
+    fn diameter_of_directed_ring() {
+        let len = 5;
+        let g = DiGraph::from_edges(len, (0..len).map(|i| (n(i), n((i + 1) % len)))).unwrap();
+        assert_eq!(diameter(&g), Some(len - 1));
+    }
+
+    #[test]
+    fn diameter_none_when_disconnected() {
+        assert_eq!(diameter(&DiGraph::new(2)), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Breadth-first and depth-first traversal over [`DiGraph`].
+
+use crate::digraph::DiGraph;
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Breadth-first iterator over the nodes reachable from a start node
+/// (following edge direction), yielding each node exactly once in BFS order.
+///
+/// ```
+/// use agentnet_graph::{DiGraph, NodeId, traversal::Bfs};
+/// let g = DiGraph::from_edges(4, [
+///     (NodeId::new(0), NodeId::new(1)),
+///     (NodeId::new(1), NodeId::new(2)),
+/// ]).unwrap();
+/// let order: Vec<_> = Bfs::new(&g, NodeId::new(0)).collect();
+/// assert_eq!(order.len(), 3); // node 3 unreachable
+/// assert_eq!(order[0], NodeId::new(0));
+/// ```
+#[derive(Debug)]
+pub struct Bfs<'a> {
+    graph: &'a DiGraph,
+    queue: VecDeque<NodeId>,
+    visited: Vec<bool>,
+}
+
+impl<'a> Bfs<'a> {
+    /// Creates a BFS starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range.
+    pub fn new(graph: &'a DiGraph, start: NodeId) -> Self {
+        assert!(start.index() < graph.node_count(), "start node out of range");
+        let mut visited = vec![false; graph.node_count()];
+        visited[start.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        Bfs { graph, queue, visited }
+    }
+}
+
+impl Iterator for Bfs<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.queue.pop_front()?;
+        for &next in self.graph.out_neighbors(node) {
+            if !self.visited[next.index()] {
+                self.visited[next.index()] = true;
+                self.queue.push_back(next);
+            }
+        }
+        Some(node)
+    }
+}
+
+/// Depth-first (preorder) iterator over the nodes reachable from a start
+/// node, yielding each node exactly once.
+///
+/// Neighbours are expanded in **reverse id order** so that the first child
+/// visited is the lowest id, mirroring recursive DFS over sorted adjacency.
+#[derive(Debug)]
+pub struct Dfs<'a> {
+    graph: &'a DiGraph,
+    stack: Vec<NodeId>,
+    visited: Vec<bool>,
+}
+
+impl<'a> Dfs<'a> {
+    /// Creates a DFS starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range.
+    pub fn new(graph: &'a DiGraph, start: NodeId) -> Self {
+        assert!(start.index() < graph.node_count(), "start node out of range");
+        Dfs { graph, stack: vec![start], visited: vec![false; graph.node_count()] }
+    }
+}
+
+impl Iterator for Dfs<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        while let Some(node) = self.stack.pop() {
+            if self.visited[node.index()] {
+                continue;
+            }
+            self.visited[node.index()] = true;
+            for &next in self.graph.out_neighbors(node).iter().rev() {
+                if !self.visited[next.index()] {
+                    self.stack.push(next);
+                }
+            }
+            return Some(node);
+        }
+        None
+    }
+}
+
+/// Returns the number of nodes reachable from `start` (including `start`).
+pub fn reachable_count(graph: &DiGraph, start: NodeId) -> usize {
+    Bfs::new(graph, start).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn chain(len: usize) -> DiGraph {
+        DiGraph::from_edges(len, (0..len - 1).map(|i| (n(i), n(i + 1)))).unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_levels_in_order() {
+        // 0 -> {1, 2}, 1 -> 3, 2 -> 3
+        let g = DiGraph::from_edges(4, [(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(3))])
+            .unwrap();
+        let order: Vec<_> = Bfs::new(&g, n(0)).collect();
+        assert_eq!(order, vec![n(0), n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn bfs_respects_edge_direction() {
+        let g = chain(3);
+        assert_eq!(Bfs::new(&g, n(2)).count(), 1);
+        assert_eq!(Bfs::new(&g, n(0)).count(), 3);
+    }
+
+    #[test]
+    fn bfs_handles_cycles() {
+        let g = DiGraph::from_edges(3, [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))]).unwrap();
+        let order: Vec<_> = Bfs::new(&g, n(1)).collect();
+        assert_eq!(order, vec![n(1), n(2), n(0)]);
+    }
+
+    #[test]
+    fn dfs_preorder_prefers_low_ids() {
+        // 0 -> {1, 2}, 1 -> 3
+        let g = DiGraph::from_edges(4, [(n(0), n(2)), (n(0), n(1)), (n(1), n(3))]).unwrap();
+        let order: Vec<_> = Dfs::new(&g, n(0)).collect();
+        assert_eq!(order, vec![n(0), n(1), n(3), n(2)]);
+    }
+
+    #[test]
+    fn dfs_visits_each_node_once() {
+        let g = DiGraph::from_edges(3, [(n(0), n(1)), (n(1), n(0)), (n(1), n(2))]).unwrap();
+        let order: Vec<_> = Dfs::new(&g, n(0)).collect();
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn reachable_count_isolated_node_is_one() {
+        let g = DiGraph::new(4);
+        assert_eq!(reachable_count(&g, n(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_start_out_of_range_panics() {
+        let g = DiGraph::new(1);
+        let _ = Bfs::new(&g, n(3));
+    }
+}

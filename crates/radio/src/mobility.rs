@@ -1,0 +1,363 @@
+//! Node mobility models.
+//!
+//! The routing study assigns "random velocity to half of the nodes".
+//! [`Motion::RandomVelocity`] is that model — a fixed random heading and
+//! speed, reflecting off the arena walls. [`Motion::RandomWaypoint`] (the
+//! classic MANET benchmark model) is provided as well for extension
+//! experiments.
+
+use agentnet_graph::geometry::{Point2, Rect};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Which mobility model mobile nodes use (builder-level choice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub enum MobilityKind {
+    /// Fixed random heading/speed, bouncing off walls — the paper's model.
+    #[default]
+    RandomVelocity,
+    /// Move to a random waypoint, pause, pick a new one.
+    RandomWaypoint,
+    /// Temporally correlated velocity (Gauss-Markov): smooth paths whose
+    /// memory is tuned by a single parameter.
+    GaussMarkov,
+}
+
+/// Per-node motion state.
+///
+/// ```
+/// use agentnet_radio::mobility::Motion;
+/// use agentnet_graph::geometry::{Point2, Rect};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut motion = Motion::sample_random_velocity((2.0, 2.0), &mut rng);
+/// let arena = Rect::square(100.0);
+/// let p = motion.advance(Point2::new(50.0, 50.0), arena, &mut rng);
+/// assert!(arena.contains(p));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Motion {
+    /// The node never moves (stationary nodes and gateways).
+    Stationary,
+    /// Straight-line motion with wall reflection.
+    RandomVelocity {
+        /// Displacement per step (metres/step in each axis).
+        velocity: Point2,
+    },
+    /// Random-waypoint motion.
+    RandomWaypoint {
+        /// Speed in metres per step.
+        speed: f64,
+        /// Current destination.
+        target: Point2,
+        /// Steps remaining in the current pause (0 while travelling).
+        pause_left: u32,
+        /// Pause duration applied on every arrival.
+        pause: u32,
+    },
+    /// Gauss-Markov motion: `v_t = α·v_{t-1} + (1-α)·v̄ + σ·√(1-α²)·w_t`
+    /// per axis, with wall reflection. `α → 1` gives straight-line
+    /// memory, `α → 0` gives Brownian jitter.
+    GaussMarkov {
+        /// Current velocity (metres per step, per axis).
+        velocity: Point2,
+        /// Long-run mean velocity the process regresses to.
+        mean_velocity: Point2,
+        /// Memory parameter α in `[0, 1]`.
+        alpha: f64,
+        /// Per-axis noise scale σ (metres per step).
+        sigma: f64,
+    },
+}
+
+impl Motion {
+    /// Samples a random-velocity motion with speed drawn uniformly from
+    /// `speed_range` and a uniformly random heading.
+    pub fn sample_random_velocity(speed_range: (f64, f64), rng: &mut impl RngExt) -> Motion {
+        let speed = if speed_range.0 >= speed_range.1 {
+            speed_range.0
+        } else {
+            rng.random_range(speed_range.0..=speed_range.1)
+        };
+        let angle = rng.random_range(0.0..std::f64::consts::TAU);
+        Motion::RandomVelocity {
+            velocity: Point2::new(speed * angle.cos(), speed * angle.sin()),
+        }
+    }
+
+    /// Samples a random-waypoint motion within `arena`.
+    pub fn sample_random_waypoint(
+        speed_range: (f64, f64),
+        pause: u32,
+        arena: Rect,
+        rng: &mut impl RngExt,
+    ) -> Motion {
+        let speed = if speed_range.0 >= speed_range.1 {
+            speed_range.0
+        } else {
+            rng.random_range(speed_range.0..=speed_range.1)
+        };
+        let target =
+            Point2::new(rng.random_range(0.0..arena.width), rng.random_range(0.0..arena.height));
+        Motion::RandomWaypoint { speed, target, pause_left: 0, pause }
+    }
+
+    /// Samples a Gauss-Markov motion: mean velocity drawn like a
+    /// random-velocity heading from `speed_range`, with the given memory
+    /// `alpha` and noise `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= alpha <= 1.0` and `sigma >= 0`.
+    pub fn sample_gauss_markov(
+        speed_range: (f64, f64),
+        alpha: f64,
+        sigma: f64,
+        rng: &mut impl RngExt,
+    ) -> Motion {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!(sigma >= 0.0, "sigma must be nonnegative");
+        let mean = match Motion::sample_random_velocity(speed_range, rng) {
+            Motion::RandomVelocity { velocity } => velocity,
+            _ => unreachable!("sample_random_velocity returns RandomVelocity"),
+        };
+        Motion::GaussMarkov { velocity: mean, mean_velocity: mean, alpha, sigma }
+    }
+
+    /// Returns `true` for [`Motion::Stationary`].
+    pub fn is_stationary(&self) -> bool {
+        matches!(self, Motion::Stationary)
+    }
+
+    /// Advances one step of motion from `position`, returning the new
+    /// position and updating internal state (heading reflection, waypoint
+    /// selection).
+    pub fn advance(&mut self, position: Point2, arena: Rect, rng: &mut impl RngExt) -> Point2 {
+        match self {
+            Motion::Stationary => position,
+            Motion::RandomVelocity { velocity } => {
+                let mut p = position + *velocity;
+                // Reflect off each wall; the velocity component flips so
+                // the node keeps a straight path between bounces.
+                if p.x < 0.0 {
+                    p.x = -p.x;
+                    velocity.x = -velocity.x;
+                } else if p.x > arena.width {
+                    p.x = 2.0 * arena.width - p.x;
+                    velocity.x = -velocity.x;
+                }
+                if p.y < 0.0 {
+                    p.y = -p.y;
+                    velocity.y = -velocity.y;
+                } else if p.y > arena.height {
+                    p.y = 2.0 * arena.height - p.y;
+                    velocity.y = -velocity.y;
+                }
+                p.clamped(arena.width, arena.height)
+            }
+            Motion::GaussMarkov { velocity, mean_velocity, alpha, sigma } => {
+                let a = *alpha;
+                let noise = sigma.abs() * (1.0 - a * a).sqrt();
+                velocity.x =
+                    a * velocity.x + (1.0 - a) * mean_velocity.x + noise * gaussian(rng);
+                velocity.y =
+                    a * velocity.y + (1.0 - a) * mean_velocity.y + noise * gaussian(rng);
+                let mut p = position + *velocity;
+                if p.x < 0.0 {
+                    p.x = -p.x;
+                    velocity.x = -velocity.x;
+                    mean_velocity.x = -mean_velocity.x;
+                } else if p.x > arena.width {
+                    p.x = 2.0 * arena.width - p.x;
+                    velocity.x = -velocity.x;
+                    mean_velocity.x = -mean_velocity.x;
+                }
+                if p.y < 0.0 {
+                    p.y = -p.y;
+                    velocity.y = -velocity.y;
+                    mean_velocity.y = -mean_velocity.y;
+                } else if p.y > arena.height {
+                    p.y = 2.0 * arena.height - p.y;
+                    velocity.y = -velocity.y;
+                    mean_velocity.y = -mean_velocity.y;
+                }
+                p.clamped(arena.width, arena.height)
+            }
+            Motion::RandomWaypoint { speed, target, pause_left, pause } => {
+                if *pause_left > 0 {
+                    *pause_left -= 1;
+                    return position;
+                }
+                let to_target = *target - position;
+                let dist = to_target.norm();
+                if dist <= *speed {
+                    // Arrived: start pausing and pick the next waypoint.
+                    *pause_left = *pause;
+                    let arrived = *target;
+                    *target = Point2::new(
+                        rng.random_range(0.0..arena.width),
+                        rng.random_range(0.0..arena.height),
+                    );
+                    arrived
+                } else {
+                    let dir = to_target.normalized().expect("dist > speed >= 0 implies nonzero");
+                    position + dir * *speed
+                }
+            }
+        }
+    }
+}
+
+/// Approximately standard-normal sample (Irwin-Hall with 12 uniforms),
+/// good enough for mobility noise and dependency-free.
+fn gaussian(rng: &mut impl RngExt) -> f64 {
+    (0..12).map(|_| rng.random::<f64>()).sum::<f64>() - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn arena() -> Rect {
+        Rect::square(100.0)
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut m = Motion::Stationary;
+        let p = Point2::new(5.0, 5.0);
+        assert!(m.is_stationary());
+        assert_eq!(m.advance(p, arena(), &mut rng()), p);
+    }
+
+    #[test]
+    fn random_velocity_moves_at_constant_speed() {
+        let mut r = rng();
+        let mut m = Motion::sample_random_velocity((2.0, 2.0), &mut r);
+        let p0 = Point2::new(50.0, 50.0);
+        let p1 = m.advance(p0, arena(), &mut r);
+        assert!((p0.distance(p1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_velocity_bounces_off_walls() {
+        let mut m = Motion::RandomVelocity { velocity: Point2::new(-3.0, 0.0) };
+        let p = m.advance(Point2::new(1.0, 50.0), arena(), &mut rng());
+        assert!((p.x - 2.0).abs() < 1e-9, "reflected x, got {}", p.x);
+        match m {
+            Motion::RandomVelocity { velocity } => assert_eq!(velocity.x, 3.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn random_velocity_stays_in_arena_long_term() {
+        let mut r = rng();
+        let mut m = Motion::sample_random_velocity((1.0, 5.0), &mut r);
+        let mut p = Point2::new(50.0, 50.0);
+        for _ in 0..10_000 {
+            p = m.advance(p, arena(), &mut r);
+            assert!(arena().contains(p), "escaped arena at {p}");
+        }
+    }
+
+    #[test]
+    fn waypoint_reaches_target_and_repicks() {
+        let mut r = rng();
+        let mut m = Motion::RandomWaypoint {
+            speed: 10.0,
+            target: Point2::new(55.0, 50.0),
+            pause_left: 0,
+            pause: 2,
+        };
+        let p = m.advance(Point2::new(50.0, 50.0), arena(), &mut r);
+        assert_eq!(p, Point2::new(55.0, 50.0));
+        match m {
+            Motion::RandomWaypoint { pause_left, target, .. } => {
+                assert_eq!(pause_left, 2);
+                assert_ne!(target, Point2::new(55.0, 50.0));
+            }
+            _ => unreachable!(),
+        }
+        // Pausing: no movement for `pause` steps.
+        let p2 = m.advance(p, arena(), &mut r);
+        assert_eq!(p2, p);
+    }
+
+    #[test]
+    fn waypoint_moves_toward_target() {
+        let mut r = rng();
+        let target = Point2::new(90.0, 50.0);
+        let mut m = Motion::RandomWaypoint { speed: 4.0, target, pause_left: 0, pause: 0 };
+        let p0 = Point2::new(50.0, 50.0);
+        let p1 = m.advance(p0, arena(), &mut r);
+        assert!(p1.distance(target) < p0.distance(target));
+        assert!((p0.distance(p1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauss_markov_stays_in_arena_and_has_memory() {
+        let mut r = rng();
+        let mut m = Motion::sample_gauss_markov((2.0, 4.0), 0.9, 0.5, &mut r);
+        let mut p = Point2::new(50.0, 50.0);
+        let mut hops = Vec::new();
+        for _ in 0..2000 {
+            let next = m.advance(p, arena(), &mut r);
+            assert!(arena().contains(next), "escaped at {next}");
+            hops.push(next - p);
+            p = next;
+        }
+        // With alpha = 0.9 consecutive displacements correlate strongly.
+        let mut dot = 0.0;
+        let mut norm = 0.0;
+        for w in hops.windows(2) {
+            dot += w[0].x * w[1].x + w[0].y * w[1].y;
+            norm += w[0].x * w[0].x + w[0].y * w[0].y;
+        }
+        assert!(dot / norm > 0.5, "no temporal correlation: {}", dot / norm);
+    }
+
+    #[test]
+    fn gauss_markov_alpha_one_is_straight_line_between_bounces() {
+        let mut r = rng();
+        let mut m = Motion::GaussMarkov {
+            velocity: Point2::new(1.0, 0.0),
+            mean_velocity: Point2::new(1.0, 0.0),
+            alpha: 1.0,
+            sigma: 3.0, // noise is multiplied by sqrt(1 - alpha^2) = 0
+        };
+        let p0 = Point2::new(10.0, 50.0);
+        let p1 = m.advance(p0, arena(), &mut r);
+        let p2 = m.advance(p1, arena(), &mut r);
+        assert!(((p1 - p0).x - (p2 - p1).x).abs() < 1e-12);
+        assert!(((p1 - p0).y - (p2 - p1).y).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn gauss_markov_rejects_bad_alpha() {
+        let mut r = rng();
+        let _ = Motion::sample_gauss_markov((1.0, 2.0), 1.5, 0.1, &mut r);
+    }
+
+    #[test]
+    fn degenerate_speed_range_uses_lower_bound() {
+        let mut r = rng();
+        match Motion::sample_random_velocity((3.0, 3.0), &mut r) {
+            Motion::RandomVelocity { velocity } => {
+                assert!((velocity.norm() - 3.0).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

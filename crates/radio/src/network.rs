@@ -1,0 +1,272 @@
+//! The dynamic wireless network: nodes plus the link digraph they induce.
+
+use crate::node::WirelessNode;
+use crate::spatial::SpatialGrid;
+use agentnet_engine::Step;
+use agentnet_graph::geometry::Rect;
+use agentnet_graph::{DiGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A wireless ad-hoc network whose topology is re-derived from node
+/// positions, battery charge and radio ranges every step.
+///
+/// The directed link `A -> B` exists iff `B`'s position lies inside `A`'s
+/// *current effective* radio range. Mobility and battery decay make "links
+/// broken and reformed frequently", exactly the environment of the paper's
+/// routing study. A network whose nodes are all stationary and
+/// mains-powered keeps a constant topology — the mapping study's setting.
+///
+/// Created through [`crate::NetworkBuilder`].
+#[derive(Clone, Debug)]
+pub struct WirelessNetwork {
+    arena: Rect,
+    nodes: Vec<WirelessNode>,
+    links: DiGraph,
+    gateways: Vec<NodeId>,
+    now: Step,
+    mobility_rng: SmallRng,
+}
+
+impl WirelessNetwork {
+    /// Assembles a network from parts; link table is computed immediately.
+    ///
+    /// Most callers should use [`crate::NetworkBuilder`] instead. The
+    /// `mobility_seed` feeds the stream used by random-waypoint target
+    /// selection so runs are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node ids are not exactly `0..nodes.len()` in order.
+    pub fn from_nodes(arena: Rect, nodes: Vec<WirelessNode>, mobility_seed: u64) -> Self {
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.id.index(), i, "node ids must be dense and ordered");
+        }
+        let gateways =
+            nodes.iter().filter(|n| n.kind.is_gateway()).map(|n| n.id).collect();
+        let mut net = WirelessNetwork {
+            arena,
+            nodes,
+            links: DiGraph::new(0),
+            gateways,
+            now: Step::ZERO,
+            mobility_rng: SmallRng::seed_from_u64(mobility_seed),
+        };
+        net.links = net.compute_links();
+        net
+    }
+
+    /// The simulation arena.
+    pub fn arena(&self) -> Rect {
+        self.arena
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes, ordered by id.
+    pub fn nodes(&self) -> &[WirelessNode] {
+        &self.nodes
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &WirelessNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node, for fault-injection scenarios (drain a
+    /// battery, teleport a node, change its motion). The link table does
+    /// **not** refresh until the next [`Self::advance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut WirelessNode {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Ids of gateway nodes.
+    pub fn gateways(&self) -> &[NodeId] {
+        &self.gateways
+    }
+
+    /// The current link digraph.
+    pub fn links(&self) -> &DiGraph {
+        &self.links
+    }
+
+    /// The current simulated time (number of [`Self::advance`] calls).
+    pub fn now(&self) -> Step {
+        self.now
+    }
+
+    /// Advances the network one time step: batteries decay, mobile nodes
+    /// move, and the link table is rebuilt.
+    pub fn advance(&mut self) {
+        for node in &mut self.nodes {
+            node.battery.step();
+            node.position =
+                node.motion.advance(node.position, self.arena, &mut self.mobility_rng);
+        }
+        self.links = self.compute_links();
+        self.now = self.now.next();
+    }
+
+    /// Recomputes the directed link graph from current node state.
+    fn compute_links(&self) -> DiGraph {
+        let n = self.nodes.len();
+        let mut g = DiGraph::new(n);
+        if n == 0 {
+            return g;
+        }
+        let positions: Vec<_> = self.nodes.iter().map(|nd| nd.position).collect();
+        let max_range = self
+            .nodes
+            .iter()
+            .map(|nd| nd.effective_range())
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        // Cell size of the max range keeps candidate sets tight while the
+        // 3x3 cell neighbourhood of a query still covers the whole disc.
+        let grid = SpatialGrid::build(self.arena, max_range, &positions);
+        for node in &self.nodes {
+            let r = node.effective_range();
+            for j in grid.candidates_within(node.position, r) {
+                let to = NodeId::new(j);
+                if to != node.id && node.covers(positions[j]) {
+                    g.add_edge(node.id, to);
+                }
+            }
+        }
+        g
+    }
+
+    /// Fraction of non-gateway nodes with *instantaneous graph* reachability
+    /// to at least one gateway — an upper bound on routed connectivity,
+    /// useful as a diagnostic for how connectable the topology is.
+    pub fn reachability_upper_bound(&self) -> f64 {
+        agentnet_graph::connectivity::fraction_reaching(&self.links, &self.gateways)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery::{BatteryModel, BatteryState};
+    use crate::mobility::Motion;
+    use crate::node::NodeKind;
+    use agentnet_graph::geometry::Point2;
+
+    fn still_node(i: usize, x: f64, y: f64, range: f64) -> WirelessNode {
+        WirelessNode {
+            id: NodeId::new(i),
+            position: Point2::new(x, y),
+            nominal_range: range,
+            kind: NodeKind::Stationary,
+            battery: BatteryState::mains(),
+            motion: Motion::Stationary,
+        }
+    }
+
+    #[test]
+    fn links_follow_individual_ranges() {
+        // Node 0 has a long radio, node 1 a short one: link is one-way.
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 8.0, 0.0, 5.0)];
+        let net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!net.links().has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn stationary_mains_network_topology_is_stable() {
+        let nodes = vec![
+            still_node(0, 0.0, 0.0, 10.0),
+            still_node(1, 5.0, 0.0, 10.0),
+            still_node(2, 50.0, 50.0, 10.0),
+        ];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        let before = net.links().clone();
+        for _ in 0..10 {
+            net.advance();
+        }
+        assert_eq!(&before, net.links());
+        assert_eq!(net.now(), Step::new(10));
+    }
+
+    #[test]
+    fn battery_decay_breaks_links() {
+        let mut low = still_node(0, 0.0, 0.0, 10.0);
+        low.battery = BatteryState::new(BatteryModel::Linear { per_step: 0.2, floor: 0.1 });
+        let nodes = vec![low, still_node(1, 9.0, 0.0, 20.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+        for _ in 0..4 {
+            net.advance();
+        }
+        // charge 0.2 -> range 10*sqrt(0.2) ≈ 4.47 < 9
+        assert!(!net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+        // The big-radio node still covers the weak one.
+        assert!(net.links().has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn mobile_node_movement_reforms_links() {
+        let mut mover = still_node(0, 0.0, 50.0, 12.0);
+        mover.kind = NodeKind::Mobile;
+        mover.motion = Motion::RandomVelocity { velocity: Point2::new(5.0, 0.0) };
+        let nodes = vec![mover, still_node(1, 60.0, 50.0, 12.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        assert!(!net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+        for _ in 0..10 {
+            net.advance();
+        }
+        assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn gateways_are_collected() {
+        let mut g = still_node(0, 0.0, 0.0, 10.0);
+        g.kind = NodeKind::Gateway;
+        let net = WirelessNetwork::from_nodes(
+            Rect::square(10.0),
+            vec![g, still_node(1, 1.0, 0.0, 10.0)],
+            1,
+        );
+        assert_eq!(net.gateways(), &[NodeId::new(0)]);
+        assert!((net.reachability_upper_bound() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_mut_allows_fault_injection() {
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+        net.node_mut(NodeId::new(0)).battery =
+            BatteryState::with_charge(BatteryModel::Mains, 0.0);
+        // Takes effect at the next advance.
+        assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+        net.advance();
+        assert!(!net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dense and ordered")]
+    fn out_of_order_ids_panic() {
+        let nodes = vec![still_node(1, 0.0, 0.0, 1.0)];
+        let _ = WirelessNetwork::from_nodes(Rect::square(10.0), nodes, 1);
+    }
+
+    #[test]
+    fn empty_network_is_fine() {
+        let mut net = WirelessNetwork::from_nodes(Rect::square(10.0), vec![], 1);
+        net.advance();
+        assert_eq!(net.node_count(), 0);
+        assert_eq!(net.links().node_count(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The wireless node model.
+
+use crate::battery::BatteryState;
+use crate::mobility::Motion;
+use agentnet_graph::geometry::Point2;
+use agentnet_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Role of a node in the network.
+///
+/// The paper's taxonomy: most nodes are plain wireless nodes (stationary or
+/// mobile); "a small subset of nodes is gateways that have a high
+/// computability and connectivity capability ... connected to the outside
+/// world".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Stationary gateway with high connectivity; routing targets.
+    Gateway,
+    /// Ordinary stationary node.
+    Stationary,
+    /// Battery-powered mobile node.
+    Mobile,
+}
+
+impl NodeKind {
+    /// Returns `true` for [`NodeKind::Gateway`].
+    pub fn is_gateway(self) -> bool {
+        matches!(self, NodeKind::Gateway)
+    }
+
+    /// Returns `true` for [`NodeKind::Mobile`].
+    pub fn is_mobile(self) -> bool {
+        matches!(self, NodeKind::Mobile)
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Gateway => "gateway",
+            NodeKind::Stationary => "stationary",
+            NodeKind::Mobile => "mobile",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A wireless node: identity, kinematics and radio.
+///
+/// The node's *effective* radio range at any instant is
+/// `nominal_range * battery.range_factor()` — battery decay shrinks
+/// coverage over time.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WirelessNode {
+    /// Dense identifier (index into the network's node table).
+    pub id: NodeId,
+    /// Current position in the arena.
+    pub position: Point2,
+    /// Nominal (full-charge) radio range in metres.
+    pub nominal_range: f64,
+    /// Role.
+    pub kind: NodeKind,
+    /// Battery charge and decay model.
+    pub battery: BatteryState,
+    /// Motion state.
+    pub motion: Motion,
+}
+
+impl WirelessNode {
+    /// Effective radio range given the current battery charge.
+    pub fn effective_range(&self) -> f64 {
+        self.nominal_range * self.battery.range_factor()
+    }
+
+    /// Returns `true` if `other_pos` is inside this node's current radio
+    /// range, i.e. this node can transmit *to* a node at `other_pos`.
+    pub fn covers(&self, other_pos: Point2) -> bool {
+        let r = self.effective_range();
+        self.position.distance_sq(other_pos) <= r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery::BatteryModel;
+
+    fn node(range: f64, charge: f64) -> WirelessNode {
+        WirelessNode {
+            id: NodeId::new(0),
+            position: Point2::new(0.0, 0.0),
+            nominal_range: range,
+            kind: NodeKind::Stationary,
+            battery: BatteryState::with_charge(BatteryModel::Mains, charge),
+            motion: Motion::Stationary,
+        }
+    }
+
+    #[test]
+    fn effective_range_scales_with_battery() {
+        let n = node(100.0, 0.25);
+        assert!((n.effective_range() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covers_is_inclusive_on_boundary() {
+        let n = node(10.0, 1.0);
+        assert!(n.covers(Point2::new(10.0, 0.0)));
+        assert!(!n.covers(Point2::new(10.01, 0.0)));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Gateway.is_gateway());
+        assert!(!NodeKind::Mobile.is_gateway());
+        assert!(NodeKind::Mobile.is_mobile());
+        assert!(!NodeKind::Stationary.is_mobile());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(NodeKind::Gateway.to_string(), "gateway");
+        assert_eq!(NodeKind::Stationary.to_string(), "stationary");
+        assert_eq!(NodeKind::Mobile.to_string(), "mobile");
+    }
+}

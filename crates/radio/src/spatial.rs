@@ -1,0 +1,141 @@
+//! Uniform-grid spatial index for neighbour queries.
+//!
+//! Rebuilding the link digraph each step requires, for every node, the set
+//! of nodes inside its radio range. The grid buckets node indices by cell
+//! so a range query inspects only nearby cells instead of all `n` nodes,
+//! turning the per-step link rebuild from `O(n²)` into roughly
+//! `O(n · k)` for `k` nodes per neighbourhood.
+
+use agentnet_graph::geometry::{Point2, Rect};
+
+/// A uniform grid over an arena, bucketing point indices by cell.
+///
+/// ```
+/// use agentnet_graph::geometry::{Point2, Rect};
+/// use agentnet_radio::spatial::SpatialGrid;
+///
+/// let pts = vec![Point2::new(1.0, 1.0), Point2::new(9.0, 9.0), Point2::new(1.5, 1.0)];
+/// let grid = SpatialGrid::build(Rect::square(10.0), 2.0, &pts);
+/// let mut near: Vec<usize> = grid.candidates_within(pts[0], 1.0).collect();
+/// near.sort_unstable();
+/// assert!(near.contains(&2));      // the point 0.5 m away
+/// assert!(!near.contains(&1));     // the far corner is not a candidate
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpatialGrid {
+    arena: Rect,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<usize>>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid with cells of side `cell_size` (clamped to a sane
+    /// minimum) containing the given points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and positive.
+    pub fn build(arena: Rect, cell_size: f64, points: &[Point2]) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell size must be positive and finite"
+        );
+        let cols = (arena.width / cell_size).ceil().max(1.0) as usize;
+        let rows = (arena.height / cell_size).ceil().max(1.0) as usize;
+        let mut grid = SpatialGrid {
+            arena,
+            cell: cell_size,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+        };
+        for (i, &p) in points.iter().enumerate() {
+            let b = grid.bucket_of(p);
+            grid.buckets[b].push(i);
+        }
+        grid
+    }
+
+    fn bucket_of(&self, p: Point2) -> usize {
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Iterator over indices of points whose cell intersects the disc of
+    /// `radius` around `center` — a superset of the true in-range set;
+    /// callers still apply the exact distance test.
+    pub fn candidates_within(
+        &self,
+        center: Point2,
+        radius: f64,
+    ) -> impl Iterator<Item = usize> + '_ {
+        let min_cx = (((center.x - radius).max(0.0) / self.cell) as usize).min(self.cols - 1);
+        let max_cx =
+            (((center.x + radius).min(self.arena.width) / self.cell) as usize).min(self.cols - 1);
+        let min_cy = (((center.y - radius).max(0.0) / self.cell) as usize).min(self.rows - 1);
+        let max_cy =
+            (((center.y + radius).min(self.arena.height) / self.cell) as usize).min(self.rows - 1);
+        (min_cy..=max_cy).flat_map(move |cy| {
+            (min_cx..=max_cx)
+                .flat_map(move |cx| self.buckets[cy * self.cols + cx].iter().copied())
+        })
+    }
+
+    /// Number of cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions() {
+        let g = SpatialGrid::build(Rect::new(10.0, 4.0), 2.0, &[]);
+        assert_eq!(g.cell_count(), 5 * 2);
+    }
+
+    #[test]
+    fn candidates_are_superset_of_exact_in_range() {
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| Point2::new((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let g = SpatialGrid::build(Rect::square(10.0), 1.5, &pts);
+        let center = Point2::new(4.5, 4.5);
+        let radius = 2.0;
+        let cands: std::collections::HashSet<usize> =
+            g.candidates_within(center, radius).collect();
+        for (i, p) in pts.iter().enumerate() {
+            if center.distance(*p) <= radius {
+                assert!(cands.contains(&i), "missed in-range point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn points_on_arena_edge_are_indexed() {
+        let pts = vec![Point2::new(10.0, 10.0)];
+        let g = SpatialGrid::build(Rect::square(10.0), 3.0, &pts);
+        let found: Vec<usize> = g.candidates_within(Point2::new(9.5, 9.5), 1.0).collect();
+        assert_eq!(found, vec![0]);
+    }
+
+    #[test]
+    fn query_larger_than_arena_sees_everything() {
+        let pts = vec![Point2::new(0.5, 0.5), Point2::new(9.5, 9.5)];
+        let g = SpatialGrid::build(Rect::square(10.0), 2.0, &pts);
+        let all: Vec<usize> = g.candidates_within(Point2::new(5.0, 5.0), 100.0).collect();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn zero_cell_size_panics() {
+        let _ = SpatialGrid::build(Rect::square(1.0), 0.0, &[]);
+    }
+}

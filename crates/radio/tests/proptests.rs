@@ -1,0 +1,147 @@
+//! Property-based tests for the wireless substrate.
+
+use agentnet_graph::geometry::{Point2, Rect};
+use agentnet_radio::mobility::Motion;
+use agentnet_radio::{BatteryModel, BatteryState, NetworkBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn battery_charge_is_monotone_nonincreasing_and_floored(
+        per_step in 0.0f64..0.2,
+        floor in 0.0f64..0.9,
+        steps in 1usize..500,
+    ) {
+        let mut b = BatteryState::new(BatteryModel::Linear { per_step, floor });
+        let mut last = b.charge();
+        for _ in 0..steps {
+            b.step();
+            prop_assert!(b.charge() <= last + 1e-12);
+            prop_assert!(b.charge() >= floor - 1e-12);
+            last = b.charge();
+        }
+    }
+
+    #[test]
+    fn exponential_battery_never_exceeds_linear_floor_rules(
+        rate in 0.0f64..0.5,
+        floor in 0.0f64..0.9,
+        steps in 1usize..200,
+    ) {
+        let mut b = BatteryState::new(BatteryModel::Exponential { rate, floor });
+        for _ in 0..steps {
+            b.step();
+        }
+        prop_assert!(b.charge() <= 1.0 && b.charge() >= floor - 1e-12);
+        prop_assert!(b.range_factor() <= 1.0);
+    }
+
+    #[test]
+    fn random_velocity_motion_stays_in_arena(
+        seed in 0u64..500,
+        speed_lo in 0.0f64..5.0,
+        speed_hi_delta in 0.0f64..10.0,
+        width in 10.0f64..500.0,
+        height in 10.0f64..500.0,
+        steps in 1usize..400,
+    ) {
+        let arena = Rect::new(width, height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut motion =
+            Motion::sample_random_velocity((speed_lo, speed_lo + speed_hi_delta), &mut rng);
+        let mut p = Point2::new(width / 2.0, height / 2.0);
+        for _ in 0..steps {
+            p = motion.advance(p, arena, &mut rng);
+            prop_assert!(arena.contains(p), "escaped to {p}");
+        }
+    }
+
+    #[test]
+    fn waypoint_motion_stays_in_arena_and_progresses(
+        seed in 0u64..500,
+        speed in 0.5f64..20.0,
+        steps in 1usize..300,
+    ) {
+        let arena = Rect::square(200.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut motion = Motion::sample_random_waypoint((speed, speed), 2, arena, &mut rng);
+        let mut p = Point2::new(100.0, 100.0);
+        for _ in 0..steps {
+            let next = motion.advance(p, arena, &mut rng);
+            prop_assert!(arena.contains(next));
+            // A single hop never exceeds the sampled speed.
+            prop_assert!(p.distance(next) <= speed + 1e-9);
+            p = next;
+        }
+    }
+
+    #[test]
+    fn builder_produces_consistent_networks(
+        seed in 0u64..64,
+        nodes in 10usize..60,
+        gateways in 0usize..5,
+    ) {
+        let gateways = gateways.min(nodes / 2);
+        let net = NetworkBuilder::new(nodes)
+            .gateways(gateways)
+            .min_initial_reachability(0.0)
+            .build(seed)
+            .unwrap();
+        prop_assert_eq!(net.node_count(), nodes);
+        prop_assert_eq!(net.gateways().len(), gateways);
+        // Node ids are dense and ordered.
+        for (i, node) in net.nodes().iter().enumerate() {
+            prop_assert_eq!(node.id.index(), i);
+            prop_assert!(node.nominal_range > 0.0);
+            prop_assert!(net.arena().contains(node.position));
+        }
+        // Links agree with the coverage predicate.
+        for node in net.nodes() {
+            for &to in net.links().out_neighbors(node.id) {
+                prop_assert!(node.covers(net.node(to).position));
+            }
+        }
+    }
+
+    #[test]
+    fn advancing_preserves_node_count_and_arena(seed in 0u64..32, steps in 1usize..30) {
+        let mut net = NetworkBuilder::new(30)
+            .gateways(2)
+            .min_initial_reachability(0.0)
+            .build(seed)
+            .unwrap();
+        let n = net.node_count();
+        for _ in 0..steps {
+            net.advance();
+            prop_assert_eq!(net.node_count(), n);
+            for node in net.nodes() {
+                prop_assert!(net.arena().contains(node.position));
+                prop_assert!(node.battery.charge() <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_nodes_never_move(seed in 0u64..32) {
+        let mut net = NetworkBuilder::new(30)
+            .gateways(2)
+            .mobile_fraction(0.3)
+            .min_initial_reachability(0.0)
+            .build(seed)
+            .unwrap();
+        let before: Vec<_> = net
+            .nodes()
+            .iter()
+            .filter(|n| !n.kind.is_mobile())
+            .map(|n| (n.id, n.position))
+            .collect();
+        for _ in 0..10 {
+            net.advance();
+        }
+        for (id, pos) in before {
+            prop_assert_eq!(net.node(id).position, pos);
+        }
+    }
+}

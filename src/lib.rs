@@ -1,0 +1,38 @@
+//! `agentnet` — mobile software agents for wireless network mapping and
+//! dynamic routing.
+//!
+//! Facade crate re-exporting the whole workspace, which reproduces
+//! Khazaei, Mišić & Mišić, *"Mobile Software Agents for Wireless Network
+//! Mapping and Dynamic Routing"* (ICDCS 2010):
+//!
+//! * [`graph`] — directed-graph substrate (heterogeneous radios make
+//!   wireless links directed).
+//! * [`engine`] — deterministic time-step simulation engine, statistics
+//!   and replication.
+//! * [`radio`] — the wireless network model: mobility, battery decay,
+//!   per-step link tables.
+//! * [`core`] — the paper's contribution: mapping and routing agents
+//!   with stigmergic (footprint) and direct communication.
+//! * [`baselines`] — comparator systems: ant-colony routing and a
+//!   node-run distance-vector protocol.
+//! * [`experiments`] — every figure of the paper as a machine-checked
+//!   experiment (see the `repro` binary).
+//!
+//! See the README for an architecture overview and `examples/` for
+//! runnable scenarios.
+//!
+//! ```
+//! use agentnet::graph::{DiGraph, NodeId};
+//! let mut g = DiGraph::new(2);
+//! g.add_edge(NodeId::new(0), NodeId::new(1));
+//! assert_eq!(g.edge_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use agentnet_baselines as baselines;
+pub use agentnet_core as core;
+pub use agentnet_engine as engine;
+pub use agentnet_experiments as experiments;
+pub use agentnet_graph as graph;
+pub use agentnet_radio as radio;
