@@ -50,14 +50,7 @@ pub struct AcoConfig {
 impl AcoConfig {
     /// Defaults tuned for the paper's 250-node MANET.
     pub fn new(population: usize) -> Self {
-        AcoConfig {
-            population,
-            beta: 2.0,
-            evaporation: 0.02,
-            deposit: 1.0,
-            ttl: 50,
-            tau0: 0.05,
-        }
+        AcoConfig { population, beta: 2.0, evaporation: 0.02, deposit: 1.0, ttl: 50, tau0: 0.05 }
     }
 
     /// Sets the preference exponent β.
@@ -263,21 +256,16 @@ impl AcoSim {
         if neighbors.is_empty() {
             return None;
         }
-        let fresh: Vec<NodeId> = neighbors
-            .iter()
-            .copied()
-            .filter(|nbr| !ant.path.contains(nbr))
-            .collect();
+        let fresh: Vec<NodeId> =
+            neighbors.iter().copied().filter(|nbr| !ant.path.contains(nbr)).collect();
         let pool: &[NodeId] = if fresh.is_empty() { neighbors } else { &fresh };
         let table = &self.pheromone[at.index()];
         let gateways = self.net.gateways();
         let weights: Vec<f64> = pool
             .iter()
             .map(|&nbr| {
-                let tau: f64 = gateways
-                    .iter()
-                    .map(|&gw| table.get(&(gw, nbr)).copied().unwrap_or(0.0))
-                    .sum();
+                let tau: f64 =
+                    gateways.iter().map(|&gw| table.get(&(gw, nbr)).copied().unwrap_or(0.0)).sum();
                 (self.config.tau0 + tau).powf(self.config.beta)
             })
             .collect();
@@ -315,21 +303,17 @@ impl TimeStepSim for AcoSim {
         let gateways: Vec<NodeId> = self.net.gateways().to_vec();
         for i in 0..self.ants.len() {
             let mut ant = std::mem::replace(&mut self.ants[i], ForwardAnt { path: Vec::new() });
-            let next = self.choose_hop(&ant);
-            match next {
-                Some(next) => {
-                    ant.path.push(next);
-                    self.ant_moves += 1;
-                    if gateways.contains(&next) {
-                        self.deposit(&ant.path);
-                        self.deliveries += 1;
-                        ant = self.respawn();
-                    } else if ant.path.len() as u32 > self.config.ttl {
-                        ant = self.respawn();
-                    }
+            // A stranded ant (no out-links) waits in place.
+            if let Some(next) = self.choose_hop(&ant) {
+                ant.path.push(next);
+                self.ant_moves += 1;
+                if gateways.contains(&next) {
+                    self.deposit(&ant.path);
+                    self.deliveries += 1;
+                    ant = self.respawn();
+                } else if ant.path.len() as u32 > self.config.ttl {
+                    ant = self.respawn();
                 }
-                // Stranded (no out-links): wait in place.
-                None => {}
             }
             self.ants[i] = ant;
         }
@@ -434,10 +418,7 @@ mod tests {
             .run(150)
             .window_mean(100..150)
             .unwrap();
-        assert!(
-            large > small,
-            "a bigger colony ({large:.3}) should beat a tiny one ({small:.3})"
-        );
+        assert!(large > small, "a bigger colony ({large:.3}) should beat a tiny one ({small:.3})");
     }
 
     #[test]

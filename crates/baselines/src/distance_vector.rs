@@ -221,7 +221,7 @@ impl TimeStepSim for DvSim {
         // keeps the update order-independent and hence deterministic.
         let vectors: Vec<Vec<Option<u32>>> = (0..n).map(|v| self.vector_of(v)).collect();
         self.broadcasts += n as u64;
-        for v in 0..n {
+        for (v, vector) in vectors.iter().enumerate() {
             let from = NodeId::new(v);
             for &w in links.out_neighbors(from) {
                 self.receptions += 1;
@@ -229,7 +229,7 @@ impl TimeStepSim for DvSim {
                 if !links.has_edge(w, from) {
                     continue;
                 }
-                for (gi, dist) in vectors[v].iter().enumerate() {
+                for (gi, dist) in vector.iter().enumerate() {
                     let Some(dist) = dist else { continue };
                     let candidate = dist + 1;
                     if candidate > self.config.max_dist {
@@ -333,8 +333,7 @@ mod tests {
                         let next_entry = sim.entry(e.next, gw);
                         let next_is_gw = e.next == gw;
                         assert!(
-                            next_is_gw
-                                || next_entry.is_some_and(|ne| ne.dist <= e.dist),
+                            next_is_gw || next_entry.is_some_and(|ne| ne.dist <= e.dist),
                             "inconsistent dv chain at {node} towards {gw}"
                         );
                     }

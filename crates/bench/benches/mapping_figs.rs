@@ -81,17 +81,13 @@ fn fig5_fig6_population_sweep(c: &mut Criterion) {
             ("stig_super", MappingPolicy::SuperConscientious, true),
         ] {
             let config = MappingConfig::new(policy, pop).stigmergic(stig);
-            group.bench_with_input(
-                BenchmarkId::new(name, pop),
-                &config,
-                |b, cfg| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        black_box(run_mapping(&graph, cfg, seed))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, pop), &config, |b, cfg| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_mapping(&graph, cfg, seed))
+                });
+            });
         }
     }
     group.finish();

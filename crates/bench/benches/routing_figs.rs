@@ -94,9 +94,8 @@ fn extensions(c: &mut Criterion) {
     print_figure_rows("ext-tiebreak");
     print_figure_rows("ext-degradation");
     let net = bench_routing_network();
-    let config = RoutingConfig::new(RoutingPolicy::OldestNode, 40)
-        .communication(true)
-        .stigmergic(true);
+    let config =
+        RoutingConfig::new(RoutingPolicy::OldestNode, 40).communication(true).stigmergic(true);
     let mut group = c.benchmark_group("ext_stigmergic_routing_kernel");
     group.sample_size(10);
     group.bench_function("oldest_comm_stig", |b| {

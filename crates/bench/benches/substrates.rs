@@ -102,12 +102,46 @@ fn baseline_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn executor_scheduling(c: &mut Criterion) {
+    use agentnet_engine::cache::ResultCache;
+    use agentnet_engine::rng::SeedSequence;
+    use agentnet_engine::Executor;
+    use rand::RngExt;
+
+    // A cell heavy enough that scheduling overhead is visible but
+    // speedup from extra workers still dominates on multicore.
+    let cell = |i: usize, seeds: SeedSequence| -> f64 {
+        let mut rng = seeds.rng();
+        (0..20_000).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() + i as f64
+    };
+    let seeds = SeedSequence::new(7).child(1);
+
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("run_cells_32", jobs), &jobs, |b, &jobs| {
+            let exec = Executor::new(jobs);
+            b.iter(|| black_box(exec.run_cells("bench", 0, 32, seeds, cell).len()));
+        });
+    }
+    group.bench_function("run_cells_32_cached", |b| {
+        let root =
+            std::env::temp_dir().join(format!("agentnet-bench-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let exec = Executor::new(1).with_cache(ResultCache::new(&root), true);
+        b.iter(|| black_box(exec.run_cells("bench", 0, 32, seeds, cell).len()));
+        let _ = std::fs::remove_dir_all(&root);
+    });
+    group.finish();
+}
+
 criterion_group!(
     substrates,
     graph_generation,
     graph_algorithms,
     wireless_link_rebuild,
     knowledge_structures,
-    baseline_kernels
+    baseline_kernels,
+    executor_scheduling
 );
 criterion_main!(substrates);

@@ -18,10 +18,7 @@ use agentnet_radio::{NetworkBuilder, WirelessNetwork};
 /// A reduced-scale mapping graph (fast enough to run inside a bench
 /// iteration, same construction as the paper's network).
 pub fn bench_mapping_graph() -> DiGraph {
-    GeometricConfig::new(100, 720)
-        .generate(42)
-        .expect("bench mapping graph must generate")
-        .graph
+    GeometricConfig::new(100, 720).generate(42).expect("bench mapping graph must generate").graph
 }
 
 /// A reduced-scale routing network.
@@ -56,7 +53,7 @@ pub fn run_routing(net: &WirelessNetwork, config: &RoutingConfig, seed: u64, ste
 pub fn print_figure_rows(exp_id: &str) {
     let exp = agentnet_experiments::registry::by_id(exp_id)
         .unwrap_or_else(|| panic!("unknown experiment {exp_id}"));
-    let report = (exp.run)(agentnet_experiments::Mode::Smoke);
+    let report = exp.run_serial(agentnet_experiments::Mode::Smoke);
     eprintln!("\n===== {exp_id} (smoke-mode regeneration) =====");
     eprintln!("{}", report.to_markdown());
 }

@@ -77,19 +77,13 @@ mod tests {
 
     #[test]
     fn best_route_prefers_fewest_hops() {
-        let routes = vec![
-            (n(9), vec![n(0), n(1), n(2), n(9)]),
-            (n(8), vec![n(0), n(3), n(8)]),
-        ];
+        let routes = vec![(n(9), vec![n(0), n(1), n(2), n(9)]), (n(8), vec![n(0), n(3), n(8)])];
         assert_eq!(best_route(&routes).unwrap().0, n(8));
     }
 
     #[test]
     fn best_route_ties_break_deterministically() {
-        let routes = vec![
-            (n(9), vec![n(0), n(9)]),
-            (n(8), vec![n(0), n(8)]),
-        ];
+        let routes = vec![(n(9), vec![n(0), n(9)]), (n(8), vec![n(0), n(8)])];
         assert_eq!(best_route(&routes).unwrap().0, n(8));
         assert!(best_route(&[]).is_none());
     }

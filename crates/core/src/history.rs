@@ -95,8 +95,7 @@ impl Trail {
     /// stands on the target.
     pub fn route_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
         let pos = self.entries.iter().rposition(|&(n, _)| n == target)?;
-        let mut hops: Vec<NodeId> =
-            self.entries.iter().skip(pos).map(|&(n, _)| n).collect();
+        let mut hops: Vec<NodeId> = self.entries.iter().skip(pos).map(|&(n, _)| n).collect();
         hops.reverse();
         Some(hops)
     }
@@ -104,10 +103,8 @@ impl Trail {
     /// Every target of `targets` present in the trail, with its extracted
     /// route, shortest first.
     pub fn routes_to_any(&self, targets: &[NodeId]) -> Vec<(NodeId, Vec<NodeId>)> {
-        let mut out: Vec<(NodeId, Vec<NodeId>)> = targets
-            .iter()
-            .filter_map(|&t| self.route_to(t).map(|r| (t, r)))
-            .collect();
+        let mut out: Vec<(NodeId, Vec<NodeId>)> =
+            targets.iter().filter_map(|&t| self.route_to(t).map(|r| (t, r))).collect();
         out.sort_by_key(|(_, r)| r.len());
         out
     }

@@ -18,8 +18,8 @@
 use crate::agent::AgentId;
 use crate::comm::{union_edges, union_visits};
 use crate::error::CoreError;
-use crate::overhead::{mapping_agent_state_bytes, Overhead};
 use crate::knowledge::{EdgeSet, VisitTimes};
+use crate::overhead::{mapping_agent_state_bytes, Overhead};
 use crate::policy::{choose_move, MappingPolicy, TieBreak};
 use crate::stigmergy::FootprintBoard;
 use crate::trace::{TraceEvent, TraceLog};
@@ -249,8 +249,7 @@ impl MappingSim {
     /// Mean number of stale (no-longer-existing) edges in agent
     /// knowledge.
     pub fn mean_stale_edges(&self) -> f64 {
-        let sum: f64 =
-            self.agents.iter().map(|a| a.edges.stale_count(&self.graph) as f64).sum();
+        let sum: f64 = self.agents.iter().map(|a| a.edges.stale_count(&self.graph) as f64).sum();
         sum / self.agents.len() as f64
     }
 
@@ -262,18 +261,20 @@ impl MappingSim {
     /// Mean fraction of edges known across agents right now.
     pub fn mean_knowledge(&self) -> f64 {
         let total = self.graph.edge_count();
-        let sum: f64 =
-            self.agents.iter().map(|a| a.edges.knowledge_fraction(total)).sum();
+        let sum: f64 = self.agents.iter().map(|a| a.edges.knowledge_fraction(total)).sum();
         sum / self.agents.len() as f64
+    }
+
+    /// Knowledge fraction of each agent, in agent order.
+    pub fn per_agent_knowledge(&self) -> Vec<f64> {
+        let total = self.graph.edge_count();
+        self.agents.iter().map(|a| a.edges.knowledge_fraction(total)).collect()
     }
 
     /// Knowledge fraction of the worst-informed agent.
     pub fn min_knowledge(&self) -> f64 {
         let total = self.graph.edge_count();
-        self.agents
-            .iter()
-            .map(|a| a.edges.knowledge_fraction(total))
-            .fold(f64::INFINITY, f64::min)
+        self.agents.iter().map(|a| a.edges.knowledge_fraction(total)).fold(f64::INFINITY, f64::min)
     }
 
     /// Current node of each agent, in agent order.
@@ -309,7 +310,8 @@ impl MappingSim {
         for g in &mut self.scratch_groups {
             g.clear();
         }
-        let mut by_node: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+        let mut by_node: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::new();
         let mut used = 0usize;
         for (i, agent) in self.agents.iter().enumerate() {
             let slot = *by_node.entry(agent.at).or_insert_with(|| {
@@ -358,9 +360,8 @@ impl TimeStepSim for MappingSim {
             }
             let union_e = union_edges(group.iter().map(|&i| &self.agents[i].edges))
                 .expect("group is nonempty");
-            let union_v =
-                union_visits(group.iter().map(|&i| &self.agents[i].merged_visits))
-                    .expect("group is nonempty");
+            let union_v = union_visits(group.iter().map(|&i| &self.agents[i].merged_visits))
+                .expect("group is nonempty");
             for &i in group {
                 self.agents[i].edges = union_e.clone();
                 self.agents[i].merged_visits = union_v.clone();
@@ -396,7 +397,13 @@ impl TimeStepSim for MappingSim {
                     &avoid,
                     Some(|n: NodeId| agent.first_visits.last_visit(n)),
                     self.config.tie_break,
-                    agent.first_visits.content_hash(),
+                    // Conscientious rankings come from private first-hand
+                    // visits, which meetings never merge, so herding can only
+                    // be the same-start artifact; salting the seed with agent
+                    // identity dissolves it without touching the paper's
+                    // convergence herding (super-conscientious / oldest-node).
+                    agent.first_visits.content_hash()
+                        ^ crate::policy::mix64(0x636f_6e73_6369 ^ i as u64),
                     &mut self.rng,
                 ),
                 MappingPolicy::SuperConscientious => choose_move(
@@ -487,8 +494,9 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let g = small_net();
-        assert!(MappingSim::new(g.clone(), MappingConfig::new(MappingPolicy::Random, 0), 1)
-            .is_err());
+        assert!(
+            MappingSim::new(g.clone(), MappingConfig::new(MappingPolicy::Random, 0), 1).is_err()
+        );
         assert!(MappingSim::new(DiGraph::new(0), MappingConfig::new(MappingPolicy::Random, 1), 1)
             .is_err());
         assert!(MappingSim::new(DiGraph::new(5), MappingConfig::new(MappingPolicy::Random, 1), 1)
@@ -677,8 +685,8 @@ mod tests {
         // Same setup without stigmergy: deterministic tie-break makes
         // co-located super-conscientious agents pick the same exit.
         let g = grid(3, 3);
-        let cfg = MappingConfig::new(MappingPolicy::SuperConscientious, 4)
-            .tie_break(TieBreak::LowestId);
+        let cfg =
+            MappingConfig::new(MappingPolicy::SuperConscientious, 4).tie_break(TieBreak::LowestId);
         let mut sim = MappingSim::new(g, cfg, 1).unwrap();
         for a in &mut sim.agents {
             a.at = NodeId::new(4);

@@ -128,8 +128,7 @@ where
     if candidates.is_empty() {
         return None;
     }
-    let unmarked: Vec<NodeId> =
-        candidates.iter().copied().filter(|c| !avoid.contains(c)).collect();
+    let unmarked: Vec<NodeId> = candidates.iter().copied().filter(|c| !avoid.contains(c)).collect();
     let pool: &[NodeId] = if unmarked.is_empty() { candidates } else { &unmarked };
 
     let Some(lookup) = last_visit else {

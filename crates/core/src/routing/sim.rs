@@ -198,11 +198,7 @@ impl RoutingSim {
     ///
     /// Returns [`CoreError::InvalidConfig`] for an empty population, zero
     /// history, an empty network, or a network without gateways.
-    pub fn new(
-        net: WirelessNetwork,
-        config: RoutingConfig,
-        seed: u64,
-    ) -> Result<Self, CoreError> {
+    pub fn new(net: WirelessNetwork, config: RoutingConfig, seed: u64) -> Result<Self, CoreError> {
         if config.population == 0 {
             return Err(CoreError::invalid("routing needs at least one agent"));
         }
@@ -230,13 +226,11 @@ impl RoutingSim {
                 let at = NodeId::new(rng.random_range(0..n));
                 let mut memory = VisitMemory::new(config.history_size);
                 memory.record(at, Step::ZERO);
-                let carried = is_gateway[at.index()]
-                    .then_some(Carried { gateway: at, hops: 0 });
+                let carried = is_gateway[at.index()].then_some(Carried { gateway: at, hops: 0 });
                 RoutingAgent { at, carried, memory }
             })
             .collect();
-        let boards =
-            (0..n).map(|_| FootprintBoard::new(config.footprint_capacity)).collect();
+        let boards = (0..n).map(|_| FootprintBoard::new(config.footprint_capacity)).collect();
         let trace = TraceLog::new(config.trace_capacity);
         Ok(RoutingSim {
             net,
@@ -476,14 +470,10 @@ impl RoutingSim {
                 continue;
             }
             match &mut agent.carried {
-                Some(c) if c.hops + 1 <= history => {
+                Some(c) if c.hops < history => {
                     c.hops += 1;
-                    self.tables[agent.at.index()].install(RouteEntry::new(
-                        c.gateway,
-                        prev,
-                        c.hops,
-                        now,
-                    ));
+                    self.tables[agent.at.index()]
+                        .install(RouteEntry::new(c.gateway, prev, c.hops, now));
                     self.overhead.table_writes += 1;
                     if self.config.trace_capacity > 0 {
                         self.trace.record(TraceEvent::TableWrite {
@@ -531,11 +521,7 @@ mod tests {
     use agentnet_radio::NetworkBuilder;
 
     fn small_net(seed: u64) -> WirelessNetwork {
-        NetworkBuilder::new(40)
-            .gateways(3)
-            .target_edges(320)
-            .build(seed)
-            .unwrap()
+        NetworkBuilder::new(40).gateways(3).target_edges(320).build(seed).unwrap()
     }
 
     fn static_net(seed: u64) -> WirelessNetwork {
@@ -550,8 +536,9 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let net = small_net(1);
-        assert!(RoutingSim::new(net.clone(), RoutingConfig::new(RoutingPolicy::Random, 0), 1)
-            .is_err());
+        assert!(
+            RoutingSim::new(net.clone(), RoutingConfig::new(RoutingPolicy::Random, 0), 1).is_err()
+        );
         assert!(RoutingSim::new(
             net.clone(),
             RoutingConfig::new(RoutingPolicy::Random, 1).history_size(0),
@@ -698,9 +685,8 @@ mod tests {
 
     #[test]
     fn overhead_counters_accumulate() {
-        let cfg = RoutingConfig::new(RoutingPolicy::OldestNode, 10)
-            .communication(true)
-            .stigmergic(true);
+        let cfg =
+            RoutingConfig::new(RoutingPolicy::OldestNode, 10).communication(true).stigmergic(true);
         let mut sim = RoutingSim::new(static_net(12), cfg, 3).unwrap();
         for s in 0..40 {
             sim.step(Step::new(s));
@@ -727,10 +713,7 @@ mod tests {
         assert_eq!(plain.overhead().footprint_writes, 0);
         assert!(stig.overhead().footprint_writes > 0);
         // Footprints never add migration weight: bytes per hop identical.
-        assert_eq!(
-            plain.overhead().bytes_per_migration(),
-            stig.overhead().bytes_per_migration()
-        );
+        assert_eq!(plain.overhead().bytes_per_migration(), stig.overhead().bytes_per_migration());
     }
 
     #[test]
@@ -744,10 +727,7 @@ mod tests {
         let victim = sim.network().gateways()[0];
         assert!(sim.fail_gateway(victim));
         assert!(!sim.fail_gateway(victim), "double-fail must report false");
-        assert_eq!(
-            sim.live_gateways().len(),
-            sim.network().gateways().len() - 1
-        );
+        assert_eq!(sim.live_gateways().len(), sim.network().gateways().len() - 1);
         let after = sim.connectivity();
         assert!(after <= before, "losing an exit cannot help: {before} -> {after}");
     }
@@ -814,8 +794,7 @@ mod tests {
     fn stigmergic_routing_runs_and_differs() {
         let base = RoutingConfig::new(RoutingPolicy::OldestNode, 12);
         let plain = RoutingSim::new(small_net(9), base.clone(), 3).unwrap().run(80);
-        let stig =
-            RoutingSim::new(small_net(9), base.stigmergic(true), 3).unwrap().run(80);
+        let stig = RoutingSim::new(small_net(9), base.stigmergic(true), 3).unwrap().run(80);
         assert_ne!(plain, stig, "stigmergy had no effect at all");
     }
 
@@ -823,9 +802,7 @@ mod tests {
     fn share_before_decide_ablation_changes_dynamics() {
         let base = RoutingConfig::new(RoutingPolicy::OldestNode, 15).communication(true);
         let a = RoutingSim::new(small_net(10), base.clone(), 3).unwrap().run(80);
-        let b = RoutingSim::new(small_net(10), base.share_before_decide(true), 3)
-            .unwrap()
-            .run(80);
+        let b = RoutingSim::new(small_net(10), base.share_before_decide(true), 3).unwrap().run(80);
         assert_ne!(a, b);
     }
 }

@@ -240,10 +240,7 @@ mod tests {
         let mut t = traffic(RoutingPolicy::OldestNode, 1);
         let stats = t.run(150);
         assert_eq!(stats.sent, 150 * 4);
-        assert_eq!(
-            stats.sent,
-            stats.delivered + stats.dropped + t.in_flight() as u64
-        );
+        assert_eq!(stats.sent, stats.delivered + stats.dropped + t.in_flight() as u64);
         assert!(stats.delivered > 0, "no packet ever delivered");
     }
 
@@ -280,8 +277,7 @@ mod tests {
     #[test]
     fn empty_traffic_config_sends_nothing() {
         let net = NetworkBuilder::new(30).gateways(2).build(3).unwrap();
-        let sim =
-            RoutingSim::new(net, RoutingConfig::new(RoutingPolicy::Random, 5), 1).unwrap();
+        let sim = RoutingSim::new(net, RoutingConfig::new(RoutingPolicy::Random, 5), 1).unwrap();
         let mut t = TrafficSim::new(sim, TrafficConfig { packets_per_step: 0, ttl: 10 }, 1);
         let stats = t.run(20);
         assert_eq!(stats.sent, 0);

@@ -86,19 +86,13 @@ impl FootprintBoard {
     /// points at `target` — i.e. a recent agent already left this node in
     /// that direction.
     pub fn is_marked(&self, target: NodeId, now: Step, window: u64) -> bool {
-        self.slots
-            .iter()
-            .any(|fp| fp.target == target && now.since(fp.at) <= window)
+        self.slots.iter().any(|fp| fp.target == target && now.since(fp.at) <= window)
     }
 
     /// All distinct targets marked within `window` steps of `now`.
     pub fn marked_targets(&self, now: Step, window: u64) -> Vec<NodeId> {
-        let mut targets: Vec<NodeId> = self
-            .slots
-            .iter()
-            .filter(|fp| now.since(fp.at) <= window)
-            .map(|fp| fp.target)
-            .collect();
+        let mut targets: Vec<NodeId> =
+            self.slots.iter().filter(|fp| now.since(fp.at) <= window).map(|fp| fp.target).collect();
         targets.sort_unstable();
         targets.dedup();
         targets
@@ -157,10 +151,7 @@ mod tests {
         fp(&mut b, 0, 9, 1);
         fp(&mut b, 1, 3, 2);
         fp(&mut b, 2, 9, 3);
-        assert_eq!(
-            b.marked_targets(Step::new(3), 100),
-            vec![NodeId::new(3), NodeId::new(9)]
-        );
+        assert_eq!(b.marked_targets(Step::new(3), 100), vec![NodeId::new(3), NodeId::new(9)]);
         // Tight window keeps only the latest imprint.
         assert_eq!(b.marked_targets(Step::new(3), 0), vec![NodeId::new(9)]);
     }

@@ -1,0 +1,256 @@
+//! Content-addressed on-disk cache of replicate cell results.
+//!
+//! One *cell* is the smallest unit of experiment work: a single
+//! replicate of one parameter setting of one experiment. A cell is
+//! addressed by [`CellKey`] — the experiment id, a hash of everything
+//! that determines the cell's value except randomness (configuration,
+//! topology, constants), and the replicate's derived RNG seed. Because
+//! every simulation in this workspace is bit-deterministic in its seed,
+//! the key fully determines the value, so results can be transparently
+//! reused across runs: a killed sweep resumes where it stopped, and a
+//! `--full` run reuses the cells a `--quick` run already computed.
+//!
+//! **Invalidation rule:** any change to an experiment's configuration
+//! (or to the simulation semantics, via [`SCHEMA_VERSION`]) changes the
+//! config hash, which changes the cell's path — the stale entry is
+//! simply never read again. Entries are plain JSON files under the
+//! cache root; deleting the directory is always safe.
+
+use crate::rng::SeedSequence;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Bump when simulation semantics change in a way serialized configs
+/// cannot express (e.g. a policy bugfix alters trajectories). Stale
+/// cells from older schemas are never read.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Address of one replicate cell.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CellKey<'a> {
+    /// The experiment the cell belongs to (e.g. `"fig5"`).
+    pub experiment: &'a str,
+    /// Hash of the cell's full configuration (see [`hash_config`]).
+    pub config_hash: u64,
+    /// The replicate's derived RNG seed.
+    pub seed: u64,
+}
+
+impl CellKey<'_> {
+    /// Relative path of this cell under the cache root:
+    /// `<experiment>/<config_hash>-<seed>.json`.
+    fn rel_path(&self) -> PathBuf {
+        let dir: String = self
+            .experiment
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        PathBuf::from(dir).join(format!("{:016x}-{:016x}.json", self.config_hash, self.seed))
+    }
+}
+
+/// FNV-1a over a byte string — a stable, dependency-free content hash.
+/// (Not cryptographic; collisions would silently alias cache entries,
+/// but at 64 bits that needs billions of distinct configs.)
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of a cell configuration: a kind label (which helper /
+/// metric the cell computes) plus any serializable parameter bundle.
+/// The serialized JSON is the canonical form, so two configs hash equal
+/// iff they serialize equal. [`SCHEMA_VERSION`] is mixed in so semantic
+/// changes to the simulator can invalidate every existing entry at once.
+pub fn hash_config<T: Serialize + ?Sized>(kind: &str, params: &T) -> u64 {
+    let json = serde_json::to_string(params).unwrap_or_default();
+    let mut h = hash_bytes(kind.as_bytes());
+    h ^= hash_bytes(json.as_bytes()).rotate_left(17);
+    h ^= u64::from(SCHEMA_VERSION).rotate_left(48);
+    h
+}
+
+/// A directory of cell results, one JSON file per cell.
+///
+/// All operations are infallible from the caller's perspective: a
+/// missing, unreadable, corrupted or mismatched entry loads as `None`
+/// (the caller recomputes), and a failed store is reported but never
+/// fatal (the run still has the value in memory).
+#[derive(Clone, Debug)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (lazily — no I/O happens here) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ResultCache { root: root.into() }
+    }
+
+    /// The cache's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, key: &CellKey<'_>) -> PathBuf {
+        self.root.join(key.rel_path())
+    }
+
+    /// Loads the cell stored under `key`, or `None` if it is absent,
+    /// unparsable, or was stored under a different key (a corrupted or
+    /// hand-edited file). Never panics and never errors: a bad entry
+    /// behaves exactly like a miss.
+    pub fn load<T: Deserialize>(&self, key: &CellKey<'_>) -> Option<T> {
+        let text = std::fs::read_to_string(self.path(key)).ok()?;
+        let value: serde_json::Value = serde_json::parse(&text).ok()?;
+        let envelope = value.as_object()?;
+        // The envelope must match the key exactly — path collisions or
+        // truncated/garbled writes must not surface as foreign results.
+        if envelope.get("schema")?.as_u64()? != u64::from(SCHEMA_VERSION)
+            || envelope.get("experiment")?.as_str()? != key.experiment
+            || envelope.get("config_hash")?.as_u64()? != key.config_hash
+            || envelope.get("seed")?.as_u64()? != key.seed
+        {
+            return None;
+        }
+        T::from_value(envelope.get("payload")?).ok()
+    }
+
+    /// Stores `payload` under `key`, atomically (write to a sibling temp
+    /// file, then rename), so a kill mid-write leaves either the old
+    /// entry or none — never a torn one.
+    pub fn store<T: Serialize>(&self, key: &CellKey<'_>, payload: &T) -> std::io::Result<()> {
+        let path = self.path(key);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let entry = serde_json::json!({
+            "schema": SCHEMA_VERSION,
+            "experiment": key.experiment,
+            "config_hash": key.config_hash,
+            "seed": key.seed,
+            "payload": payload,
+        });
+        let text = serde_json::to_string(&entry)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // Temp name includes the seed so concurrent writers of different
+        // cells in the same experiment directory never collide.
+        let tmp = path.with_extension(format!("tmp-{:016x}", key.seed));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+        }
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Derives the cell key for replicate `index` of a group whose
+    /// replicate seeds fan out of `seeds` — the one place the
+    /// (experiment, config, replicate) → key mapping is defined.
+    pub fn key_for<'a>(
+        experiment: &'a str,
+        config_hash: u64,
+        seeds: SeedSequence,
+        index: usize,
+    ) -> CellKey<'a> {
+        CellKey { experiment, config_hash, seed: seeds.child(index as u64).seed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("agentnet-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = ResultCache::new(tmpdir("roundtrip"));
+        let key = CellKey { experiment: "fig1", config_hash: 0xabcd, seed: 42 };
+        cache.store(&key, &vec![1.5f64, 2.25, -0.75]).unwrap();
+        let back: Vec<f64> = cache.load(&key).unwrap();
+        assert_eq!(back, vec![1.5, 2.25, -0.75]);
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn float_payloads_round_trip_bit_exactly() {
+        let cache = ResultCache::new(tmpdir("bits"));
+        let key = CellKey { experiment: "fig1", config_hash: 1, seed: 2 };
+        for (i, v) in [0.1f64, 1.0 / 3.0, 1e-300, 12345.678901234567].iter().enumerate() {
+            let key = CellKey { seed: i as u64, ..key };
+            cache.store(&key, v).unwrap();
+            let back: f64 = cache.load(&key).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn missing_entry_is_none() {
+        let cache = ResultCache::new(tmpdir("missing"));
+        let key = CellKey { experiment: "fig1", config_hash: 7, seed: 7 };
+        assert_eq!(cache.load::<f64>(&key), None);
+    }
+
+    #[test]
+    fn corrupted_entry_is_none() {
+        let cache = ResultCache::new(tmpdir("corrupt"));
+        let key = CellKey { experiment: "fig1", config_hash: 9, seed: 9 };
+        cache.store(&key, &3.0f64).unwrap();
+        // Truncate the file mid-JSON.
+        let path = cache.root().join(key.rel_path());
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(cache.load::<f64>(&key), None);
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn entry_under_wrong_key_is_none() {
+        let cache = ResultCache::new(tmpdir("wrongkey"));
+        let key = CellKey { experiment: "fig1", config_hash: 5, seed: 5 };
+        cache.store(&key, &1.0f64).unwrap();
+        // Move the file to a different key's path: envelope mismatch.
+        let other = CellKey { experiment: "fig1", config_hash: 5, seed: 6 };
+        std::fs::rename(cache.root().join(key.rel_path()), cache.root().join(other.rel_path()))
+            .unwrap();
+        assert_eq!(cache.load::<f64>(&other), None);
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn config_hash_separates_kinds_params_and_schema() {
+        let a = hash_config("mapping-finish", &(1u64, 2u64));
+        let b = hash_config("mapping-curve", &(1u64, 2u64));
+        let c = hash_config("mapping-finish", &(1u64, 3u64));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, hash_config("mapping-finish", &(1u64, 2u64)));
+    }
+
+    #[test]
+    fn key_paths_are_filesystem_safe() {
+        let key = CellKey { experiment: "ext/weird id", config_hash: 1, seed: 1 };
+        let rel = key.rel_path();
+        assert_eq!(rel.components().count(), 2);
+        assert!(rel.to_str().unwrap().starts_with("ext_weird_id/"));
+    }
+
+    #[test]
+    fn key_for_matches_seed_tree() {
+        let seeds = SeedSequence::new(99);
+        let key = ResultCache::key_for("fig2", 11, seeds, 3);
+        assert_eq!(key.seed, seeds.child(3).seed());
+        assert_eq!(key.experiment, "fig2");
+    }
+}

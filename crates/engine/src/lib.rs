@@ -16,6 +16,11 @@
 //!   intervals over replicate runs.
 //! * [`replicate`] — a parallel replication runner (the paper repeats every
 //!   parameter setting 40 times).
+//! * [`cache`] — a content-addressed on-disk store of replicate results,
+//!   keyed by experiment, configuration hash, and replicate seed.
+//! * [`exec`] — the cell executor: flattens (experiment × parameter ×
+//!   replicate) work across a shared worker pool, resumes from the cache,
+//!   and emits structured run events.
 //! * [`sweep`] — parameter sweeps producing labelled result rows.
 //! * [`table`] — markdown / CSV / JSON emission of result tables.
 //! * [`plot`] — terminal sparklines and block charts of time series.
@@ -40,7 +45,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod events;
+pub mod exec;
 pub mod plot;
 pub mod replicate;
 pub mod rng;
@@ -50,6 +57,8 @@ pub mod sweep;
 pub mod table;
 pub mod timeseries;
 
+pub use cache::ResultCache;
+pub use exec::{Executor, RunEvent};
 pub use rng::SeedSequence;
 pub use sim::{run_until, RunOutcome, Step, TimeStepSim};
 pub use stats::Summary;

@@ -39,10 +39,8 @@ where
     if runs == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(runs);
+    let workers =
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(runs);
     if workers <= 1 {
         return (0..runs).map(|i| job(i, seeds.child(i as u64))).collect();
     }
@@ -70,10 +68,7 @@ where
         for (i, value) in rx {
             slots[i] = Some(value);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("replicate worker dropped a result"))
-            .collect()
+        slots.into_iter().map(|s| s.expect("replicate worker dropped a result")).collect()
     })
 }
 

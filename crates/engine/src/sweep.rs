@@ -67,16 +67,12 @@ impl Sweep {
     /// The row whose summary mean is smallest (e.g. the fastest finishing
     /// time), or `None` for an empty sweep.
     pub fn best_by_min_mean(&self) -> Option<&SweepRow> {
-        self.rows
-            .iter()
-            .min_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
+        self.rows.iter().min_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
     }
 
     /// The row whose summary mean is largest (e.g. the best connectivity).
     pub fn best_by_max_mean(&self) -> Option<&SweepRow> {
-        self.rows
-            .iter()
-            .max_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
+        self.rows.iter().max_by(|a, b| a.summary.mean.total_cmp(&b.summary.mean))
     }
 
     /// Means in sweep order (convenient for shape assertions in tests).

@@ -84,10 +84,7 @@ impl TimeSeries {
     /// First step index at which the series reaches `threshold`
     /// (`values[i] >= threshold`), or `None` if it never does.
     pub fn first_reaching(&self, threshold: f64) -> Option<Step> {
-        self.values
-            .iter()
-            .position(|&v| v >= threshold)
-            .map(|i| Step::new(i as u64))
+        self.values.iter().position(|&v| v >= threshold).map(|i| Step::new(i as u64))
     }
 
     /// Element-wise mean of several equal-length series (used to average
@@ -104,10 +101,7 @@ impl TimeSeries {
         let nonempty: Vec<&TimeSeries> = series.iter().filter(|s| !s.is_empty()).collect();
         let mut out = TimeSeries::with_capacity(longest);
         for i in 0..longest {
-            let sum: f64 = nonempty
-                .iter()
-                .map(|s| s.values[i.min(s.len() - 1)])
-                .sum();
+            let sum: f64 = nonempty.iter().map(|s| s.values[i.min(s.len() - 1)]).sum();
             out.record(sum / nonempty.len() as f64);
         }
         out

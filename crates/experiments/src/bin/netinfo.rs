@@ -71,18 +71,12 @@ fn print_graph_profile(graph: &DiGraph) {
     table.push_row(["nodes", &graph.node_count().to_string()]);
     table.push_row(["directed edges", &graph.edge_count().to_string()]);
     table.push_row(["density", &format!("{:.4}", graph.density())]);
-    let sym = graph
-        .edges()
-        .filter(|e| graph.has_edge(e.to, e.from))
-        .count();
+    let sym = graph.edges().filter(|e| graph.has_edge(e.to, e.from)).count();
     table.push_row([
         "bidirectional edge fraction",
         &format!("{:.3}", sym as f64 / graph.edge_count().max(1) as f64),
     ]);
-    table.push_row([
-        "strongly connected",
-        &is_strongly_connected(graph).to_string(),
-    ]);
+    table.push_row(["strongly connected", &is_strongly_connected(graph).to_string()]);
     table.push_row([
         "strongly connected components",
         &strongly_connected_components(graph).len().to_string(),
@@ -116,17 +110,11 @@ fn main() {
         }
     };
 
-    println!(
-        "# netinfo — {} nodes, target {} edges, seed {}\n",
-        args.nodes, args.edges, args.seed
-    );
+    println!("# netinfo — {} nodes, target {} edges, seed {}\n", args.nodes, args.edges, args.seed);
     print_graph_profile(net.links());
 
     if args.gateways > 0 {
-        println!(
-            "gateway reachability at t=0: {:.3}",
-            net.reachability_upper_bound()
-        );
+        println!("gateway reachability at t=0: {:.3}", net.reachability_upper_bound());
     }
     if args.steps > 0 {
         let mut series = Vec::new();

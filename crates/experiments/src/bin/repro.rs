@@ -1,20 +1,46 @@
 //! `repro` — regenerate every table/figure of the paper.
 //!
 //! ```text
-//! repro [--full] [--json FILE] [--out DIR] [--list] [EXPERIMENT_ID ...]
+//! repro [--smoke|--quick|--full] [--jobs N] [--resume] [--no-cache]
+//!       [--cache-dir DIR] [--filter SUBSTRING]... [--json FILE]
+//!       [--out DIR] [--trace] [--list] [EXPERIMENT_ID ...]
 //! ```
 //!
-//! Without ids, runs the whole registry. `--full` uses the paper's 40
-//! replicates per setting (default is a quick 8-replicate pass).
-//! `--json FILE` additionally writes machine-readable results and
-//! `--out DIR` writes one CSV per experiment.
+//! Without ids, runs the whole registry; `--filter` keeps the
+//! experiments whose id contains a substring. `--full` uses the paper's
+//! 40 replicates per setting (default is a quick 8-replicate pass;
+//! `--smoke` runs 2 for a fast shape check).
+//!
+//! Experiments run concurrently, their replicate cells flattened across
+//! a shared pool of `--jobs` workers (default: all cores). Every
+//! computed cell is persisted to `--cache-dir` (default
+//! `results_cache/`); `--resume` loads cached cells instead of
+//! recomputing them, so an interrupted run picks up where it stopped
+//! and a repeated run is nearly free. Reports are printed in registry
+//! order and are byte-identical for every `--jobs` value and cache
+//! state.
+//!
+//! Progress, per-cell trace events (`--trace`), and a final run-metrics
+//! table (cells, cache hit rate, wall-clock, cells/s per experiment)
+//! go to stderr; only reports and the summary go to stdout. `--json
+//! FILE` additionally writes machine-readable results and `--out DIR`
+//! writes one CSV per experiment.
 
-use agentnet_experiments::{registry, Mode};
+use agentnet_engine::table::Table;
+use agentnet_engine::{Executor, ResultCache, RunEvent};
+use agentnet_experiments::{registry, Ctx, Mode};
+use crossbeam::channel;
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--full] [--json FILE] [--out DIR] [--list] [EXPERIMENT_ID ...]");
+    eprintln!(
+        "usage: repro [--smoke|--quick|--full] [--jobs N] [--resume] [--no-cache]\n\
+         \x20            [--cache-dir DIR] [--filter SUBSTRING]... [--json FILE]\n\
+         \x20            [--out DIR] [--trace] [--list] [EXPERIMENT_ID ...]"
+    );
     eprintln!("experiments:");
     for e in registry::all() {
         eprintln!("  {:<16} {}", e.id, e.title);
@@ -22,8 +48,29 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Smoke => "smoke",
+        Mode::Quick => "quick",
+        Mode::Full => "full",
+    }
+}
+
+/// Per-experiment cell counters aggregated from the executor's events.
+#[derive(Default, Clone, Copy)]
+struct CellStats {
+    cells: usize,
+    hits: usize,
+}
+
 fn main() -> ExitCode {
     let mut mode = Mode::Quick;
+    let mut jobs = 0usize; // 0 = all cores
+    let mut resume = false;
+    let mut no_cache = false;
+    let mut cache_dir = String::from("results_cache");
+    let mut filters: Vec<String> = Vec::new();
+    let mut trace = false;
     let mut json_path: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
@@ -32,6 +79,22 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--full" => mode = Mode::Full,
             "--quick" => mode = Mode::Quick,
+            "--smoke" => mode = Mode::Smoke,
+            "--jobs" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => jobs = n,
+                None => usage(),
+            },
+            "--resume" => resume = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => match args.next() {
+                Some(dir) => cache_dir = dir,
+                None => usage(),
+            },
+            "--filter" => match args.next() {
+                Some(sub) => filters.push(sub),
+                None => usage(),
+            },
+            "--trace" => trace = true,
             "--json" => match args.next() {
                 Some(path) => json_path = Some(path),
                 None => usage(),
@@ -52,35 +115,112 @@ fn main() -> ExitCode {
         }
     }
 
-    let experiments: Vec<_> = if ids.is_empty() {
+    let mut experiments: Vec<_> = if ids.is_empty() {
         registry::all()
     } else {
         ids.iter()
-            .map(|id| registry::by_id(id).unwrap_or_else(|| {
-                eprintln!("unknown experiment id: {id}");
-                usage()
-            }))
+            .map(|id| {
+                registry::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id}");
+                    usage()
+                })
+            })
             .collect()
     };
+    if !filters.is_empty() {
+        experiments.retain(|e| filters.iter().any(|f| e.id.contains(f.as_str())));
+    }
+    if experiments.is_empty() {
+        eprintln!("no experiments selected");
+        return ExitCode::FAILURE;
+    }
+
+    let mut exec = Executor::new(jobs);
+    if !no_cache {
+        exec = exec.with_cache(ResultCache::new(&cache_dir), resume);
+    }
+    let (event_tx, event_rx) = channel::unbounded::<RunEvent>();
+    let exec = exec.with_event_sink(event_tx);
+    eprintln!(
+        "repro: {} experiment(s), {} mode, {} worker(s), cache {}",
+        experiments.len(),
+        mode_name(mode),
+        exec.jobs(),
+        if no_cache {
+            "off".to_string()
+        } else {
+            format!("{cache_dir} ({})", if resume { "resume" } else { "write-only" })
+        },
+    );
+
+    // Drains trace events while experiments run; returns the per-
+    // experiment counters once the executor (the only sender) drops.
+    let collector = std::thread::spawn(move || {
+        let mut stats: BTreeMap<String, CellStats> = BTreeMap::new();
+        for event in event_rx {
+            let RunEvent::CellFinished { experiment, replicate, seed, cached, micros } = event;
+            if trace {
+                eprintln!(
+                    "cell {experiment} replicate={replicate} seed={seed:016x} \
+                     cached={cached} micros={micros}"
+                );
+            }
+            let entry = stats.entry(experiment).or_default();
+            entry.cells += 1;
+            if cached {
+                entry.hits += 1;
+            }
+        }
+        stats
+    });
+
+    // One thread per experiment; the shared executor flattens their
+    // cells over its worker permits. Reports fan back in indexed so
+    // stdout order (and content) is independent of scheduling.
+    let run_started = Instant::now();
+    let (report_tx, report_rx) = channel::unbounded();
+    std::thread::scope(|scope| {
+        for (idx, exp) in experiments.iter().enumerate() {
+            let report_tx = report_tx.clone();
+            let exec = &exec;
+            scope.spawn(move || {
+                eprintln!("running {} ...", exp.id);
+                let started = Instant::now();
+                let report = (exp.run)(&Ctx::new(exec, exp.id, mode));
+                let secs = started.elapsed().as_secs_f64();
+                eprintln!("finished {} in {secs:.1}s", exp.id);
+                let _ = report_tx.send((idx, report, secs));
+            });
+        }
+    });
+    drop(report_tx);
+    let total_secs = run_started.elapsed().as_secs_f64();
+
+    let mut slots: Vec<Option<(agentnet_experiments::report::ExperimentReport, f64)>> =
+        (0..experiments.len()).map(|_| None).collect();
+    for (idx, report, secs) in report_rx {
+        slots[idx] = Some((report, secs));
+    }
+    let results: Vec<_> =
+        slots.into_iter().map(|s| s.expect("experiment thread dropped its report")).collect();
+
+    // Executor dropped here: its event sender closes and the collector
+    // sees end-of-stream.
+    drop(exec);
+    let stats = collector.join().expect("event collector panicked");
 
     println!(
         "# agentnet repro — {} mode ({} replicates per setting)\n",
-        if mode == Mode::Full { "full" } else { "quick" },
+        mode_name(mode),
         mode.runs()
     );
 
-    let mut reports = Vec::new();
     let mut failures = 0usize;
-    for exp in &experiments {
-        eprintln!("running {} ...", exp.id);
-        let started = std::time::Instant::now();
-        let report = (exp.run)(mode);
-        let secs = started.elapsed().as_secs_f64();
+    for (report, _) in &results {
         if !report.passed() {
             failures += 1;
         }
         println!("{}", report.to_markdown());
-        println!("_elapsed: {secs:.1}s_\n");
         if let Some(dir) = &out_dir {
             if let Err(e) = std::fs::create_dir_all(dir) {
                 eprintln!("failed to create {dir}: {e}");
@@ -92,18 +232,47 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        reports.push(report);
     }
 
     println!("---\n## Summary\n");
-    for r in &reports {
+    for (r, _) in &results {
         println!("- {}: **{}** — {}", r.id, if r.passed() { "PASS" } else { "FAIL" }, r.title);
     }
 
+    // Run metrics (stderr, so stdout stays byte-identical across jobs
+    // counts and cache states).
+    let mut metrics =
+        Table::new(["experiment", "cells", "cache hits", "hit rate", "wall s", "cells/s"]);
+    let (mut all_cells, mut all_hits) = (0usize, 0usize);
+    for (exp, (_, secs)) in experiments.iter().zip(&results) {
+        let st = stats.get(exp.id).copied().unwrap_or_default();
+        all_cells += st.cells;
+        all_hits += st.hits;
+        metrics.push_row([
+            exp.id.to_string(),
+            st.cells.to_string(),
+            st.hits.to_string(),
+            if st.cells == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}%", 100.0 * st.hits as f64 / st.cells as f64)
+            },
+            format!("{secs:.1}"),
+            if *secs > 0.0 { format!("{:.1}", st.cells as f64 / secs) } else { "-".into() },
+        ]);
+    }
+    eprintln!("\nrun metrics:\n{}", metrics.to_markdown());
+    eprintln!(
+        "total: {all_cells} cells, {all_hits} cache hits ({:.0}%), {total_secs:.1}s wall, \
+         {:.1} cells/s",
+        if all_cells == 0 { 0.0 } else { 100.0 * all_hits as f64 / all_cells as f64 },
+        if total_secs > 0.0 { all_cells as f64 / total_secs } else { 0.0 },
+    );
+
     if let Some(path) = json_path {
         let json = serde_json::json!({
-            "mode": if mode == Mode::Full { "full" } else { "quick" },
-            "reports": reports.iter().map(|r| r.to_json()).collect::<Vec<_>>(),
+            "mode": mode_name(mode),
+            "reports": results.iter().map(|(r, _)| r.to_json()).collect::<Vec<_>>(),
         });
         match std::fs::File::create(&path) {
             Ok(mut f) => {

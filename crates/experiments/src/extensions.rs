@@ -1,7 +1,7 @@
 //! Extension and ablation experiments (E12–E14 in DESIGN.md).
 
 use crate::report::{Claim, ExperimentReport};
-use crate::{routing_connectivity, Mode, TOPOLOGY_SEED};
+use crate::{routing_connectivity, Ctx, TOPOLOGY_SEED};
 use agentnet_core::policy::{RoutingPolicy, TieBreak};
 use agentnet_core::routing::RoutingConfig;
 use agentnet_engine::table::Table;
@@ -13,16 +13,13 @@ use agentnet_radio::{BatteryModel, BatteryState, NetworkBuilder, WirelessNetwork
 ///
 /// Footprints repel followers, so they break exactly the chasing that
 /// direct communication induces in oldest-node agents (Fig. 11).
-pub fn ext_stigroute(mode: Mode) -> ExperimentReport {
+pub fn ext_stigroute(ctx: &Ctx) -> ExperimentReport {
     let base = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
-    let plain = routing_connectivity(&base, mode, 1200);
-    let stig = routing_connectivity(&base.clone().stigmergic(true), mode, 1201);
-    let comm = routing_connectivity(&base.clone().communication(true), mode, 1202);
-    let comm_stig = routing_connectivity(
-        &base.clone().communication(true).stigmergic(true),
-        mode,
-        1203,
-    );
+    let plain = routing_connectivity(ctx, &base, 1200);
+    let stig = routing_connectivity(ctx, &base.clone().stigmergic(true), 1201);
+    let comm = routing_connectivity(ctx, &base.clone().communication(true), 1202);
+    let comm_stig =
+        routing_connectivity(ctx, &base.clone().communication(true).stigmergic(true), 1203);
     let mut table = Table::new(["variant", "connectivity"]);
     table.push_row(["oldest-node", &plain.mean_ci_string(3)]);
     table.push_row(["oldest-node + stigmergy", &stig.mean_ci_string(3)]);
@@ -63,7 +60,7 @@ pub fn ext_stigroute(mode: Mode) -> ExperimentReport {
 /// * `random` — the paper's fix: the chasing penalty disappears;
 /// * `lowest-id` — globally-biased determinism: herds catastrophically
 ///   even *without* meetings.
-pub fn ext_tiebreak(mode: Mode) -> ExperimentReport {
+pub fn ext_tiebreak(ctx: &Ctx) -> ExperimentReport {
     let variants = [
         ("hashed", TieBreak::Hashed),
         ("random", TieBreak::Random),
@@ -73,9 +70,9 @@ pub fn ext_tiebreak(mode: Mode) -> ExperimentReport {
     let mut results = Vec::new();
     for (i, (name, tie)) in variants.iter().enumerate() {
         let base = RoutingConfig::new(RoutingPolicy::OldestNode, 100).tie_break(*tie);
-        let plain = routing_connectivity(&base, mode, 1300 + 2 * i as u64);
+        let plain = routing_connectivity(ctx, &base, 1300 + 2 * i as u64);
         let comm =
-            routing_connectivity(&base.clone().communication(true), mode, 1301 + 2 * i as u64);
+            routing_connectivity(ctx, &base.clone().communication(true), 1301 + 2 * i as u64);
         table.push_row([
             name.to_string(),
             plain.mean_ci_string(3),
@@ -132,10 +129,8 @@ fn degradable_network(fraction: f64, seed: u64) -> WirelessNetwork {
         .map(|mut node| {
             // Deterministically mark the first `count` ids battery-powered.
             if node.id.index() < count {
-                node.battery = BatteryState::new(BatteryModel::Linear {
-                    per_step: 0.5 / 300.0,
-                    floor: 0.3,
-                });
+                node.battery =
+                    BatteryState::new(BatteryModel::Linear { per_step: 0.5 / 300.0, floor: 0.3 });
             }
             node
         })
@@ -147,7 +142,7 @@ fn degradable_network(fraction: f64, seed: u64) -> WirelessNetwork {
 /// invalidates a once-perfect map over time ("the topology knowledge of
 /// the network become invalid after awhile, such that we need to fire up
 /// the agents again").
-pub fn ext_degradation(_mode: Mode) -> ExperimentReport {
+pub fn ext_degradation(_ctx: &Ctx) -> ExperimentReport {
     let horizon = 300u64;
     let mut table = Table::new(["battery fraction", "edges lost by t=150", "edges lost by t=300"]);
     let mut losses = Vec::new();
@@ -158,10 +153,7 @@ pub fn ext_degradation(_mode: Mode) -> ExperimentReport {
         let mut lost_end = 0usize;
         for t in 1..=horizon {
             net.advance();
-            let lost = initial
-                .edges()
-                .filter(|e| !net.links().has_edge(e.from, e.to))
-                .count();
+            let lost = initial.edges().filter(|e| !net.links().has_edge(e.from, e.to)).count();
             if t == 150 {
                 lost_mid = lost;
             }
@@ -206,10 +198,9 @@ pub fn ext_degradation(_mode: Mode) -> ExperimentReport {
     ExperimentReport {
         id: "ext-degradation".into(),
         title: "battery-driven link degradation invalidates a finished map".into(),
-        paper_claim:
-            "some links degrade over the network lifetime, so mapping must be re-fired \
+        paper_claim: "some links degrade over the network lifetime, so mapping must be re-fired \
              periodically (§II.A)"
-                .into(),
+            .into(),
         table,
         claims,
         figure: None,
@@ -221,43 +212,39 @@ pub fn ext_degradation(_mode: Mode) -> ExperimentReport {
 /// them running; first-hand refresh unlearns dead links while meetings
 /// keep spreading fresh ones. Measures the steady-state map accuracy a
 /// team sustains against continuous battery-driven link loss.
-pub fn ext_livemap(mode: Mode) -> ExperimentReport {
+pub fn ext_livemap(ctx: &Ctx) -> ExperimentReport {
     use agentnet_core::mapping::{MappingConfig, MappingSim};
     use agentnet_core::policy::MappingPolicy;
-    use agentnet_engine::replicate::run_replicates;
-    use agentnet_engine::rng::SeedSequence;
     use agentnet_engine::sim::{Step, TimeStepSim};
     use agentnet_engine::Summary;
 
     const STEPS: u64 = 400;
     const WINDOW: std::ops::Range<usize> = 200..400;
 
-    let mut table =
-        Table::new(["population", "steady accuracy", "stale edges / agent"]);
+    let mut table = Table::new(["population", "steady accuracy", "stale edges / agent"]);
     let mut rows = Vec::new();
     for (i, &pop) in [5usize, 15, 40].iter().enumerate() {
-        let seeds = SeedSequence::new(crate::MASTER_SEED).child(2000 + i as u64);
-        let results = run_replicates(mode.runs(), seeds, |_, s| {
-            // A stationary wireless field whose battery-powered nodes
-            // keep losing range: links die throughout the run.
-            let mut net = degradable_network(0.3, TOPOLOGY_SEED);
-            let config =
-                MappingConfig::new(MappingPolicy::Conscientious, pop).stigmergic(true);
-            let mut sim = MappingSim::new(net.links().clone(), config, s.seed())
-                .expect("valid mapping config");
-            let mut accuracy = Vec::new();
-            let mut stale = Vec::new();
-            for step in 0..STEPS {
-                net.advance();
-                sim.set_graph(net.links().clone());
-                sim.step(Step::new(step));
-                accuracy.push(sim.mean_accuracy());
-                stale.push(sim.mean_stale_edges());
-            }
-            let acc = accuracy[WINDOW].iter().sum::<f64>() / WINDOW.len() as f64;
-            let stl = stale[WINDOW].iter().sum::<f64>() / WINDOW.len() as f64;
-            (acc, stl)
-        });
+        let results: Vec<(f64, f64)> =
+            ctx.replicated("livemap", &(pop as u64), 2000 + i as u64, |_, s| {
+                // A stationary wireless field whose battery-powered nodes
+                // keep losing range: links die throughout the run.
+                let mut net = degradable_network(0.3, TOPOLOGY_SEED);
+                let config = MappingConfig::new(MappingPolicy::Conscientious, pop).stigmergic(true);
+                let mut sim = MappingSim::new(net.links().clone(), config, s.seed())
+                    .expect("valid mapping config");
+                let mut accuracy = Vec::new();
+                let mut stale = Vec::new();
+                for step in 0..STEPS {
+                    net.advance();
+                    sim.set_graph(net.links().clone());
+                    sim.step(Step::new(step));
+                    accuracy.push(sim.mean_accuracy());
+                    stale.push(sim.mean_stale_edges());
+                }
+                let acc = accuracy[WINDOW].iter().sum::<f64>() / WINDOW.len() as f64;
+                let stl = stale[WINDOW].iter().sum::<f64>() / WINDOW.len() as f64;
+                (acc, stl)
+            });
         let acc = Summary::from_samples(results.iter().map(|r| r.0)).expect("replicates ran");
         let stl = Summary::from_samples(results.iter().map(|r| r.1)).expect("replicates ran");
         table.push_row([pop.to_string(), acc.mean_ci_string(3), format!("{:.1}", stl.mean)]);
@@ -271,10 +258,7 @@ pub fn ext_livemap(mode: Mode) -> ExperimentReport {
         ),
         Claim::new(
             "more agents sustain a fresher map",
-            rows.iter()
-                .map(|r| format!("pop {}: {:.3}", r.0, r.1))
-                .collect::<Vec<_>>()
-                .join("; "),
+            rows.iter().map(|r| format!("pop {}: {:.3}", r.0, r.1)).collect::<Vec<_>>().join("; "),
             rows[2].1 > rows[0].1,
         ),
         Claim::new(
@@ -284,10 +268,7 @@ pub fn ext_livemap(mode: Mode) -> ExperimentReport {
         ),
         Claim::new(
             "meetings spread stale knowledge: stale edges per agent grow with population",
-            rows.iter()
-                .map(|r| format!("pop {}: {:.0}", r.0, r.2))
-                .collect::<Vec<_>>()
-                .join("; "),
+            rows.iter().map(|r| format!("pop {}: {:.0}", r.0, r.2)).collect::<Vec<_>>().join("; "),
             rows[2].2 > rows[0].2,
         ),
     ];
@@ -310,17 +291,15 @@ mod tests {
     #[test]
     fn degradable_network_marks_requested_fraction() {
         let net = degradable_network(0.3, 7);
-        let battery = net
-            .nodes()
-            .iter()
-            .filter(|n| n.battery.model() != BatteryModel::Mains)
-            .count();
+        let battery =
+            net.nodes().iter().filter(|n| n.battery.model() != BatteryModel::Mains).count();
         assert_eq!(battery, 90);
     }
 
     #[test]
     fn degradation_report_is_cheap_and_passes() {
-        let report = ext_degradation(Mode::Quick);
+        let exec = agentnet_engine::Executor::serial();
+        let report = ext_degradation(&Ctx::new(&exec, "ext-degradation", crate::Mode::Quick));
         assert!(report.passed(), "{}", report.to_markdown());
         assert_eq!(report.table.len(), 4);
     }

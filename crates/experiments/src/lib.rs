@@ -22,9 +22,23 @@
 //! use agentnet_experiments::{registry, Mode};
 //!
 //! for exp in registry::all() {
-//!     let report = (exp.run)(Mode::Quick);
+//!     let report = exp.run_serial(Mode::Quick);
 //!     println!("{}", report.to_markdown());
 //! }
+//! ```
+//!
+//! Experiments take a [`Ctx`], which carries the shared cell
+//! [`Executor`] — attach a cache and a jobs count to it (as the `repro`
+//! binary does) and every replicate cell is scheduled across the worker
+//! pool and persisted for later resumption:
+//!
+//! ```no_run
+//! use agentnet_engine::{Executor, ResultCache};
+//! use agentnet_experiments::{registry, Ctx, Mode};
+//!
+//! let exec = Executor::new(4).with_cache(ResultCache::new("results_cache"), true);
+//! let exp = registry::by_id("fig5").unwrap();
+//! let report = (exp.run)(&Ctx::new(&exec, exp.id, Mode::Full));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -42,9 +56,9 @@ pub use report::{Claim, ExperimentReport};
 
 use agentnet_core::mapping::{MappingConfig, MappingSim};
 use agentnet_core::routing::{RoutingConfig, RoutingSim};
-use agentnet_engine::replicate::run_replicates;
+use agentnet_engine::cache::hash_config;
 use agentnet_engine::rng::SeedSequence;
-use agentnet_engine::{Summary, TimeSeries};
+use agentnet_engine::{Executor, Summary, TimeSeries};
 use agentnet_graph::generators::GeometricConfig;
 use agentnet_graph::DiGraph;
 use agentnet_radio::NetworkBuilder;
@@ -72,6 +86,75 @@ impl Mode {
             Mode::Full => 40,
         }
     }
+}
+
+/// Everything an experiment needs to run: the shared cell executor
+/// (which carries the jobs limit, result cache, and event sink), the
+/// experiment's id (its cache namespace), and the compute budget.
+///
+/// One executor is shared by reference across all concurrently running
+/// experiments, so their replicate cells compete for the same worker
+/// permits and land in the same cache.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    exec: &'a Executor,
+    id: &'static str,
+    mode: Mode,
+}
+
+impl<'a> Ctx<'a> {
+    /// Binds an executor to one experiment at one compute budget.
+    pub fn new(exec: &'a Executor, id: &'static str, mode: Mode) -> Self {
+        Ctx { exec, id, mode }
+    }
+
+    /// The experiment id this context runs under.
+    pub fn id(&self) -> &'static str {
+        self.id
+    }
+
+    /// The compute budget.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Replicates per parameter setting under this budget.
+    pub fn runs(&self) -> usize {
+        self.mode.runs()
+    }
+
+    /// Runs one replicate group — [`runs`](Ctx::runs) cells of `job` on
+    /// the seed stream `MASTER_SEED → stream` — through the executor,
+    /// returning results in replicate order.
+    ///
+    /// `kind` names the metric the cells compute and `params` is
+    /// everything that determines a cell's value besides its seed;
+    /// together (with the stream) they form the group's cache identity,
+    /// so any config change invalidates exactly the affected cells.
+    /// Because a cell's seed depends only on `stream` and its index,
+    /// cache entries are shared across modes: a `Full` run reuses the
+    /// cells a `Quick` run already computed.
+    pub fn replicated<T, P, F>(&self, kind: &str, params: &P, stream: u64, job: F) -> Vec<T>
+    where
+        T: serde::Serialize + serde::Deserialize + Send,
+        P: serde::Serialize,
+        F: Fn(usize, SeedSequence) -> T + Sync,
+    {
+        let seeds = SeedSequence::new(MASTER_SEED).child(stream);
+        let hash = hash_config(kind, params) ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.exec.run_cells(self.id, hash, self.runs(), seeds, job)
+    }
+}
+
+/// Order-sensitive fingerprint of a graph's structure, for keying
+/// cached results computed on ad-hoc (non-paper) topologies.
+pub fn graph_fingerprint(graph: &DiGraph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ graph.node_count() as u64;
+    for e in graph.edges() {
+        h ^= ((e.from.index() as u64) << 32) | e.to.index() as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Master seed all experiments derive their randomness from.
@@ -117,13 +200,13 @@ pub fn paper_routing_network() -> NetworkBuilder {
 /// [`MAPPING_STEP_BUDGET`] — only possible on a non-strongly-connected
 /// graph, which the generator excludes.
 pub fn mapping_finishing_times(
+    ctx: &Ctx,
     graph: &DiGraph,
     config: &MappingConfig,
-    mode: Mode,
     stream: u64,
 ) -> Summary {
-    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
-    let samples = run_replicates(mode.runs(), seeds, |_, s| {
+    let params = (graph_fingerprint(graph), config.clone());
+    let samples: Vec<f64> = ctx.replicated("mapping-finish", &params, stream, |_, s| {
         let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
             .expect("mapping config must be valid");
         let out = sim.run(MAPPING_STEP_BUDGET);
@@ -135,13 +218,13 @@ pub fn mapping_finishing_times(
 
 /// Replicated mean knowledge-over-time curve for a mapping config.
 pub fn mapping_knowledge_curve(
+    ctx: &Ctx,
     graph: &DiGraph,
     config: &MappingConfig,
-    mode: Mode,
     stream: u64,
 ) -> TimeSeries {
-    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
-    let curves = run_replicates(mode.runs(), seeds, |_, s| {
+    let params = (graph_fingerprint(graph), config.clone());
+    let curves: Vec<TimeSeries> = ctx.replicated("mapping-curve", &params, stream, |_, s| {
         let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
             .expect("mapping config must be valid");
         let out = sim.run(MAPPING_STEP_BUDGET);
@@ -153,12 +236,10 @@ pub fn mapping_knowledge_curve(
 
 /// Replicated routing connectivity (mean over the paper's 150–300
 /// window).
-pub fn routing_connectivity(config: &RoutingConfig, mode: Mode, stream: u64) -> Summary {
-    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
-    let samples = run_replicates(mode.runs(), seeds, |_, s| {
-        let net = paper_routing_network()
-            .build(TOPOLOGY_SEED)
-            .expect("paper routing network must build");
+pub fn routing_connectivity(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> Summary {
+    let samples: Vec<f64> = ctx.replicated("routing-conn", config, stream, |_, s| {
+        let net =
+            paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
         let out = sim.run(ROUTING_STEPS);
@@ -172,12 +253,10 @@ pub fn routing_connectivity(config: &RoutingConfig, mode: Mode, stream: u64) -> 
 /// replicates. This is the "stability" the paper reads off its plots —
 /// it must be measured per run, not on the replicate-averaged curve
 /// (averaging smooths fluctuations away).
-pub fn routing_temporal_wobble(config: &RoutingConfig, mode: Mode, stream: u64) -> Summary {
-    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
-    let samples = run_replicates(mode.runs(), seeds, |_, s| {
-        let net = paper_routing_network()
-            .build(TOPOLOGY_SEED)
-            .expect("paper routing network must build");
+pub fn routing_temporal_wobble(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> Summary {
+    let samples: Vec<f64> = ctx.replicated("routing-wobble", config, stream, |_, s| {
+        let net =
+            paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
         let out = sim.run(ROUTING_STEPS);
@@ -187,12 +266,10 @@ pub fn routing_temporal_wobble(config: &RoutingConfig, mode: Mode, stream: u64) 
 }
 
 /// Replicated mean connectivity-over-time curve for a routing config.
-pub fn routing_connectivity_curve(config: &RoutingConfig, mode: Mode, stream: u64) -> TimeSeries {
-    let seeds = SeedSequence::new(MASTER_SEED).child(stream);
-    let curves = run_replicates(mode.runs(), seeds, |_, s| {
-        let net = paper_routing_network()
-            .build(TOPOLOGY_SEED)
-            .expect("paper routing network must build");
+pub fn routing_connectivity_curve(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> TimeSeries {
+    let curves: Vec<TimeSeries> = ctx.replicated("routing-curve", config, stream, |_, s| {
+        let net =
+            paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
         sim.run(ROUTING_STEPS).connectivity
@@ -257,8 +334,19 @@ mod tests {
     fn mapping_helper_is_deterministic() {
         let g = agentnet_graph::generators::grid(5, 5);
         let cfg = MappingConfig::new(MappingPolicy::Conscientious, 3);
-        let a = mapping_finishing_times(&g, &cfg, Mode::Quick, 1);
-        let b = mapping_finishing_times(&g, &cfg, Mode::Quick, 1);
+        let serial = Executor::serial();
+        let parallel = Executor::new(4);
+        let a = mapping_finishing_times(&Ctx::new(&serial, "t", Mode::Quick), &g, &cfg, 1);
+        let b = mapping_finishing_times(&Ctx::new(&parallel, "t", Mode::Quick), &g, &cfg, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_fingerprint_tracks_structure() {
+        let a = graph_fingerprint(&agentnet_graph::generators::grid(4, 4));
+        let b = graph_fingerprint(&agentnet_graph::generators::grid(4, 4));
+        let c = graph_fingerprint(&agentnet_graph::generators::grid(4, 5));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 }

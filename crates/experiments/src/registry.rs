@@ -1,7 +1,8 @@
 //! The experiment registry: every figure and extension by id.
 
 use crate::report::ExperimentReport;
-use crate::{comparisons, extensions, mapping_figs, routing_figs, Mode};
+use crate::{comparisons, extensions, mapping_figs, routing_figs, Ctx, Mode};
+use agentnet_engine::Executor;
 
 /// A runnable experiment.
 #[derive(Clone, Copy, Debug)]
@@ -11,17 +12,23 @@ pub struct Experiment {
     /// Human title.
     pub title: &'static str,
     /// Regenerates the figure and checks its shape claims.
-    pub run: fn(Mode) -> ExperimentReport,
+    pub run: fn(&Ctx) -> ExperimentReport,
+}
+
+impl Experiment {
+    /// Runs the experiment one cell at a time with no cache — the
+    /// reference configuration every parallel/cached run must match
+    /// bit-for-bit. Tests and benches use this.
+    pub fn run_serial(&self, mode: Mode) -> ExperimentReport {
+        let exec = Executor::serial();
+        (self.run)(&Ctx::new(&exec, self.id, mode))
+    }
 }
 
 /// Every experiment, in paper order followed by extensions.
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment {
-            id: "fig1",
-            title: "single agent, Minar baselines",
-            run: mapping_figs::fig1,
-        },
+        Experiment { id: "fig1", title: "single agent, Minar baselines", run: mapping_figs::fig1 },
         Experiment {
             id: "fig2",
             title: "single agent, stigmergic variants",
@@ -37,11 +44,7 @@ pub fn all() -> Vec<Experiment> {
             title: "knowledge over time, 15 stigmergic conscientious agents",
             run: mapping_figs::fig4,
         },
-        Experiment {
-            id: "fig5",
-            title: "population sweep, Minar agents",
-            run: mapping_figs::fig5,
-        },
+        Experiment { id: "fig5", title: "population sweep, Minar agents", run: mapping_figs::fig5 },
         Experiment {
             id: "fig6",
             title: "population sweep, stigmergic agents",
@@ -52,16 +55,8 @@ pub fn all() -> Vec<Experiment> {
             title: "connectivity over time, 100 oldest-node agents",
             run: routing_figs::fig7,
         },
-        Experiment {
-            id: "fig8",
-            title: "connectivity vs population",
-            run: routing_figs::fig8,
-        },
-        Experiment {
-            id: "fig9",
-            title: "connectivity vs history size",
-            run: routing_figs::fig9,
-        },
+        Experiment { id: "fig8", title: "connectivity vs population", run: routing_figs::fig8 },
+        Experiment { id: "fig9", title: "connectivity vs history size", run: routing_figs::fig9 },
         Experiment {
             id: "fig10",
             title: "random agents, visiting vs not",

@@ -93,10 +93,7 @@ mod tests {
             title: "sample".into(),
             paper_claim: "a beats b".into(),
             table,
-            claims: vec![
-                Claim::new("a < b", "1 < 2", true),
-                Claim::new("b < c", "2 > 3", false),
-            ],
+            claims: vec![Claim::new("a < b", "1 < 2", true), Claim::new("b < c", "2 > 3", false)],
             figure: Some("▁▂█".into()),
         }
     }

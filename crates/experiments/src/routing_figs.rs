@@ -2,8 +2,8 @@
 
 use crate::report::{Claim, ExperimentReport};
 use crate::{
-    routing_connectivity, routing_connectivity_curve, routing_temporal_wobble, sample_curve,
-    Mode, ROUTING_WINDOW,
+    routing_connectivity, routing_connectivity_curve, routing_temporal_wobble, sample_curve, Ctx,
+    ROUTING_WINDOW,
 };
 use agentnet_core::policy::RoutingPolicy;
 use agentnet_core::routing::RoutingConfig;
@@ -19,9 +19,9 @@ pub const HISTORY_SIZES: [usize; 5] = [5, 10, 20, 40, 80];
 
 /// Fig. 7 — connectivity over time for 100 oldest-node agents: starts at
 /// zero, rises quickly, then fluctuates around its converged mean.
-pub fn fig7(mode: Mode) -> ExperimentReport {
+pub fn fig7(ctx: &Ctx) -> ExperimentReport {
     let config = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
-    let curve = routing_connectivity_curve(&config, mode, 700);
+    let curve = routing_connectivity_curve(ctx, &config, 700);
     let mut table = Table::new(["step", "connectivity"]);
     for (step, c) in sample_curve(&curve, 20) {
         table.push_row([step.to_string(), format!("{c:.4}")]);
@@ -49,8 +49,7 @@ pub fn fig7(mode: Mode) -> ExperimentReport {
     ExperimentReport {
         id: "fig7".into(),
         title: "connectivity over time, 100 oldest-node agents".into(),
-        paper_claim: "connectivity rises from zero and fluctuates around a converged value"
-            .into(),
+        paper_claim: "connectivity rises from zero and fluctuates around a converged value".into(),
         table,
         claims,
         figure: Some(agentnet_engine::plot::chart(&curve, 60, 8)),
@@ -59,7 +58,7 @@ pub fn fig7(mode: Mode) -> ExperimentReport {
 
 /// Fig. 8 — population sweep: more agents mean higher and more stable
 /// connectivity; oldest-node beats random at every population.
-pub fn fig8(mode: Mode) -> ExperimentReport {
+pub fn fig8(ctx: &Ctx) -> ExperimentReport {
     let mut table =
         Table::new(["population", "oldest-node", "random", "oldest wobble (temporal CV)"]);
     let mut oldest = Vec::new();
@@ -67,20 +66,20 @@ pub fn fig8(mode: Mode) -> ExperimentReport {
     let mut wobbles = Vec::new();
     for (i, &pop) in POPULATIONS.iter().enumerate() {
         let o = routing_connectivity(
+            ctx,
             &RoutingConfig::new(RoutingPolicy::OldestNode, pop),
-            mode,
             800 + 2 * i as u64,
         );
         let r = routing_connectivity(
+            ctx,
             &RoutingConfig::new(RoutingPolicy::Random, pop),
-            mode,
             801 + 2 * i as u64,
         );
         // Relative fluctuation (std / mean): the visual "stability" of
         // the paper's plots, comparable across very different levels.
         let wobble = routing_temporal_wobble(
+            ctx,
             &RoutingConfig::new(RoutingPolicy::OldestNode, pop),
-            mode,
             810 + i as u64,
         )
         .mean
@@ -132,10 +131,9 @@ pub fn fig8(mode: Mode) -> ExperimentReport {
     ExperimentReport {
         id: "fig8".into(),
         title: "connectivity vs agent population".into(),
-        paper_claim:
-            "the higher the population, the higher and more stable the connectivity; \
+        paper_claim: "the higher the population, the higher and more stable the connectivity; \
              oldest-node always beats random"
-                .into(),
+            .into(),
         table,
         claims,
         figure: None,
@@ -144,19 +142,19 @@ pub fn fig8(mode: Mode) -> ExperimentReport {
 
 /// Fig. 9 — history-size sweep: the more history, the higher (and more
 /// stable) the connectivity; oldest-node beats random at every setting.
-pub fn fig9(mode: Mode) -> ExperimentReport {
+pub fn fig9(ctx: &Ctx) -> ExperimentReport {
     let mut table = Table::new(["history size", "oldest-node", "random"]);
     let mut oldest = Vec::new();
     let mut random = Vec::new();
     for (i, &h) in HISTORY_SIZES.iter().enumerate() {
         let o = routing_connectivity(
+            ctx,
             &RoutingConfig::new(RoutingPolicy::OldestNode, 100).history_size(h),
-            mode,
             900 + 2 * i as u64,
         );
         let r = routing_connectivity(
+            ctx,
             &RoutingConfig::new(RoutingPolicy::Random, 100).history_size(h),
-            mode,
             901 + 2 * i as u64,
         );
         table.push_row([h.to_string(), o.mean_ci_string(3), r.mean_ci_string(3)]);
@@ -189,8 +187,7 @@ pub fn fig9(mode: Mode) -> ExperimentReport {
     ExperimentReport {
         id: "fig9".into(),
         title: "connectivity vs history (cache) size".into(),
-        paper_claim: "the more the history size, the higher the connectivity and stability"
-            .into(),
+        paper_claim: "the more the history size, the higher the connectivity and stability".into(),
         table,
         claims,
         figure: None,
@@ -199,10 +196,10 @@ pub fn fig9(mode: Mode) -> ExperimentReport {
 
 /// Fig. 10 — direct communication for **random** agents: meeting agents
 /// exchange their best route; connectivity improves.
-pub fn fig10(mode: Mode) -> ExperimentReport {
+pub fn fig10(ctx: &Ctx) -> ExperimentReport {
     let base = RoutingConfig::new(RoutingPolicy::Random, 100);
-    let plain = routing_connectivity(&base, mode, 1000);
-    let comm = routing_connectivity(&base.clone().communication(true), mode, 1001);
+    let plain = routing_connectivity(ctx, &base, 1000);
+    let comm = routing_connectivity(ctx, &base.clone().communication(true), 1001);
     let mut table = Table::new(["variant", "connectivity"]);
     table.push_row(["random, no visiting", &plain.mean_ci_string(3)]);
     table.push_row(["random, visiting", &comm.mean_ci_string(3)]);
@@ -224,10 +221,10 @@ pub fn fig10(mode: Mode) -> ExperimentReport {
 /// Fig. 11 — direct communication for **oldest-node** agents: after a
 /// meeting the participants hold identical histories, make identical
 /// decisions and chase one another; connectivity *drops*.
-pub fn fig11(mode: Mode) -> ExperimentReport {
+pub fn fig11(ctx: &Ctx) -> ExperimentReport {
     let base = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
-    let plain = routing_connectivity(&base, mode, 1100);
-    let comm = routing_connectivity(&base.clone().communication(true), mode, 1101);
+    let plain = routing_connectivity(ctx, &base, 1100);
+    let comm = routing_connectivity(ctx, &base.clone().communication(true), 1101);
     let mut table = Table::new(["variant", "connectivity"]);
     table.push_row(["oldest-node, no visiting", &plain.mean_ci_string(3)]);
     table.push_row(["oldest-node, visiting", &comm.mean_ci_string(3)]);

@@ -1,0 +1,78 @@
+//! End-to-end tests of the `repro` binary: report bytes must not
+//! depend on the jobs count or cache state, and a second (resumed)
+//! invocation must be served from the result cache.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    assert!(out.status.success(), "repro failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout.clone()).expect("stdout is utf-8")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("agentnet-repro-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn stdout_is_identical_across_jobs_counts() {
+    let serial = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "1", "fig1"]));
+    let parallel = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "4", "fig1"]));
+    assert!(serial.contains("## fig1"), "unexpected report:\n{serial}");
+    assert_eq!(serial, parallel, "--jobs must not change report bytes");
+}
+
+#[test]
+fn second_resumed_run_hits_the_cache_with_identical_output() {
+    let cache = tmpdir("cache");
+    let cache_arg = cache.to_str().unwrap();
+    let args = ["--smoke", "--jobs", "2", "--resume", "--trace", "--cache-dir", cache_arg, "fig1"];
+
+    let first = repro(&args);
+    let second = repro(&args);
+    assert_eq!(stdout(&first), stdout(&second), "resumed run must reproduce report bytes");
+
+    let first_err = String::from_utf8_lossy(&first.stderr).to_string();
+    let second_err = String::from_utf8_lossy(&second.stderr).to_string();
+    // fig1 in smoke mode is 2 configurations x 2 replicates = 4 cells.
+    assert_eq!(first_err.matches("cached=false").count(), 4, "stderr:\n{first_err}");
+    assert_eq!(second_err.matches("cached=true").count(), 4, "stderr:\n{second_err}");
+    assert!(second_err.contains("100%"), "stderr should report a full hit rate:\n{second_err}");
+
+    std::fs::remove_dir_all(&cache).unwrap();
+}
+
+#[test]
+fn no_cache_runs_leave_no_cache_directory() {
+    let cache = tmpdir("nocache");
+    let out = repro(&[
+        "--smoke",
+        "--no-cache",
+        "--jobs",
+        "1",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "fig1",
+    ]);
+    stdout(&out);
+    assert!(!cache.exists(), "--no-cache must not write {}", cache.display());
+}
+
+#[test]
+fn filter_selects_by_id_substring() {
+    let out = stdout(&repro(&["--smoke", "--no-cache", "--filter", "ext-degradation"]));
+    assert!(out.contains("## ext-degradation"), "filtered report missing:\n{out}");
+    assert!(!out.contains("## fig"), "--filter must drop unmatched experiments:\n{out}");
+}
+
+#[test]
+fn unknown_id_is_rejected() {
+    let out = repro(&["--smoke", "fig99"]);
+    assert!(!out.status.success());
+}

@@ -138,9 +138,7 @@ impl DiGraph {
     /// Returns `true` if the edge `from -> to` exists.
     #[inline]
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.out
-            .get(from.index())
-            .is_some_and(|l| l.binary_search(&to).is_ok())
+        self.out.get(from.index()).is_some_and(|l| l.binary_search(&to).is_ok())
     }
 
     /// Out-neighbours of `node`, sorted by id.

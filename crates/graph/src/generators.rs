@@ -114,7 +114,8 @@ impl GeometricConfig {
         for attempt in 0..self.max_retries {
             // Derive an independent stream per attempt so retries do not
             // correlate with each other.
-            let mut rng = StdRng::seed_from_u64(seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let positions: Vec<Point2> = (0..self.nodes)
                 .map(|_| {
                     Point2::new(
@@ -340,10 +341,7 @@ mod tests {
 
     #[test]
     fn heterogeneity_zero_gives_symmetric_links() {
-        let net = GeometricConfig::new(40, 200)
-            .with_heterogeneity(0.0)
-            .generate(5)
-            .unwrap();
+        let net = GeometricConfig::new(40, 200).with_heterogeneity(0.0).generate(5).unwrap();
         assert!(net.graph.is_symmetric());
     }
 
@@ -377,9 +375,7 @@ mod tests {
     fn range_of_uses_factor() {
         let net = GeometricConfig::new(30, 120).generate(11).unwrap();
         let id = NodeId::new(3);
-        assert!(
-            (net.range_of(id) - net.base_range * net.range_factors[3]).abs() < 1e-12
-        );
+        assert!((net.range_of(id) - net.base_range * net.range_factors[3]).abs() < 1e-12);
     }
 
     #[test]

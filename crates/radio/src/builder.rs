@@ -176,12 +176,10 @@ impl NetworkBuilder {
         self.validate()?;
         let target_edges = self.target_edges.unwrap_or(self.nodes * 8);
         for attempt in 0..self.max_retries {
-            let attempt_seed =
-                seed ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+            let attempt_seed = seed ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
             let mut rng = StdRng::seed_from_u64(attempt_seed);
             let net = self.build_once(target_edges, attempt_seed, &mut rng);
-            if self.gateways == 0
-                || net.reachability_upper_bound() >= self.min_initial_reachability
+            if self.gateways == 0 || net.reachability_upper_bound() >= self.min_initial_reachability
             {
                 return Ok(net);
             }
@@ -200,10 +198,7 @@ impl NetworkBuilder {
             return fail("network needs at least one node".into());
         }
         if self.gateways > self.nodes {
-            return fail(format!(
-                "{} gateways exceed {} nodes",
-                self.gateways, self.nodes
-            ));
+            return fail(format!("{} gateways exceed {} nodes", self.gateways, self.nodes));
         }
         if !(0.0..=1.0).contains(&self.mobile_fraction) {
             return fail(format!("mobile fraction {} outside [0, 1]", self.mobile_fraction));
@@ -256,12 +251,12 @@ impl NetworkBuilder {
         let gateway_set: std::collections::HashSet<usize> =
             ids.iter().copied().take(self.gateways).collect();
         let rest: Vec<usize> = ids[self.gateways..].to_vec();
-        let mobile_count =
-            ((n - self.gateways) as f64 * self.mobile_fraction).round() as usize;
+        let mobile_count = ((n - self.gateways) as f64 * self.mobile_fraction).round() as usize;
         let mobile_set: std::collections::HashSet<usize> =
             rest.into_iter().take(mobile_count).collect();
 
-        let boost = |i: usize| if gateway_set.contains(&i) { self.gateway_range_boost } else { 1.0 };
+        let boost =
+            |i: usize| if gateway_set.contains(&i) { self.gateway_range_boost } else { 1.0 };
         let base = if n > 1 {
             calibrate_base_range(&positions, &factors, target_edges, self.arena, &boost)
         } else {
@@ -357,10 +352,7 @@ mod tests {
     fn build_hits_edge_target_approximately() {
         let net = NetworkBuilder::new(80).gateways(4).target_edges(640).build(3).unwrap();
         let edges = net.links().edge_count();
-        assert!(
-            (edges as i64 - 640).unsigned_abs() <= 64,
-            "edge count {edges} too far from 640"
-        );
+        assert!((edges as i64 - 640).unsigned_abs() <= 64, "edge count {edges} too far from 640");
     }
 
     #[test]
@@ -374,11 +366,7 @@ mod tests {
 
     #[test]
     fn gateway_and_mobile_counts() {
-        let net = NetworkBuilder::new(60)
-            .gateways(5)
-            .mobile_fraction(0.5)
-            .build(11)
-            .unwrap();
+        let net = NetworkBuilder::new(60).gateways(5).mobile_fraction(0.5).build(11).unwrap();
         let g = net.nodes().iter().filter(|n| n.kind.is_gateway()).count();
         let m = net.nodes().iter().filter(|n| n.kind.is_mobile()).count();
         assert_eq!(g, 5);
@@ -405,21 +393,15 @@ mod tests {
 
     #[test]
     fn initial_reachability_constraint_holds() {
-        let net = NetworkBuilder::new(100)
-            .gateways(6)
-            .min_initial_reachability(0.9)
-            .build(5)
-            .unwrap();
+        let net =
+            NetworkBuilder::new(100).gateways(6).min_initial_reachability(0.9).build(5).unwrap();
         assert!(net.reachability_upper_bound() >= 0.9);
     }
 
     #[test]
     fn zero_heterogeneity_network_is_symmetric_without_gateways() {
-        let net = NetworkBuilder::new(40)
-            .range_heterogeneity(0.0)
-            .mobile_fraction(0.0)
-            .build(9)
-            .unwrap();
+        let net =
+            NetworkBuilder::new(40).range_heterogeneity(0.0).mobile_fraction(0.0).build(9).unwrap();
         assert!(net.links().is_symmetric());
     }
 

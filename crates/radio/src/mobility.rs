@@ -84,9 +84,7 @@ impl Motion {
             rng.random_range(speed_range.0..=speed_range.1)
         };
         let angle = rng.random_range(0.0..std::f64::consts::TAU);
-        Motion::RandomVelocity {
-            velocity: Point2::new(speed * angle.cos(), speed * angle.sin()),
-        }
+        Motion::RandomVelocity { velocity: Point2::new(speed * angle.cos(), speed * angle.sin()) }
     }
 
     /// Samples a random-waypoint motion within `arena`.
@@ -162,10 +160,8 @@ impl Motion {
             Motion::GaussMarkov { velocity, mean_velocity, alpha, sigma } => {
                 let a = *alpha;
                 let noise = sigma.abs() * (1.0 - a * a).sqrt();
-                velocity.x =
-                    a * velocity.x + (1.0 - a) * mean_velocity.x + noise * gaussian(rng);
-                velocity.y =
-                    a * velocity.y + (1.0 - a) * mean_velocity.y + noise * gaussian(rng);
+                velocity.x = a * velocity.x + (1.0 - a) * mean_velocity.x + noise * gaussian(rng);
+                velocity.y = a * velocity.y + (1.0 - a) * mean_velocity.y + noise * gaussian(rng);
                 let mut p = position + *velocity;
                 if p.x < 0.0 {
                     p.x = -p.x;

@@ -42,8 +42,7 @@ impl WirelessNetwork {
         for (i, node) in nodes.iter().enumerate() {
             assert_eq!(node.id.index(), i, "node ids must be dense and ordered");
         }
-        let gateways =
-            nodes.iter().filter(|n| n.kind.is_gateway()).map(|n| n.id).collect();
+        let gateways = nodes.iter().filter(|n| n.kind.is_gateway()).map(|n| n.id).collect();
         let mut net = WirelessNetwork {
             arena,
             nodes,
@@ -111,8 +110,7 @@ impl WirelessNetwork {
     pub fn advance(&mut self) {
         for node in &mut self.nodes {
             node.battery.step();
-            node.position =
-                node.motion.advance(node.position, self.arena, &mut self.mobility_rng);
+            node.position = node.motion.advance(node.position, self.arena, &mut self.mobility_rng);
         }
         self.links = self.compute_links();
         self.now = self.now.next();
@@ -126,12 +124,8 @@ impl WirelessNetwork {
             return g;
         }
         let positions: Vec<_> = self.nodes.iter().map(|nd| nd.position).collect();
-        let max_range = self
-            .nodes
-            .iter()
-            .map(|nd| nd.effective_range())
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
+        let max_range =
+            self.nodes.iter().map(|nd| nd.effective_range()).fold(0.0f64, f64::max).max(1e-9);
         // Cell size of the max range keeps candidate sets tight while the
         // 3x3 cell neighbourhood of a query still covers the whole disc.
         let grid = SpatialGrid::build(self.arena, max_range, &positions);
@@ -247,8 +241,7 @@ mod tests {
         let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
         let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
         assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
-        net.node_mut(NodeId::new(0)).battery =
-            BatteryState::with_charge(BatteryModel::Mains, 0.0);
+        net.node_mut(NodeId::new(0)).battery = BatteryState::with_charge(BatteryModel::Mains, 0.0);
         // Takes effect at the next advance.
         assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
         net.advance();

@@ -38,10 +38,7 @@ impl SpatialGrid {
     ///
     /// Panics if `cell_size` is not finite and positive.
     pub fn build(arena: Rect, cell_size: f64, points: &[Point2]) -> Self {
-        assert!(
-            cell_size.is_finite() && cell_size > 0.0,
-            "cell size must be positive and finite"
-        );
+        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive and finite");
         let cols = (arena.width / cell_size).ceil().max(1.0) as usize;
         let rows = (arena.height / cell_size).ceil().max(1.0) as usize;
         let mut grid = SpatialGrid {
@@ -79,8 +76,7 @@ impl SpatialGrid {
         let max_cy =
             (((center.y + radius).min(self.arena.height) / self.cell) as usize).min(self.rows - 1);
         (min_cy..=max_cy).flat_map(move |cy| {
-            (min_cx..=max_cx)
-                .flat_map(move |cx| self.buckets[cy * self.cols + cx].iter().copied())
+            (min_cx..=max_cx).flat_map(move |cx| self.buckets[cy * self.cols + cx].iter().copied())
         })
     }
 
@@ -102,14 +98,12 @@ mod tests {
 
     #[test]
     fn candidates_are_superset_of_exact_in_range() {
-        let pts: Vec<Point2> = (0..100)
-            .map(|i| Point2::new((i % 10) as f64, (i / 10) as f64))
-            .collect();
+        let pts: Vec<Point2> =
+            (0..100).map(|i| Point2::new((i % 10) as f64, (i / 10) as f64)).collect();
         let g = SpatialGrid::build(Rect::square(10.0), 1.5, &pts);
         let center = Point2::new(4.5, 4.5);
         let radius = 2.0;
-        let cands: std::collections::HashSet<usize> =
-            g.candidates_within(center, radius).collect();
+        let cands: std::collections::HashSet<usize> = g.candidates_within(center, radius).collect();
         for (i, p) in pts.iter().enumerate() {
             if center.distance(*p) <= radius {
                 assert!(cands.contains(&i), "missed in-range point {i}");

@@ -33,8 +33,7 @@ fn network() -> agentnet::radio::WirelessNetwork {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut table =
-        Table::new(["system", "connectivity (150-300)", "traffic / step", "curve"]);
+    let mut table = Table::new(["system", "connectivity (150-300)", "traffic / step", "curve"]);
 
     // The paper's agents.
     let mut agents =

@@ -23,8 +23,8 @@ use agentnet::graph::DiGraph;
 fn survey(graph: &DiGraph, policy: MappingPolicy, team: usize, stigmergic: bool) -> Summary {
     let samples = run_replicates(10, SeedSequence::new(99), |_, seeds| {
         let config = MappingConfig::new(policy, team).stigmergic(stigmergic);
-        let mut sim = MappingSim::new(graph.clone(), config, seeds.seed())
-            .expect("valid survey config");
+        let mut sim =
+            MappingSim::new(graph.clone(), config, seeds.seed()).expect("valid survey config");
         let out = sim.run(1_000_000);
         assert!(out.finished, "survey did not finish");
         out.finishing_time.as_f64()
@@ -34,9 +34,7 @@ fn survey(graph: &DiGraph, policy: MappingPolicy, team: usize, stigmergic: bool)
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 200-sensor deployment over a 800 m x 500 m campus.
-    let net = GeometricConfig::new(200, 1400)
-        .with_arena(Rect::new(800.0, 500.0))
-        .generate(2024)?;
+    let net = GeometricConfig::new(200, 1400).with_arena(Rect::new(800.0, 500.0)).generate(2024)?;
     println!(
         "campus deployment: {} sensors, {} directed radio links\n",
         net.graph.node_count(),

@@ -34,8 +34,8 @@ fn field_network() -> NetworkBuilder {
 fn connectivity(config: &RoutingConfig) -> Summary {
     let samples = run_replicates(10, SeedSequence::new(5), |_, seeds| {
         let net = field_network().build(33).expect("field network builds");
-        let mut sim = RoutingSim::new(net, config.clone(), seeds.seed())
-            .expect("valid routing config");
+        let mut sim =
+            RoutingSim::new(net, config.clone(), seeds.seed()).expect("valid routing config");
         sim.run(STEPS).mean_connectivity(WINDOW).expect("window inside run")
     });
     Summary::from_samples(samples).expect("replicates ran")
@@ -71,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "60 oldest-node, gossiping + footprints",
-            RoutingConfig::new(RoutingPolicy::OldestNode, 60)
-                .communication(true)
-                .stigmergic(true),
+            RoutingConfig::new(RoutingPolicy::OldestNode, 60).communication(true).stigmergic(true),
         ),
         (
             "60 oldest-node, footprints",

@@ -28,8 +28,7 @@ fn mapping_time(graph: &DiGraph, capacity: usize, window: u64) -> Summary {
             .stigmergic(true)
             .footprint_capacity(capacity)
             .footprint_window(window);
-        let mut sim =
-            MappingSim::new(graph.clone(), config, seeds.seed()).expect("valid config");
+        let mut sim = MappingSim::new(graph.clone(), config, seeds.seed()).expect("valid config");
         let out = sim.run(1_000_000);
         assert!(out.finished);
         out.finishing_time.as_f64()
@@ -56,7 +55,11 @@ fn routing_conn(capacity: usize, window: u64) -> Summary {
 }
 
 fn window_label(window: u64) -> String {
-    if window == u64::MAX { "inf".into() } else { window.to_string() }
+    if window == u64::MAX {
+        "inf".into()
+    } else {
+        window.to_string()
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -51,10 +51,7 @@ fn cooperation_speeds_up_mapping() {
     };
     let solo = finish(1);
     let team = finish(8);
-    assert!(
-        team < solo,
-        "8 cooperating agents ({team:.0}) should beat one agent ({solo:.0})"
-    );
+    assert!(team < solo, "8 cooperating agents ({team:.0}) should beat one agent ({solo:.0})");
 }
 
 #[test]

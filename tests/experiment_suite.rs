@@ -8,7 +8,7 @@ use agentnet::experiments::{registry, Mode};
 #[test]
 fn every_experiment_runs_in_smoke_mode() {
     for exp in registry::all() {
-        let report = (exp.run)(Mode::Smoke);
+        let report = exp.run_serial(Mode::Smoke);
         assert_eq!(report.id, exp.id);
         assert!(!report.table.is_empty(), "{}: empty table", exp.id);
         assert!(!report.claims.is_empty(), "{}: no claims checked", exp.id);
@@ -19,21 +19,21 @@ fn every_experiment_runs_in_smoke_mode() {
 
 #[test]
 fn fig1_shape_holds_at_quick_mode() {
-    let report = (registry::by_id("fig1").unwrap().run)(Mode::Quick);
+    let report = registry::by_id("fig1").unwrap().run_serial(Mode::Quick);
     assert!(report.passed(), "{}", report.to_markdown());
 }
 
 #[test]
 fn fig11_and_stigmergic_recovery_hold_at_quick_mode() {
-    let fig11 = (registry::by_id("fig11").unwrap().run)(Mode::Quick);
+    let fig11 = registry::by_id("fig11").unwrap().run_serial(Mode::Quick);
     assert!(fig11.passed(), "{}", fig11.to_markdown());
-    let ext = (registry::by_id("ext-stigroute").unwrap().run)(Mode::Quick);
+    let ext = registry::by_id("ext-stigroute").unwrap().run_serial(Mode::Quick);
     assert!(ext.passed(), "{}", ext.to_markdown());
 }
 
 #[test]
 fn degradation_ablation_holds() {
-    let report = (registry::by_id("ext-degradation").unwrap().run)(Mode::Quick);
+    let report = registry::by_id("ext-degradation").unwrap().run_serial(Mode::Quick);
     assert!(report.passed(), "{}", report.to_markdown());
 }
 
@@ -41,7 +41,7 @@ fn degradation_ablation_holds() {
 #[ignore = "full paper-scale validation; run with --ignored (minutes)"]
 fn full_suite_passes_at_quick_mode() {
     for exp in registry::all() {
-        let report = (exp.run)(Mode::Quick);
+        let report = exp.run_serial(Mode::Quick);
         assert!(report.passed(), "{}", report.to_markdown());
     }
 }

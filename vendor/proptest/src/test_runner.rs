@@ -1,0 +1,186 @@
+//! The test runner: deterministic RNG, configuration, case errors, and
+//! the driver loop that replays committed regression seeds before
+//! running fresh random cases.
+
+use std::any::Any;
+use std::path::{Path, PathBuf};
+
+/// Deterministic RNG driving strategy generation (splitmix64 stream).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, n)`; `n` must be non-zero. Uses the
+    /// widening-multiply reduction, matching the vendored `rand`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Configuration accepted via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite
+        // fast while still exploring the input space. Override with
+        // PROPTEST_CASES, same env var as the real crate.
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case: the assertion message plus the inputs that
+/// produced it.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// Converts the `catch_unwind` outcome of one case body into a case
+/// result, attaching the generated inputs to any failure.
+pub fn resolve_outcome(
+    outcome: Result<Result<(), TestCaseError>, Box<dyn Any + Send>>,
+    inputs: &str,
+) -> Result<(), TestCaseError> {
+    match outcome {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(TestCaseError::fail(format!("{}\n  inputs: {}", e.message(), inputs))),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(TestCaseError::fail(format!("panicked: {}\n  inputs: {}", msg, inputs)))
+        }
+    }
+}
+
+/// FNV-1a hash for deriving stable per-test seeds from names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// Locates the `.proptest-regressions` file next to the test source.
+///
+/// `file!()` paths are workspace-relative while the test binary's
+/// working directory is usually the package root, so strip leading
+/// path components until a candidate exists.
+fn regression_path(source_file: &str) -> Option<PathBuf> {
+    let rel = source_file.strip_suffix(".rs")?;
+    let rel = format!("{rel}.proptest-regressions");
+    let mut candidate = Path::new(&rel);
+    loop {
+        if candidate.exists() {
+            return Some(candidate.to_path_buf());
+        }
+        let mut comps = candidate.components();
+        comps.next()?;
+        let stripped = comps.as_path();
+        if stripped.as_os_str().is_empty() {
+            return None;
+        }
+        candidate = stripped;
+    }
+}
+
+/// Parses `cc <hex>` lines into replay seeds. The original proptest
+/// hashes cannot be replayed bit-for-bit by this stand-in, so each
+/// recorded case instead pins one deterministic seed derived from its
+/// hash — committed regressions keep getting exercised on every run.
+fn regression_seeds(source_file: &str) -> Vec<u64> {
+    let Some(path) = regression_path(source_file) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("cc ") {
+            let hex: String = rest.chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+            if hex.len() >= 16 {
+                if let Ok(seed) = u64::from_str_radix(&hex[..16], 16) {
+                    seeds.push(seed);
+                }
+            }
+        }
+    }
+    seeds
+}
+
+/// Runs one property: replayed regression seeds first, then `cases`
+/// random cases seeded deterministically from the test name. Panics
+/// with the failing inputs on the first failure.
+pub fn run_property<F>(name: &str, source_file: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes()) ^ fnv1a(source_file.as_bytes()).rotate_left(17);
+    let mut run_one = |seed: u64, origin: &str| {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest property `{name}` failed ({origin}, seed {seed:#018x}):\n{}",
+                e.message()
+            );
+        }
+    };
+    for seed in regression_seeds(source_file) {
+        run_one(seed, "regression replay");
+    }
+    for i in 0..config.cases {
+        run_one(base.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)), "random case");
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Works over the [`serde::Value`] data model of the vendored `serde`
+//! crate: [`to_string`] / [`to_string_pretty`] emit JSON text,
+//! [`from_str`] parses it back, and the [`json!`] macro builds values
+//! inline. Object key order is insertion order (deterministic), and
+//! floats are emitted with Rust's shortest round-trip formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+use std::fmt::Write as _;
+
+/// Serializes any [`serde::Serialize`] type into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Deserializes a typed value out of a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value)
+}
+
+// ---------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------
+
+fn emit(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => emit_number(n, out),
+        Value::String(s) => emit_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                emit(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                emit_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                emit(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn emit_number(n: &Number, out: &mut String) {
+    match *n {
+        Number::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F64(v) if v.is_finite() => {
+            // `{:?}` is Rust's shortest round-trip float form and always
+            // contains a `.` or exponent, matching serde_json (`1.0`, not
+            // `1`).
+            let _ = write!(out, "{v:?}");
+        }
+        // serde_json emits null for non-finite floats.
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses JSON text into a [`Value`].
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::msg(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::msg("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::msg(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(|f| Value::Number(Number::from_f64(f)))
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(|i| Value::Number(Number::from_i64(i)))
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(|u| Value::Number(Number::from_u64(u)))
+                .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+/// Builds a [`Value`] from inline JSON-like syntax.
+///
+/// Supports the subset this workspace uses: object literals with string
+/// keys, array literals, and arbitrary expressions implementing
+/// [`serde::Serialize`] in value position.
+///
+/// ```
+/// use serde_json::json;
+/// let v = json!({ "name": "fig5", "passed": true, "means": [1.0, 2.0] });
+/// assert_eq!(v["name"], "fig5");
+/// assert!(v["means"].is_array());
+/// ```
+#[macro_export]
+macro_rules! json {
+    // -- internal object muncher: values are accumulated token by token
+    //    until a top-level comma (commas inside groups are invisible) --
+    (@obj $map:ident ()) => {};
+    (@obj $map:ident ($key:literal : $($rest:tt)*)) => {
+        $crate::json!(@val $map $key () $($rest)*)
+    };
+    (@val $map:ident $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $map.insert($key, $crate::json!($($val)+));
+        $crate::json!(@obj $map ($($rest)*));
+    };
+    (@val $map:ident $key:literal ($($val:tt)+)) => {
+        $map.insert($key, $crate::json!($($val)+));
+    };
+    (@val $map:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json!(@val $map $key ($($val)* $next) $($rest)*)
+    };
+    // -- internal array muncher --
+    (@arr $vec:ident ()) => {};
+    (@arr $vec:ident ($($rest:tt)+)) => {
+        $crate::json!(@item $vec () $($rest)+)
+    };
+    (@item $vec:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $vec.push($crate::json!($($val)+));
+        $crate::json!(@arr $vec ($($rest)*));
+    };
+    (@item $vec:ident ($($val:tt)+)) => {
+        $vec.push($crate::json!($($val)+));
+    };
+    (@item $vec:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json!(@item $vec ($($val)* $next) $($rest)*)
+    };
+    // -- entry points --
+    (null) => { $crate::Value::Null };
+    ([ $($body:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json!(@arr vec ($($body)*));
+        $crate::Value::Array(vec)
+    }};
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json!(@obj map ($($body)*));
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact() {
+        let v = json!({
+            "a": 1,
+            "b": [true, null, "x"],
+            "c": { "nested": -2.5 },
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"a":1,"b":[true,null,"x"],"c":{"nested":-2.5}}"#);
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let v = json!({ "k": [1] });
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let text = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(text, r#""a\"b\\c\nd""#);
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn parse_whitespace_and_unicode() {
+        let v: Value = from_str("  { \"k\" : \"caf\\u00e9\" } ").unwrap();
+        assert_eq!(v["k"], "café");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn numbers_preserve_integers() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v: Value = from_str("-3").unwrap();
+        assert_eq!(v.as_i64(), Some(-3));
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = json!({ "a": 1 });
+        assert!(v["missing"].is_null());
+        assert!(v[3].is_null());
+    }
+}
