@@ -30,6 +30,9 @@
 //!   paper's "negligible overhead" claims.
 //! * [`trace`] — optional bounded event tracing (migrations, meetings,
 //!   footprints, table writes) exportable as JSON lines.
+//! * [`validate`] — per-step simulation invariants (monotone knowledge,
+//!   bounded histories, live-link routing entries, …) threaded through
+//!   checked runs.
 //!
 //! # Quickstart
 //!
@@ -62,6 +65,7 @@ pub mod policy;
 pub mod routing;
 pub mod stigmergy;
 pub mod trace;
+pub mod validate;
 
 pub use agent::AgentId;
 pub use error::CoreError;

@@ -23,6 +23,7 @@ use crate::overhead::{mapping_agent_state_bytes, Overhead};
 use crate::policy::{choose_move, MappingPolicy, TieBreak};
 use crate::stigmergy::FootprintBoard;
 use crate::trace::{TraceEvent, TraceLog};
+use agentnet_engine::invariant::{run_until_checked, InvariantSet, InvariantViolation};
 use agentnet_engine::sim::{run_until, RunOutcome, Step, TimeStepSim};
 use agentnet_engine::TimeSeries;
 use agentnet_graph::{DiGraph, NodeId};
@@ -282,6 +283,34 @@ impl MappingSim {
         self.agents.iter().map(|a| a.at).collect()
     }
 
+    /// Per-node footprint boards, indexed by node id.
+    pub fn boards(&self) -> &[FootprintBoard] {
+        &self.boards
+    }
+
+    /// Number of distinct nodes each agent has visited first-hand, in
+    /// agent order.
+    pub fn first_visited_counts(&self) -> Vec<usize> {
+        self.agents.iter().map(|a| a.first_visits.visited_count()).collect()
+    }
+
+    /// Number of distinct nodes each agent knows a visit time for —
+    /// first- or second-hand — in agent order.
+    pub fn merged_visited_counts(&self) -> Vec<usize> {
+        self.agents.iter().map(|a| a.merged_visits.visited_count()).collect()
+    }
+
+    /// `true` once [`Self::set_graph`] has swapped the topology mid-run
+    /// (knowledge metrics then use exact intersection accounting).
+    pub fn graph_changed(&self) -> bool {
+        self.graph_changed
+    }
+
+    /// Number of agents currently holding a complete map.
+    pub fn complete_agent_count(&self) -> usize {
+        self.complete_agents
+    }
+
     /// The recorded mean-knowledge series.
     pub fn knowledge_series(&self) -> &TimeSeries {
         &self.knowledge
@@ -303,6 +332,22 @@ impl MappingSim {
     pub fn run(&mut self, max_steps: u64) -> MappingOutcome {
         let RunOutcome { steps, finished } = run_until(self, Step::new(max_steps));
         MappingOutcome { finished, finishing_time: steps, knowledge: self.knowledge.clone() }
+    }
+
+    /// Like [`Self::run`], but validates `checks` after every step (see
+    /// [`crate::validate::mapping_invariants`] for the standard set).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`]; the simulation is left
+    /// in the violating state for inspection.
+    pub fn run_checked(
+        &mut self,
+        max_steps: u64,
+        checks: &mut InvariantSet<Self>,
+    ) -> Result<MappingOutcome, InvariantViolation> {
+        let RunOutcome { steps, finished } = run_until_checked(self, Step::new(max_steps), checks)?;
+        Ok(MappingOutcome { finished, finishing_time: steps, knowledge: self.knowledge.clone() })
     }
 
     /// Groups agent indices by their current node into `scratch_groups`.

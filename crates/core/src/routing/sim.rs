@@ -25,6 +25,7 @@ use crate::policy::{choose_move, RoutingPolicy, TieBreak};
 use crate::routing::table::{RouteEntry, RoutingTable};
 use crate::stigmergy::FootprintBoard;
 use crate::trace::{TraceEvent, TraceLog};
+use agentnet_engine::invariant::{run_until_checked, InvariantSet, InvariantViolation};
 use agentnet_engine::sim::{run_until, Step, TimeStepSim};
 use agentnet_engine::TimeSeries;
 use agentnet_graph::connectivity::reaches_any;
@@ -297,6 +298,22 @@ impl RoutingSim {
         self.agents.iter().map(|a| a.at).collect()
     }
 
+    /// Per-node footprint boards, indexed by node id.
+    pub fn boards(&self) -> &[FootprintBoard] {
+        &self.boards
+    }
+
+    /// Size of each agent's visit memory, in agent order.
+    pub fn memory_sizes(&self) -> Vec<usize> {
+        self.agents.iter().map(|a| a.memory.len()).collect()
+    }
+
+    /// Hop count of each agent's carried route claim (`None` when the
+    /// agent holds no claim), in agent order.
+    pub fn carried_hops(&self) -> Vec<Option<u32>> {
+        self.agents.iter().map(|a| a.carried.map(|c| c.hops)).collect()
+    }
+
     /// The recorded connectivity series.
     pub fn connectivity_series(&self) -> &TimeSeries {
         &self.connectivity
@@ -344,6 +361,22 @@ impl RoutingSim {
     pub fn run(&mut self, steps: u64) -> RoutingOutcome {
         let _ = run_until(self, Step::new(steps));
         RoutingOutcome { connectivity: self.connectivity.clone() }
+    }
+
+    /// Like [`Self::run`], but validates `checks` after every step (see
+    /// [`crate::validate::routing_invariants`] for the standard set).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`]; the simulation is left
+    /// in the violating state for inspection.
+    pub fn run_checked(
+        &mut self,
+        steps: u64,
+        checks: &mut InvariantSet<Self>,
+    ) -> Result<RoutingOutcome, InvariantViolation> {
+        run_until_checked(self, Step::new(steps), checks)?;
+        Ok(RoutingOutcome { connectivity: self.connectivity.clone() })
     }
 
     /// Movement-decision phase; returns each agent's chosen target.

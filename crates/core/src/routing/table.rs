@@ -135,7 +135,15 @@ mod tests {
         assert_eq!(entry.next_hop, n(3));
         assert_eq!(entry.hops, 4);
         assert_eq!(entry.age(Step::new(20)), 3);
-        assert_eq!(entry.age(Step::new(10)), 0, "age saturates at zero");
+        assert_eq!(entry.age(Step::new(17)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` (t17) is after `self` (t10)")]
+    fn age_before_installation_panics() {
+        // `Step::since` uses checked subtraction: asking an entry's age
+        // before it was installed is a logic error, not zero.
+        let _ = e(9, 3, 4, 17).age(Step::new(10));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Per-step simulation invariant checking.
+//!
+//! A stochastic simulator cannot be validated by output assertions alone:
+//! a modelling bug can shift a statistic without breaking any unit test.
+//! This module adds a second line of defence — predicates over simulation
+//! state that must hold after *every* step, threaded through the driver
+//! by [`run_until_checked`].
+//!
+//! Checking is strictly opt-in: [`crate::run_until`] is untouched, so a
+//! simulation driven without an [`InvariantSet`] pays nothing.
+//!
+//! ```
+//! use agentnet_engine::invariant::{invariant_fn, InvariantSet, run_until_checked};
+//! use agentnet_engine::sim::{Step, TimeStepSim};
+//!
+//! struct Counter { ticks: u64 }
+//! impl TimeStepSim for Counter {
+//!     fn step(&mut self, _now: Step) { self.ticks += 1; }
+//!     fn is_done(&self) -> bool { self.ticks >= 5 }
+//! }
+//!
+//! let mut checks = InvariantSet::new();
+//! checks.register(invariant_fn("ticks-track-time", |sim: &Counter, now| {
+//!     if sim.ticks == now.as_u64() + 1 { Ok(()) } else { Err("drift".into()) }
+//! }));
+//! let out = run_until_checked(&mut Counter { ticks: 0 }, Step::new(10), &mut checks).unwrap();
+//! assert!(out.finished);
+//! ```
+
+use crate::sim::{RunOutcome, Step, TimeStepSim};
+use std::fmt;
+
+/// A predicate over simulation state that must hold after every step.
+///
+/// Implementations take `&mut self` so they can carry state *across*
+/// steps — monotonicity invariants remember the previous step's value
+/// and compare against it.
+pub trait Invariant<S: ?Sized> {
+    /// Stable name of the invariant, shown in violation reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariant against `sim` just after the step `now` was
+    /// executed. Returns a human-readable description of the violation
+    /// on failure.
+    fn check(&mut self, sim: &S, now: Step) -> Result<(), String>;
+}
+
+/// A named invariant violation: which check failed, when, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// The step after which the check failed.
+    pub at: Step,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invariant `{}` violated at {}: {}", self.invariant, self.at, self.message)
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Wraps a closure as an [`Invariant`] — the quickest way to register
+/// one-off checks.
+pub fn invariant_fn<S, F>(name: &'static str, f: F) -> impl Invariant<S>
+where
+    S: ?Sized,
+    F: FnMut(&S, Step) -> Result<(), String>,
+{
+    struct FnInvariant<F> {
+        name: &'static str,
+        f: F,
+    }
+    impl<S: ?Sized, F: FnMut(&S, Step) -> Result<(), String>> Invariant<S> for FnInvariant<F> {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+        fn check(&mut self, sim: &S, now: Step) -> Result<(), String> {
+            (self.f)(sim, now)
+        }
+    }
+    FnInvariant { name, f }
+}
+
+/// An ordered registry of invariants over one simulation type.
+///
+/// Checks run in registration order; the first failure wins.
+#[derive(Default)]
+pub struct InvariantSet<S: ?Sized> {
+    checks: Vec<Box<dyn Invariant<S>>>,
+}
+
+impl<S: ?Sized> InvariantSet<S> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        InvariantSet { checks: Vec::new() }
+    }
+
+    /// Registers an invariant at the end of the set.
+    pub fn register(&mut self, invariant: impl Invariant<S> + 'static) -> &mut Self {
+        self.checks.push(Box::new(invariant));
+        self
+    }
+
+    /// Number of registered invariants.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// Returns `true` if no invariants are registered.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Names of the registered invariants, in check order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.checks.iter().map(|c| c.name()).collect()
+    }
+
+    /// Runs every check against `sim`; stops at the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvariantViolation`] encountered.
+    pub fn check_all(&mut self, sim: &S, now: Step) -> Result<(), InvariantViolation> {
+        for check in &mut self.checks {
+            if let Err(message) = check.check(sim, now) {
+                return Err(InvariantViolation { invariant: check.name(), at: now, message });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: ?Sized> fmt::Debug for InvariantSet<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InvariantSet").field("names", &self.names()).finish()
+    }
+}
+
+/// Like [`crate::run_until`], but runs `checks` after every executed
+/// step and aborts on the first violation.
+///
+/// The unchecked driver is left untouched, so simulations driven without
+/// an invariant set pay no overhead at all.
+///
+/// # Errors
+///
+/// Returns the first [`InvariantViolation`]; the simulation is left in
+/// the state that violated it, available for inspection.
+pub fn run_until_checked<S: TimeStepSim + ?Sized>(
+    sim: &mut S,
+    max_steps: Step,
+    checks: &mut InvariantSet<S>,
+) -> Result<RunOutcome, InvariantViolation> {
+    let mut now = Step::ZERO;
+    while now < max_steps {
+        if sim.is_done() {
+            return Ok(RunOutcome { steps: now, finished: true });
+        }
+        sim.step(now);
+        checks.check_all(sim, now)?;
+        now = now.next();
+    }
+    Ok(RunOutcome { steps: now, finished: sim.is_done() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Upto {
+        ticks: u64,
+        done_at: u64,
+    }
+
+    impl TimeStepSim for Upto {
+        fn step(&mut self, _now: Step) {
+            self.ticks += 1;
+        }
+        fn is_done(&self) -> bool {
+            self.ticks >= self.done_at
+        }
+    }
+
+    #[test]
+    fn empty_set_behaves_like_run_until() {
+        let mut checks = InvariantSet::new();
+        assert!(checks.is_empty());
+        let out =
+            run_until_checked(&mut Upto { ticks: 0, done_at: 5 }, Step::new(100), &mut checks)
+                .unwrap();
+        assert!(out.finished);
+        assert_eq!(out.steps, Step::new(5));
+    }
+
+    #[test]
+    fn violation_reports_name_step_and_message() {
+        let mut checks = InvariantSet::new();
+        checks.register(invariant_fn("tick-cap", |sim: &Upto, _| {
+            if sim.ticks <= 3 {
+                Ok(())
+            } else {
+                Err(format!("{} ticks", sim.ticks))
+            }
+        }));
+        let err =
+            run_until_checked(&mut Upto { ticks: 0, done_at: 50 }, Step::new(10), &mut checks)
+                .unwrap_err();
+        assert_eq!(err.invariant, "tick-cap");
+        assert_eq!(err.at, Step::new(3), "4th step (index 3) pushed ticks to 4");
+        assert_eq!(err.message, "4 ticks");
+        assert!(err.to_string().contains("tick-cap"));
+        assert!(err.to_string().contains("t3"));
+    }
+
+    #[test]
+    fn checks_run_in_registration_order_and_first_failure_wins() {
+        let mut checks: InvariantSet<Upto> = InvariantSet::new();
+        checks.register(invariant_fn("first", |_: &Upto, _| Err("a".into())));
+        checks.register(invariant_fn("second", |_: &Upto, _| Err("b".into())));
+        assert_eq!(checks.names(), vec!["first", "second"]);
+        assert_eq!(checks.len(), 2);
+        let err = checks.check_all(&Upto { ticks: 0, done_at: 1 }, Step::ZERO).unwrap_err();
+        assert_eq!(err.invariant, "first");
+    }
+
+    #[test]
+    fn stateful_invariants_carry_state_across_steps() {
+        struct Monotone {
+            prev: Option<u64>,
+        }
+        impl Invariant<Upto> for Monotone {
+            fn name(&self) -> &'static str {
+                "ticks-monotone"
+            }
+            fn check(&mut self, sim: &Upto, _now: Step) -> Result<(), String> {
+                let ok = self.prev.is_none_or(|p| sim.ticks >= p);
+                self.prev = Some(sim.ticks);
+                if ok {
+                    Ok(())
+                } else {
+                    Err("ticks went backwards".into())
+                }
+            }
+        }
+        let mut checks = InvariantSet::new();
+        checks.register(Monotone { prev: None });
+        let out = run_until_checked(&mut Upto { ticks: 0, done_at: 8 }, Step::new(20), &mut checks)
+            .unwrap();
+        assert!(out.finished);
+    }
+
+    #[test]
+    fn already_done_sim_runs_no_checks() {
+        let mut checks: InvariantSet<Upto> = InvariantSet::new();
+        checks.register(invariant_fn("never-run", |_: &Upto, _| Err("ran".into())));
+        let out = run_until_checked(&mut Upto { ticks: 5, done_at: 5 }, Step::new(10), &mut checks)
+            .unwrap();
+        assert!(out.finished);
+        assert_eq!(out.steps, Step::ZERO);
+    }
+}

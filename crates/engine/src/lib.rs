@@ -6,6 +6,9 @@
 //!
 //! * [`sim`] — the time-step driver ([`TimeStepSim`]) used by both the
 //!   mapping and routing simulations, plus the [`Step`] clock type.
+//! * [`invariant`] — per-step invariant checking: an [`Invariant`]
+//!   registry the checked driver [`run_until_checked`] threads through
+//!   every simulation step (opt-in; the plain driver is untouched).
 //! * [`events`] — a deterministic discrete-event queue (time plus insertion
 //!   sequence ordering) for event-driven extensions.
 //! * [`rng`] — reproducible random-number streams: a master seed fans out
@@ -48,6 +51,7 @@
 pub mod cache;
 pub mod events;
 pub mod exec;
+pub mod invariant;
 pub mod plot;
 pub mod replicate;
 pub mod rng;
@@ -59,6 +63,7 @@ pub mod timeseries;
 
 pub use cache::ResultCache;
 pub use exec::{Executor, RunEvent};
+pub use invariant::{run_until_checked, Invariant, InvariantSet, InvariantViolation};
 pub use rng::SeedSequence;
 pub use sim::{run_until, RunOutcome, Step, TimeStepSim};
 pub use stats::Summary;

@@ -51,10 +51,19 @@ impl Step {
         Step(self.0 + 1)
     }
 
-    /// Saturating difference `self - earlier`.
+    /// Steps elapsed since `earlier` (`self - earlier`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`: asking how long ago a
+    /// *future* time was is always a logic error upstream, and silently
+    /// returning 0 (the old saturating behaviour) masked it.
     #[inline]
     pub fn since(self, earlier: Step) -> u64 {
-        self.0.saturating_sub(earlier.0)
+        match self.0.checked_sub(earlier.0) {
+            Some(elapsed) => elapsed,
+            None => panic!("Step::since: `earlier` ({earlier}) is after `self` ({self})"),
+        }
     }
 }
 
@@ -168,11 +177,17 @@ mod tests {
         assert_eq!(Step::new(4) - Step::new(3), Step::new(1));
         assert_eq!(Step::new(3) - Step::new(4), Step::ZERO);
         assert_eq!(Step::new(9).since(Step::new(4)), 5);
-        assert_eq!(Step::new(4).since(Step::new(9)), 0);
+        assert_eq!(Step::new(7).since(Step::new(7)), 0);
         let mut s = Step::ZERO;
         s += Step::new(2);
         assert_eq!(s, Step::new(2));
         assert_eq!(Step::new(5).next(), Step::new(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "`earlier` (t9) is after `self` (t4)")]
+    fn since_a_future_step_panics() {
+        let _ = Step::new(4).since(Step::new(9));
     }
 
     #[test]

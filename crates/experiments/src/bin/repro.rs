@@ -25,10 +25,27 @@
 //! go to stderr; only reports and the summary go to stdout. `--json
 //! FILE` additionally writes machine-readable results and `--out DIR`
 //! writes one CSV per experiment.
+//!
+//! `--check` reruns every replicate under the simulator's per-step
+//! invariant set (monotone knowledge, bounded histories, live-link
+//! routing entries, …); a violation aborts the run naming the invariant
+//! and step. Off by default, the checks cost nothing.
+//!
+//! ```text
+//! repro validate [--seed N] [--inject-failure]
+//! ```
+//!
+//! runs the standalone validation battery — invariant sweeps over
+//! representative scenarios plus metamorphic (relabeling, population
+//! monotonicity) and differential (executor determinism, BFS agreement)
+//! checks — printing a pass/fail table and exiting non-zero if any
+//! check fails. `--inject-failure` registers a deliberately failing
+//! invariant to prove violations surface.
 
 use agentnet_engine::table::Table;
 use agentnet_engine::{Executor, ResultCache, RunEvent};
 use agentnet_experiments::{registry, Ctx, Mode};
+use agentnet_validate::{run_battery, ValidateConfig};
 use crossbeam::channel;
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -39,7 +56,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--smoke|--quick|--full] [--jobs N] [--resume] [--no-cache]\n\
          \x20            [--cache-dir DIR] [--filter SUBSTRING]... [--json FILE]\n\
-         \x20            [--out DIR] [--trace] [--list] [EXPERIMENT_ID ...]"
+         \x20            [--out DIR] [--trace] [--check] [--list] [EXPERIMENT_ID ...]\n\
+         \x20      repro validate [--seed N] [--inject-failure]"
     );
     eprintln!("experiments:");
     for e in registry::all() {
@@ -63,6 +81,42 @@ struct CellStats {
     hits: usize,
 }
 
+/// The `repro validate` subcommand: runs the validation battery, prints
+/// its pass/fail table, exits non-zero on any failure.
+fn run_validate(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut cfg = ValidateConfig::default();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(seed) => cfg.seed = seed,
+                None => usage(),
+            },
+            "--inject-failure" => cfg.inject_failure = true,
+            _ => usage(),
+        }
+    }
+    eprintln!(
+        "repro validate: seed {}{}",
+        cfg.seed,
+        if cfg.inject_failure { ", with an injected failing invariant" } else { "" }
+    );
+    let report = run_battery(cfg);
+    println!("# agentnet validate — {} checks\n", report.len());
+    println!("{}", report.to_table().to_markdown());
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!("\nall {} checks passed", report.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("\n{} of {} checks FAILED:", failures.len(), report.len());
+        for f in failures {
+            println!("- {}: {}", f.name, f.details);
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut mode = Mode::Quick;
     let mut jobs = 0usize; // 0 = all cores
@@ -71,10 +125,15 @@ fn main() -> ExitCode {
     let mut cache_dir = String::from("results_cache");
     let mut filters: Vec<String> = Vec::new();
     let mut trace = false;
+    let mut check = false;
     let mut json_path: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("validate") {
+        args.next();
+        return run_validate(args);
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => mode = Mode::Full,
@@ -95,6 +154,7 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--trace" => trace = true,
+            "--check" => check = true,
             "--json" => match args.next() {
                 Some(path) => json_path = Some(path),
                 None => usage(),
@@ -142,7 +202,7 @@ fn main() -> ExitCode {
     let (event_tx, event_rx) = channel::unbounded::<RunEvent>();
     let exec = exec.with_event_sink(event_tx);
     eprintln!(
-        "repro: {} experiment(s), {} mode, {} worker(s), cache {}",
+        "repro: {} experiment(s), {} mode, {} worker(s), cache {}{}",
         experiments.len(),
         mode_name(mode),
         exec.jobs(),
@@ -151,6 +211,7 @@ fn main() -> ExitCode {
         } else {
             format!("{cache_dir} ({})", if resume { "resume" } else { "write-only" })
         },
+        if check { ", invariant checks on" } else { "" },
     );
 
     // Drains trace events while experiments run; returns the per-
@@ -186,7 +247,7 @@ fn main() -> ExitCode {
             scope.spawn(move || {
                 eprintln!("running {} ...", exp.id);
                 let started = Instant::now();
-                let report = (exp.run)(&Ctx::new(exec, exp.id, mode));
+                let report = (exp.run)(&Ctx::new(exec, exp.id, mode).checked(check));
                 let secs = started.elapsed().as_secs_f64();
                 eprintln!("finished {} in {secs:.1}s", exp.id);
                 let _ = report_tx.send((idx, report, secs));

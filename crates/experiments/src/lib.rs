@@ -54,8 +54,9 @@ pub mod routing_figs;
 pub use registry::Experiment;
 pub use report::{Claim, ExperimentReport};
 
-use agentnet_core::mapping::{MappingConfig, MappingSim};
-use agentnet_core::routing::{RoutingConfig, RoutingSim};
+use agentnet_core::mapping::{MappingConfig, MappingOutcome, MappingSim};
+use agentnet_core::routing::{RoutingConfig, RoutingOutcome, RoutingSim};
+use agentnet_core::validate::{mapping_invariants, routing_invariants};
 use agentnet_engine::cache::hash_config;
 use agentnet_engine::rng::SeedSequence;
 use agentnet_engine::{Executor, Summary, TimeSeries};
@@ -100,12 +101,26 @@ pub struct Ctx<'a> {
     exec: &'a Executor,
     id: &'static str,
     mode: Mode,
+    check: bool,
 }
 
 impl<'a> Ctx<'a> {
     /// Binds an executor to one experiment at one compute budget.
     pub fn new(exec: &'a Executor, id: &'static str, mode: Mode) -> Self {
-        Ctx { exec, id, mode }
+        Ctx { exec, id, mode, check: false }
+    }
+
+    /// Enables per-step invariant checking inside every replicate (the
+    /// `repro --check` flag). Off by default: an unchecked run takes the
+    /// plain `run` path and pays nothing for the machinery.
+    pub fn checked(mut self, check: bool) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Whether replicates run under per-step invariant checking.
+    pub fn check(&self) -> bool {
+        self.check
     }
 
     /// The experiment id this context runs under.
@@ -192,6 +207,33 @@ pub fn paper_routing_network() -> NetworkBuilder {
     NetworkBuilder::paper_routing()
 }
 
+/// Runs one mapping replicate to its budget — under the standard
+/// invariant set when `check` is on. An invariant violation inside an
+/// experiment replicate is always a simulator bug, so it panics (and
+/// the failing invariant, step and message surface in the panic).
+fn run_mapping_replicate(sim: &mut MappingSim, check: bool) -> MappingOutcome {
+    if check {
+        let mut checks = mapping_invariants();
+        sim.run_checked(MAPPING_STEP_BUDGET, &mut checks)
+            .unwrap_or_else(|v| panic!("mapping replicate failed validation: {v}"))
+    } else {
+        sim.run(MAPPING_STEP_BUDGET)
+    }
+}
+
+/// Runs one routing replicate for the paper's step count — under the
+/// standard invariant set when `check` is on (see
+/// [`run_mapping_replicate`]).
+fn run_routing_replicate(sim: &mut RoutingSim, check: bool) -> RoutingOutcome {
+    if check {
+        let mut checks = routing_invariants();
+        sim.run_checked(ROUTING_STEPS, &mut checks)
+            .unwrap_or_else(|v| panic!("routing replicate failed validation: {v}"))
+    } else {
+        sim.run(ROUTING_STEPS)
+    }
+}
+
 /// Replicated mapping finishing times for a config on a fixed graph.
 ///
 /// # Panics
@@ -209,7 +251,7 @@ pub fn mapping_finishing_times(
     let samples: Vec<f64> = ctx.replicated("mapping-finish", &params, stream, |_, s| {
         let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
             .expect("mapping config must be valid");
-        let out = sim.run(MAPPING_STEP_BUDGET);
+        let out = run_mapping_replicate(&mut sim, ctx.check());
         assert!(out.finished, "mapping run exhausted its step budget");
         out.finishing_time.as_f64()
     });
@@ -227,7 +269,7 @@ pub fn mapping_knowledge_curve(
     let curves: Vec<TimeSeries> = ctx.replicated("mapping-curve", &params, stream, |_, s| {
         let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
             .expect("mapping config must be valid");
-        let out = sim.run(MAPPING_STEP_BUDGET);
+        let out = run_mapping_replicate(&mut sim, ctx.check());
         assert!(out.finished, "mapping run exhausted its step budget");
         out.knowledge
     });
@@ -242,7 +284,7 @@ pub fn routing_connectivity(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> S
             paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
-        let out = sim.run(ROUTING_STEPS);
+        let out = run_routing_replicate(&mut sim, ctx.check());
         out.mean_connectivity(ROUTING_WINDOW).expect("window inside run")
     });
     Summary::from_samples(samples).expect("at least one replicate")
@@ -259,7 +301,7 @@ pub fn routing_temporal_wobble(ctx: &Ctx, config: &RoutingConfig, stream: u64) -
             paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
-        let out = sim.run(ROUTING_STEPS);
+        let out = run_routing_replicate(&mut sim, ctx.check());
         out.connectivity.window_std(ROUTING_WINDOW).expect("window inside run")
     });
     Summary::from_samples(samples).expect("at least one replicate")
@@ -272,7 +314,7 @@ pub fn routing_connectivity_curve(ctx: &Ctx, config: &RoutingConfig, stream: u64
             paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
-        sim.run(ROUTING_STEPS).connectivity
+        run_routing_replicate(&mut sim, ctx.check()).connectivity
     });
     TimeSeries::mean_of(&curves)
 }
@@ -339,6 +381,21 @@ mod tests {
         let a = mapping_finishing_times(&Ctx::new(&serial, "t", Mode::Quick), &g, &cfg, 1);
         let b = mapping_finishing_times(&Ctx::new(&parallel, "t", Mode::Quick), &g, &cfg, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checked_replicates_match_unchecked() {
+        // Invariant checking is a pure observer: same samples, and no
+        // violations on a healthy config.
+        let g = agentnet_graph::generators::grid(5, 5);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 3);
+        let exec = Executor::serial();
+        let plain = mapping_finishing_times(&Ctx::new(&exec, "t", Mode::Smoke), &g, &cfg, 2);
+        let checked =
+            mapping_finishing_times(&Ctx::new(&exec, "t", Mode::Smoke).checked(true), &g, &cfg, 2);
+        assert_eq!(plain, checked);
+        assert!(Ctx::new(&exec, "t", Mode::Smoke).checked(true).check());
+        assert!(!Ctx::new(&exec, "t", Mode::Smoke).check());
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl Claim {
 
 /// The output of one experiment: the regenerated figure data and the
 /// shape-claim verdicts.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentReport {
     /// Experiment id (e.g. `"fig5"`).
     pub id: String,

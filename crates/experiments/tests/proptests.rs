@@ -1,0 +1,96 @@
+//! Property-based tests for the experiment registry and reports.
+
+use agentnet_engine::table::Table;
+use agentnet_experiments::registry;
+use agentnet_experiments::report::{Claim, ExperimentReport};
+use proptest::prelude::*;
+
+/// Strategy for a short lowercase ASCII identifier.
+fn ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(97u8..123, 1..9)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ascii"))
+}
+
+/// Strategy for a short printable-ASCII sentence (may be empty).
+fn text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..30)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("ascii"))
+}
+
+/// Strategy for a small but arbitrary experiment report.
+fn report_strategy() -> impl Strategy<Value = ExperimentReport> {
+    (
+        (ident(), text(), text()),
+        proptest::collection::vec((text(), text(), 0u8..2), 0..5),
+        proptest::collection::vec((0u64..10_000, 0u64..1_000_000), 0..6),
+        (0u8..2, text()),
+    )
+        .prop_map(|((id, title, paper_claim), claims, rows, (has_figure, figure))| {
+            let mut table = Table::new(["x", "y"]);
+            for (x, y) in rows {
+                table.push_row([x.to_string(), y.to_string()]);
+            }
+            ExperimentReport {
+                id,
+                title,
+                paper_claim,
+                table,
+                claims: claims
+                    .into_iter()
+                    .map(|(statement, observed, holds)| Claim::new(statement, observed, holds == 1))
+                    .collect(),
+                figure: if has_figure == 1 { Some(figure) } else { None },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any two distinct registry positions hold distinct ids — the ids
+    /// are cache namespaces, so a collision would silently cross-feed
+    /// cached cells between experiments.
+    #[test]
+    fn registry_ids_pairwise_distinct(i in 0usize..64, offset in 1usize..64) {
+        let all = registry::all();
+        let i = i % all.len();
+        let j = (i + 1 + offset % (all.len() - 1)) % all.len();
+        prop_assert_ne!(i, j);
+        prop_assert_ne!(all[i].id, all[j].id);
+    }
+
+    /// `by_id` is a retraction of the registry: looking up any listed
+    /// experiment returns that experiment.
+    #[test]
+    fn registry_lookup_round_trips(i in 0usize..64) {
+        let all = registry::all();
+        let e = all[i % all.len()];
+        let found = registry::by_id(e.id).expect("listed id resolves");
+        prop_assert_eq!(found.id, e.id);
+        prop_assert_eq!(found.title, e.title);
+    }
+
+    /// Lookup of a non-registry id fails rather than fuzzy-matching.
+    #[test]
+    fn registry_lookup_rejects_unknown_ids(id in ident()) {
+        let id = format!("zz-{id}");
+        prop_assert!(registry::all().iter().all(|e| e.id != id), "zz- ids stay unused");
+        prop_assert!(registry::by_id(&id).is_none());
+    }
+
+    /// Reports survive a JSON round-trip exactly — this is what makes
+    /// the result cache and `--json` exports trustworthy.
+    #[test]
+    fn report_serde_round_trips(report in report_strategy()) {
+        let text = serde_json::to_string(&report).expect("report serializes");
+        let back: ExperimentReport = serde_json::from_str(&text).expect("report parses");
+        prop_assert_eq!(back, report);
+    }
+
+    /// `passed()` is the conjunction of the claims.
+    #[test]
+    fn report_passes_iff_all_claims_hold(report in report_strategy()) {
+        let expected = report.claims.iter().all(|c| c.holds);
+        prop_assert_eq!(report.passed(), expected);
+    }
+}

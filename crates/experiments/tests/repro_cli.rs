@@ -76,3 +76,38 @@ fn unknown_id_is_rejected() {
     let out = repro(&["--smoke", "fig99"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn check_flag_does_not_change_report_bytes() {
+    // Invariant checking observes the sims; it must not perturb them.
+    let plain = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "2", "fig1"]));
+    let checked = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "2", "--check", "fig1"]));
+    assert_eq!(plain, checked, "--check must not change report bytes");
+}
+
+#[test]
+fn validate_subcommand_passes_and_prints_the_table() {
+    let out = repro(&["validate", "--seed", "2010"]);
+    let text = stdout(&out);
+    assert!(text.contains("# agentnet validate"), "missing header:\n{text}");
+    assert!(text.contains("| check"), "missing table header:\n{text}");
+    assert!(text.contains("PASS"), "no passing rows:\n{text}");
+    assert!(!text.contains("FAIL"), "battery should be green:\n{text}");
+    // The acceptance floor: at least 8 invariants and 4 metamorphic or
+    // differential relations actually ran (cells are padded, so match
+    // on the kind word followed by padding).
+    assert!(text.matches("| invariant ").count() >= 8, "too few invariant rows:\n{text}");
+    let relations =
+        text.matches("| metamorphic ").count() + text.matches("| differential ").count();
+    assert!(relations >= 4, "too few relation rows:\n{text}");
+}
+
+#[test]
+fn validate_injected_failure_exits_nonzero_and_names_the_invariant() {
+    let out = repro(&["validate", "--inject-failure"]);
+    assert!(!out.status.success(), "an invariant violation must fail the process");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("injected-failure"), "violation not reported:\n{text}");
+    assert!(text.contains("FAIL"), "no FAIL row:\n{text}");
+    assert!(text.contains("checks FAILED"), "no failure summary:\n{text}");
+}

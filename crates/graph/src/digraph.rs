@@ -221,6 +221,49 @@ impl DiGraph {
     pub fn is_symmetric(&self) -> bool {
         self.edges().all(|e| self.has_edge(e.to, e.from))
     }
+
+    /// Audits the internal representation: adjacency lists must be
+    /// strictly sorted with in-range targets, the out- and in-lists must
+    /// mirror each other exactly, and the cached edge count must match.
+    ///
+    /// Every public mutation preserves these properties; the check
+    /// exists so invariant-checked simulation runs can prove it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let n = self.out.len();
+        if self.inn.len() != n {
+            return Err(format!("out lists cover {n} nodes but in lists {}", self.inn.len()));
+        }
+        for (label, lists) in [("out", &self.out), ("in", &self.inn)] {
+            for (v, list) in lists.iter().enumerate() {
+                if !list.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(format!("{label}-list of node {v} is not strictly sorted"));
+                }
+                if let Some(bad) = list.iter().find(|t| t.index() >= n) {
+                    return Err(format!("{label}-list of node {v} references node {bad} >= {n}"));
+                }
+            }
+        }
+        let out_edges: usize = self.out.iter().map(Vec::len).sum();
+        let in_edges: usize = self.inn.iter().map(Vec::len).sum();
+        if out_edges != self.edge_count || in_edges != self.edge_count {
+            return Err(format!(
+                "edge count {} disagrees with adjacency ({out_edges} out, {in_edges} in)",
+                self.edge_count
+            ));
+        }
+        for (u, list) in self.out.iter().enumerate() {
+            for &v in list {
+                if self.inn[v.index()].binary_search(&NodeId::new(u)).is_err() {
+                    return Err(format!("edge {u} -> {v} missing from {v}'s in-list"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -371,5 +414,40 @@ mod tests {
     fn add_edge_panics_out_of_range() {
         let mut g = DiGraph::new(2);
         g.add_edge(n(0), n(2));
+    }
+
+    #[test]
+    fn consistency_holds_through_mutation() {
+        let mut g = DiGraph::new(6);
+        assert_eq!(g.check_consistency(), Ok(()));
+        for (a, b) in [(0, 3), (3, 0), (5, 1), (1, 2), (2, 1), (0, 1)] {
+            g.add_edge(n(a), n(b));
+            assert_eq!(g.check_consistency(), Ok(()));
+        }
+        g.remove_edge(n(3), n(0));
+        g.remove_edge(n(0), n(1));
+        assert_eq!(g.check_consistency(), Ok(()));
+        g.clear_edges();
+        assert_eq!(g.check_consistency(), Ok(()));
+    }
+
+    #[test]
+    fn consistency_catches_corruption() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        // Forge a count mismatch.
+        let mut bad = g.clone();
+        bad.edge_count = 5;
+        assert!(bad.check_consistency().unwrap_err().contains("edge count"));
+        // Forge a one-sided edge (out-list entry with no in-list mirror).
+        let mut bad = g.clone();
+        bad.out[2].push(n(0));
+        assert!(bad.check_consistency().is_err());
+        // Forge an unsorted list.
+        let mut bad = g;
+        bad.out[0] = vec![n(2), n(1)];
+        bad.inn[1].push(n(0)); // keep counts plausible
+        assert!(bad.check_consistency().unwrap_err().contains("sorted"));
     }
 }

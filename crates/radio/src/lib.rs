@@ -42,6 +42,7 @@
 
 pub mod battery;
 pub mod builder;
+pub mod invariants;
 pub mod mobility;
 pub mod network;
 pub mod node;
