@@ -20,10 +20,14 @@ fn fig1_single_agents(c: &mut Criterion) {
     {
         let config = MappingConfig::new(policy, 1);
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            if let Err(e) = run_mapping(&graph, cfg, 1) {
+                eprintln!("skipping bench: {e}");
+                return;
+            }
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(run_mapping(&graph, cfg, seed))
+                black_box(run_mapping(&graph, cfg, seed).expect("probed config finishes"))
             });
         });
     }
@@ -40,10 +44,14 @@ fn fig2_single_stigmergic(c: &mut Criterion) {
     {
         let config = MappingConfig::new(policy, 1).stigmergic(true);
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            if let Err(e) = run_mapping(&graph, cfg, 1) {
+                eprintln!("skipping bench: {e}");
+                return;
+            }
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(run_mapping(&graph, cfg, seed))
+                black_box(run_mapping(&graph, cfg, seed).expect("probed config finishes"))
             });
         });
     }
@@ -59,10 +67,14 @@ fn fig3_fig4_teams(c: &mut Criterion) {
     for (name, stig) in [("minar", false), ("stigmergic", true)] {
         let config = MappingConfig::new(MappingPolicy::Conscientious, 15).stigmergic(stig);
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            if let Err(e) = run_mapping(&graph, cfg, 1) {
+                eprintln!("skipping bench: {e}");
+                return;
+            }
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(run_mapping(&graph, cfg, seed))
+                black_box(run_mapping(&graph, cfg, seed).expect("probed config finishes"))
             });
         });
     }
@@ -82,10 +94,14 @@ fn fig5_fig6_population_sweep(c: &mut Criterion) {
         ] {
             let config = MappingConfig::new(policy, pop).stigmergic(stig);
             group.bench_with_input(BenchmarkId::new(name, pop), &config, |b, cfg| {
+                if let Err(e) = run_mapping(&graph, cfg, 1) {
+                    eprintln!("skipping bench: {e}");
+                    return;
+                }
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    black_box(run_mapping(&graph, cfg, seed))
+                    black_box(run_mapping(&graph, cfg, seed).expect("probed config finishes"))
                 });
             });
         }

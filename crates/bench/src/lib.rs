@@ -30,14 +30,31 @@ pub fn bench_routing_network() -> WirelessNetwork {
         .expect("bench routing network must build")
 }
 
+/// Step budget for [`run_mapping`]; every sane bench config finishes far
+/// below it.
+pub const MAPPING_STEP_CAP: u64 = 1_000_000;
+
 /// Runs a mapping config to completion on the bench graph and returns
 /// the finishing time (used as the timed kernel of Figs. 1–6).
-pub fn run_mapping(graph: &DiGraph, config: &MappingConfig, seed: u64) -> u64 {
-    let mut sim =
-        MappingSim::new(graph.clone(), config.clone(), seed).expect("valid mapping config");
-    let out = sim.run(1_000_000);
-    assert!(out.finished, "bench mapping run must finish");
-    out.finishing_time.as_u64()
+///
+/// # Errors
+///
+/// Returns a description instead of panicking when the config is
+/// invalid or the run fails to finish within [`MAPPING_STEP_CAP`] steps
+/// — a pathological config in a bench loop should fail the comparison,
+/// not abort the whole harness.
+pub fn run_mapping(graph: &DiGraph, config: &MappingConfig, seed: u64) -> Result<u64, String> {
+    let mut sim = MappingSim::new(graph.clone(), config.clone(), seed)
+        .map_err(|e| format!("invalid bench mapping config: {e}"))?;
+    let out = sim.run(MAPPING_STEP_CAP);
+    if !out.finished {
+        return Err(format!(
+            "bench mapping run did not finish within {MAPPING_STEP_CAP} steps \
+             (policy {:?}, population {}, seed {seed})",
+            config.policy, config.population
+        ));
+    }
+    Ok(out.finishing_time.as_u64())
 }
 
 /// Runs a routing config for `steps` on the bench network and returns
@@ -72,10 +89,19 @@ mod tests {
     #[test]
     fn kernels_run() {
         let g = bench_mapping_graph();
-        let t = run_mapping(&g, &MappingConfig::new(MappingPolicy::Conscientious, 4), 1);
+        let t = run_mapping(&g, &MappingConfig::new(MappingPolicy::Conscientious, 4), 1)
+            .expect("bench mapping run finishes");
         assert!(t > 0);
         let net = bench_routing_network();
         let c = run_routing(&net, &RoutingConfig::new(RoutingPolicy::OldestNode, 20), 1, 50);
         assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn run_mapping_reports_invalid_config_instead_of_panicking() {
+        let g = bench_mapping_graph();
+        let err = run_mapping(&g, &MappingConfig::new(MappingPolicy::Conscientious, 0), 1)
+            .expect_err("zero population must be rejected");
+        assert!(err.contains("invalid"), "unexpected error: {err}");
     }
 }

@@ -9,6 +9,67 @@
 use crate::knowledge::{EdgeSet, VisitTimes};
 use agentnet_graph::NodeId;
 
+/// Reusable scratch for grouping agents by the node they stand on —
+/// the "who is co-located with whom" question both simulation kernels
+/// ask every step. A counting sort over node ids replaces the previous
+/// per-step `HashMap<NodeId, Vec<usize>>` rebuild, so steady-state
+/// grouping performs no heap allocation and yields groups in
+/// deterministic node-id order (members in agent-index order).
+#[derive(Clone, Debug, Default)]
+pub struct GroupScratch {
+    /// Per node: end offset of its group in `order`.
+    ends: Vec<usize>,
+    /// Per node: write cursor during placement (consumed by `group`).
+    cursors: Vec<usize>,
+    /// Agent indices, grouped by node.
+    order: Vec<usize>,
+}
+
+impl GroupScratch {
+    /// Creates an empty scratch; storage grows on first use.
+    pub fn new() -> Self {
+        GroupScratch::default()
+    }
+
+    /// Groups agents by node. `nodes_of` yields each agent's current
+    /// node in agent-index order and is iterated twice (count, then
+    /// place), so it must be cheap and repeatable.
+    pub fn group(&mut self, node_count: usize, nodes_of: impl Iterator<Item = NodeId> + Clone) {
+        self.ends.clear();
+        self.ends.resize(node_count, 0);
+        let mut agents = 0usize;
+        for node in nodes_of.clone() {
+            self.ends[node.index()] += 1;
+            agents += 1;
+        }
+        self.cursors.clear();
+        let mut acc = 0usize;
+        for end in self.ends.iter_mut() {
+            self.cursors.push(acc);
+            acc += *end;
+            *end = acc;
+        }
+        self.order.clear();
+        self.order.resize(agents, 0);
+        for (agent, node) in nodes_of.enumerate() {
+            let slot = &mut self.cursors[node.index()];
+            self.order[*slot] = agent;
+            *slot += 1;
+        }
+    }
+
+    /// Non-empty groups from the last [`Self::group`] call, in node-id
+    /// order; each group's members are in agent-index order.
+    pub fn groups(&self) -> impl Iterator<Item = (NodeId, &[usize])> {
+        let mut prev = 0usize;
+        self.ends.iter().enumerate().filter_map(move |(i, &end)| {
+            let start = prev;
+            prev = end;
+            (end > start).then(|| (NodeId::new(i), &self.order[start..end]))
+        })
+    }
+}
+
 /// Union of a group's edge knowledge (the second-hand learning of a
 /// mapping meeting). Returns `None` for an empty group.
 pub fn union_edges<'a>(sets: impl IntoIterator<Item = &'a EdgeSet>) -> Option<EdgeSet> {
@@ -86,5 +147,31 @@ mod tests {
         let routes = vec![(n(9), vec![n(0), n(9)]), (n(8), vec![n(0), n(8)])];
         assert_eq!(best_route(&routes).unwrap().0, n(8));
         assert!(best_route(&[]).is_none());
+    }
+
+    #[test]
+    fn group_scratch_groups_by_node_in_order() {
+        let at = [n(2), n(0), n(2), n(5), n(0), n(2)];
+        let mut scratch = GroupScratch::new();
+        scratch.group(6, at.iter().copied());
+        let groups: Vec<(NodeId, Vec<usize>)> =
+            scratch.groups().map(|(node, members)| (node, members.to_vec())).collect();
+        assert_eq!(groups, vec![(n(0), vec![1, 4]), (n(2), vec![0, 2, 5]), (n(5), vec![3])]);
+    }
+
+    #[test]
+    fn group_scratch_is_reusable_and_handles_empty() {
+        let mut scratch = GroupScratch::new();
+        scratch.group(3, std::iter::empty());
+        assert_eq!(scratch.groups().count(), 0);
+        scratch.group(3, [n(1), n(1)].into_iter());
+        let groups: Vec<(NodeId, Vec<usize>)> =
+            scratch.groups().map(|(node, members)| (node, members.to_vec())).collect();
+        assert_eq!(groups, vec![(n(1), vec![0, 1])]);
+        // Shrinking the node universe must not leak stale groups.
+        scratch.group(1, [n(0)].into_iter());
+        let groups: Vec<(NodeId, Vec<usize>)> =
+            scratch.groups().map(|(node, members)| (node, members.to_vec())).collect();
+        assert_eq!(groups, vec![(n(0), vec![0])]);
     }
 }

@@ -16,7 +16,7 @@
 //! of edges known.
 
 use crate::agent::AgentId;
-use crate::comm::{union_edges, union_visits};
+use crate::comm::{union_edges, union_visits, GroupScratch};
 use crate::error::CoreError;
 use crate::knowledge::{EdgeSet, VisitTimes};
 use crate::overhead::{mapping_agent_state_bytes, Overhead};
@@ -138,7 +138,9 @@ pub struct MappingSim {
     /// knowledge then use exact (intersection) accounting, since stale
     /// knowledge may inflate raw edge counts.
     graph_changed: bool,
-    scratch_groups: Vec<Vec<usize>>,
+    groups: GroupScratch,
+    pending: Vec<Option<NodeId>>,
+    avoid: Vec<NodeId>,
 }
 
 /// Result of a mapping run.
@@ -200,7 +202,9 @@ impl MappingSim {
             overhead: Overhead::default(),
             trace,
             graph_changed: false,
-            scratch_groups: Vec::new(),
+            groups: GroupScratch::new(),
+            pending: Vec::new(),
+            avoid: Vec::new(),
         })
     }
 
@@ -349,27 +353,6 @@ impl MappingSim {
         let RunOutcome { steps, finished } = run_until_checked(self, Step::new(max_steps), checks)?;
         Ok(MappingOutcome { finished, finishing_time: steps, knowledge: self.knowledge.clone() })
     }
-
-    /// Groups agent indices by their current node into `scratch_groups`.
-    fn collect_colocation_groups(&mut self) {
-        for g in &mut self.scratch_groups {
-            g.clear();
-        }
-        let mut by_node: std::collections::HashMap<NodeId, usize> =
-            std::collections::HashMap::new();
-        let mut used = 0usize;
-        for (i, agent) in self.agents.iter().enumerate() {
-            let slot = *by_node.entry(agent.at).or_insert_with(|| {
-                if used == self.scratch_groups.len() {
-                    self.scratch_groups.push(Vec::new());
-                }
-                used += 1;
-                used - 1
-            });
-            self.scratch_groups[slot].push(i);
-        }
-        self.scratch_groups.truncate(used);
-    }
 }
 
 impl TimeStepSim for MappingSim {
@@ -388,9 +371,9 @@ impl TimeStepSim for MappingSim {
         }
 
         // Phase 2 — second-hand learning from co-located agents.
-        self.collect_colocation_groups();
-        let groups = std::mem::take(&mut self.scratch_groups);
-        for group in &groups {
+        self.groups.group(self.graph.node_count(), self.agents.iter().map(|a| a.at));
+        let groups = std::mem::take(&mut self.groups);
+        for (node, group) in groups.groups() {
             if group.len() < 2 {
                 continue;
             }
@@ -398,7 +381,7 @@ impl TimeStepSim for MappingSim {
             self.overhead.meeting_messages += (group.len() * (group.len() - 1)) as u64;
             if self.config.trace_capacity > 0 {
                 self.trace.record(TraceEvent::Meeting {
-                    node: self.agents[group[0]].at,
+                    node,
                     participants: group.len() as u32,
                     at: now,
                 });
@@ -412,21 +395,27 @@ impl TimeStepSim for MappingSim {
                 self.agents[i].merged_visits = union_v.clone();
             }
         }
-        self.scratch_groups = groups;
+        self.groups = groups;
 
         // Phase 3+4 — choose the next node and leave a footprint. Choices
         // are made in agent-id order and footprints are visible
         // immediately, so two stigmergic agents on one node diverge
         // within the same step.
-        let mut pending: Vec<Option<NodeId>> = Vec::with_capacity(self.agents.len());
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.clear();
+        let mut avoid = std::mem::take(&mut self.avoid);
         for i in 0..self.agents.len() {
             let at = self.agents[i].at;
             let candidates = self.graph.out_neighbors(at);
-            let avoid = if self.config.stigmergic {
-                self.boards[at.index()].marked_targets(now, self.config.footprint_window)
+            if self.config.stigmergic {
+                self.boards[at.index()].marked_targets_into(
+                    now,
+                    self.config.footprint_window,
+                    &mut avoid,
+                );
             } else {
-                Vec::new()
-            };
+                avoid.clear();
+            }
             let agent = &self.agents[i];
             let choice = match self.config.policy {
                 MappingPolicy::Random => choose_move(
@@ -479,7 +468,7 @@ impl TimeStepSim for MappingSim {
 
         // Move phase.
         let state_bytes = mapping_agent_state_bytes(self.graph.node_count());
-        for (i, (agent, choice)) in self.agents.iter_mut().zip(pending).enumerate() {
+        for (i, (agent, &choice)) in self.agents.iter_mut().zip(&pending).enumerate() {
             if let Some(target) = choice {
                 if self.config.trace_capacity > 0 {
                     self.trace.record(TraceEvent::Moved {
@@ -494,6 +483,8 @@ impl TimeStepSim for MappingSim {
                 self.overhead.migrated_bytes += state_bytes;
             }
         }
+        self.pending = pending;
+        self.avoid = avoid;
 
         // Bookkeeping: knowledge metric and completion. On a static run
         // every known edge exists, so the raw count is exact; once the

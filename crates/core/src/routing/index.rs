@@ -1,0 +1,256 @@
+//! Persistent route-revalidation index.
+//!
+//! [`super::sim::RoutingSim`] must re-validate every node's next-hop
+//! chain each step. The reference implementation
+//! ([`super::sim::RoutingSim::connectivity`]) rebuilds the whole
+//! forwarding graph from the routing tables every step; this index keeps
+//! that graph *persistent* and applies deltas instead:
+//!
+//! * a table write dirties only the written node ([`RouteIndex::mark_dirty`]);
+//! * a link-topology change (detected through
+//!   [`agentnet_radio::WirelessNetwork::topology_version`]) forces a full
+//!   resync, since any entry's liveness may have flipped;
+//! * the connectivity metric is a reverse BFS from the live gateways over
+//!   the persistent graph's in-edges, using reusable scratch.
+//!
+//! On a quiescent network (nothing moved, no tables written) a step's
+//! revalidation is O(live gateways + reachable set) with zero heap
+//! allocation in steady state.
+
+use crate::routing::table::RoutingTable;
+use agentnet_graph::{DiGraph, NodeId};
+
+/// Incrementally-maintained forwarding graph plus reverse-BFS scratch.
+///
+/// The index is only a cache: [`RouteIndex::refresh`] must be called with
+/// the current tables/links before [`RouteIndex::connected_fraction`] is
+/// meaningful, and its result is always bit-identical to the from-scratch
+/// [`super::sim::RoutingSim::connectivity`] reference.
+#[derive(Clone, Debug)]
+pub struct RouteIndex {
+    /// `v -> next_hop` for every table entry of a non-gateway `v` whose
+    /// link is currently live.
+    forwarding: DiGraph,
+    /// Per-node dirty flag (table or gateway-status changed).
+    dirty: Vec<bool>,
+    /// Indices of dirty nodes, deduplicated via `dirty`.
+    dirty_list: Vec<usize>,
+    /// Link-topology version the forwarding graph was synced against;
+    /// `u64::MAX` forces a full resync on first refresh.
+    topo_version: u64,
+    /// Reverse-BFS visited flags.
+    reached: Vec<bool>,
+    /// Reverse-BFS frontier (index-addressed queue).
+    queue: Vec<usize>,
+    /// Old out-row scratch while rewriting a dirty node's edges.
+    old_row: Vec<NodeId>,
+}
+
+impl RouteIndex {
+    /// Creates an index for `n` nodes, initially unsynced.
+    pub fn new(n: usize) -> Self {
+        RouteIndex {
+            forwarding: DiGraph::new(n),
+            dirty: vec![false; n],
+            dirty_list: Vec::new(),
+            topo_version: u64::MAX,
+            reached: vec![false; n],
+            queue: Vec::new(),
+            old_row: Vec::new(),
+        }
+    }
+
+    /// The current forwarding graph (for tests and diagnostics).
+    pub fn forwarding(&self) -> &DiGraph {
+        &self.forwarding
+    }
+
+    /// Marks `node`'s forwarding row stale — call after any routing-table
+    /// write to it or after its gateway status changes.
+    pub fn mark_dirty(&mut self, node: NodeId) {
+        let i = node.index();
+        if !self.dirty[i] {
+            self.dirty[i] = true;
+            self.dirty_list.push(i);
+        }
+    }
+
+    /// Brings the forwarding graph in sync with `tables` + `links`.
+    ///
+    /// If `net_version` differs from the last synced version the whole
+    /// graph is rebuilt (any link may have flipped); otherwise only the
+    /// rows of nodes marked dirty since the last refresh are rewritten.
+    pub fn refresh(
+        &mut self,
+        tables: &[RoutingTable],
+        links: &DiGraph,
+        is_gateway: &[bool],
+        net_version: u64,
+    ) {
+        if net_version != self.topo_version {
+            self.topo_version = net_version;
+            for flag in &mut self.dirty {
+                *flag = false;
+            }
+            self.dirty_list.clear();
+            self.forwarding.clear_edges();
+            for v in 0..tables.len() {
+                self.write_row(v, tables, links, is_gateway);
+            }
+            return;
+        }
+        let mut list = std::mem::take(&mut self.dirty_list);
+        for &v in &list {
+            self.dirty[v] = false;
+            self.clear_row(v);
+            self.write_row(v, tables, links, is_gateway);
+        }
+        list.clear();
+        self.dirty_list = list;
+    }
+
+    /// Removes all out-edges of `v` from the forwarding graph.
+    fn clear_row(&mut self, v: usize) {
+        let from = NodeId::new(v);
+        self.old_row.clear();
+        self.old_row.extend_from_slice(self.forwarding.out_neighbors(from));
+        let mut row = std::mem::take(&mut self.old_row);
+        for &to in &row {
+            self.forwarding.remove_edge(from, to);
+        }
+        row.clear();
+        self.old_row = row;
+    }
+
+    /// Adds `v`'s live-link next hops, assuming its row is clear.
+    fn write_row(
+        &mut self,
+        v: usize,
+        tables: &[RoutingTable],
+        links: &DiGraph,
+        is_gateway: &[bool],
+    ) {
+        if is_gateway[v] {
+            return;
+        }
+        let from = NodeId::new(v);
+        for next in tables[v].next_hops() {
+            if links.has_edge(from, next) {
+                self.forwarding.add_edge(from, next);
+            }
+        }
+    }
+
+    /// Fraction of nodes whose next-hop chain reaches some live gateway
+    /// (gateways count as connected) — reverse BFS from the gateways over
+    /// the persistent forwarding graph, allocation-free in steady state.
+    pub fn connected_fraction(&mut self, live_gateways: &[NodeId]) -> f64 {
+        let n = self.forwarding.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        for flag in &mut self.reached {
+            *flag = false;
+        }
+        self.queue.clear();
+        let mut count = 0usize;
+        for &g in live_gateways {
+            if !self.reached[g.index()] {
+                self.reached[g.index()] = true;
+                count += 1;
+                self.queue.push(g.index());
+            }
+        }
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let v = NodeId::new(self.queue[head]);
+            head += 1;
+            for i in 0..self.forwarding.in_neighbors(v).len() {
+                let u = self.forwarding.in_neighbors(v)[i].index();
+                if !self.reached[u] {
+                    self.reached[u] = true;
+                    count += 1;
+                    self.queue.push(u);
+                }
+            }
+        }
+        count as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::table::RouteEntry;
+    use agentnet_engine::Step;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Line 3 <- 2 <- 1 <- 0(gateway) of live links, tables pointing back.
+    fn fixture() -> (Vec<RoutingTable>, DiGraph, Vec<bool>) {
+        let mut links = DiGraph::new(4);
+        for v in 1..4 {
+            links.add_edge(n(v), n(v - 1));
+            links.add_edge(n(v - 1), n(v));
+        }
+        let mut tables = vec![RoutingTable::new(); 4];
+        for v in 1..4 {
+            tables[v].install(RouteEntry::new(n(0), n(v - 1), v as u32, Step::ZERO));
+        }
+        let mut is_gateway = vec![false; 4];
+        is_gateway[0] = true;
+        (tables, links, is_gateway)
+    }
+
+    #[test]
+    fn full_resync_then_incremental_updates_agree() {
+        let (mut tables, links, is_gateway) = fixture();
+        let mut idx = RouteIndex::new(4);
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        assert_eq!(idx.connected_fraction(&[n(0)]), 1.0);
+
+        // Break node 2's route (point it off-link): only 0 and 1 remain.
+        tables[2].install(RouteEntry::new(n(0), n(3), 2, Step::ZERO));
+        idx.mark_dirty(n(2));
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        // 2 -> 3 is a live link but 3 -> 2 -> 3 never reaches the gateway.
+        assert_eq!(idx.connected_fraction(&[n(0)]), 0.5);
+
+        // Repair it; incremental update restores full connectivity.
+        tables[2].install(RouteEntry::new(n(0), n(1), 2, Step::ZERO));
+        idx.mark_dirty(n(2));
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        assert_eq!(idx.connected_fraction(&[n(0)]), 1.0);
+    }
+
+    #[test]
+    fn topology_version_change_forces_full_resync() {
+        let (tables, mut links, is_gateway) = fixture();
+        let mut idx = RouteIndex::new(4);
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        assert_eq!(idx.connected_fraction(&[n(0)]), 1.0);
+        // The 1 -> 0 link dies; without a dirty mark only the version
+        // bump can catch it.
+        links.remove_edge(n(1), n(0));
+        idx.refresh(&tables, &links, &is_gateway, 1);
+        assert_eq!(idx.connected_fraction(&[n(0)]), 0.25);
+    }
+
+    #[test]
+    fn no_live_gateways_means_no_connectivity() {
+        let (tables, links, is_gateway) = fixture();
+        let mut idx = RouteIndex::new(4);
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        assert_eq!(idx.connected_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn duplicate_gateways_count_once() {
+        let (tables, links, is_gateway) = fixture();
+        let mut idx = RouteIndex::new(4);
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        assert_eq!(idx.connected_fraction(&[n(0), n(0)]), 1.0);
+    }
+}

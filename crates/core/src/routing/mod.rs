@@ -10,14 +10,18 @@
 //! * [`sim`] — the simulation itself, with random / oldest-node agents,
 //!   optional direct communication ("visiting") and optional stigmergy
 //!   (the paper's future-work extension).
+//! * [`index`] — the persistent forwarding-graph index that revalidates
+//!   chains from link/table deltas instead of rebuilding per step.
 //! * [`traffic`] — packet-level evaluation: inject packets and forward
 //!   them along the agent-maintained tables, measuring delivery ratio,
 //!   latency and hop stretch.
 
+pub mod index;
 pub mod sim;
 pub mod table;
 pub mod traffic;
 
+pub use index::RouteIndex;
 pub use sim::{RoutingConfig, RoutingOutcome, RoutingSim};
 pub use table::{RouteEntry, RoutingTable};
 pub use traffic::{TrafficConfig, TrafficSim, TrafficStats};

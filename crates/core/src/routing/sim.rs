@@ -18,10 +18,12 @@
 //! until agents re-repair them.
 
 use crate::agent::AgentId;
+use crate::comm::GroupScratch;
 use crate::error::CoreError;
 use crate::history::VisitMemory;
 use crate::overhead::{routing_agent_state_bytes, Overhead};
 use crate::policy::{choose_move, RoutingPolicy, TieBreak};
+use crate::routing::index::RouteIndex;
 use crate::routing::table::{RouteEntry, RoutingTable};
 use crate::stigmergy::FootprintBoard;
 use crate::trace::{TraceEvent, TraceLog};
@@ -188,6 +190,12 @@ pub struct RoutingSim {
     connectivity: TimeSeries,
     overhead: Overhead,
     trace: TraceLog,
+    /// Persistent forwarding graph revalidated from deltas each step —
+    /// always agrees with the from-scratch [`Self::connectivity`].
+    route_index: RouteIndex,
+    groups: GroupScratch,
+    pending: Vec<Option<NodeId>>,
+    avoid: Vec<NodeId>,
 }
 
 impl RoutingSim {
@@ -245,6 +253,10 @@ impl RoutingSim {
             connectivity: TimeSeries::new(),
             overhead: Overhead::default(),
             trace,
+            route_index: RouteIndex::new(n),
+            groups: GroupScratch::new(),
+            pending: Vec::new(),
+            avoid: Vec::new(),
         })
     }
 
@@ -276,6 +288,9 @@ impl RoutingSim {
         };
         self.live_gateways.remove(pos);
         self.is_gateway[id.index()] = false;
+        // Its forwarding row changes shape (non-gateways export their
+        // table entries); the next refresh must rewrite it.
+        self.route_index.mark_dirty(id);
         true
     }
 
@@ -336,6 +351,13 @@ impl RoutingSim {
     ///
     /// A node may chain through *any* entry of downstream tables — a
     /// packet for the outside world accepts any gateway.
+    ///
+    /// This is the *from-scratch reference*: it rebuilds the forwarding
+    /// graph from the tables on every call, so it stays correct under
+    /// arbitrary external mutation (tests poke tables directly). The
+    /// step loop instead records the delta-maintained
+    /// [`RouteIndex`] result, which is asserted identical by the
+    /// [`crate::validate::routing_invariants`] differential check.
     pub fn connectivity(&self) -> f64 {
         let links = self.net.links();
         let n = self.net.node_count();
@@ -379,17 +401,24 @@ impl RoutingSim {
         Ok(RoutingOutcome { connectivity: self.connectivity.clone() })
     }
 
-    /// Movement-decision phase; returns each agent's chosen target.
-    fn decide(&mut self, now: Step) -> Vec<Option<NodeId>> {
-        let mut pending = Vec::with_capacity(self.agents.len());
+    /// Movement-decision phase; fills `self.pending` with each agent's
+    /// chosen target, reusing the scratch vectors across steps.
+    fn decide(&mut self, now: Step) {
+        let mut pending = std::mem::take(&mut self.pending);
+        pending.clear();
+        let mut avoid = std::mem::take(&mut self.avoid);
         for i in 0..self.agents.len() {
             let at = self.agents[i].at;
             let candidates = self.net.links().out_neighbors(at);
-            let avoid = if self.config.stigmergic {
-                self.boards[at.index()].marked_targets(now, self.config.footprint_window)
+            if self.config.stigmergic {
+                self.boards[at.index()].marked_targets_into(
+                    now,
+                    self.config.footprint_window,
+                    &mut avoid,
+                );
             } else {
-                Vec::new()
-            };
+                avoid.clear();
+            }
             let agent = &self.agents[i];
             let choice = match self.config.policy {
                 RoutingPolicy::Random => choose_move(
@@ -425,7 +454,8 @@ impl RoutingSim {
             }
             pending.push(choice);
         }
-        pending
+        self.pending = pending;
+        self.avoid = avoid;
     }
 
     /// Meeting phase: each co-located group agrees on the best route
@@ -433,19 +463,16 @@ impl RoutingSim {
     /// participant identical — "all participating agents are going to be
     /// identical in term of history knowledge".
     fn share(&mut self, now: Step) {
-        let mut by_node: std::collections::HashMap<NodeId, Vec<usize>> =
-            std::collections::HashMap::new();
-        for (i, agent) in self.agents.iter().enumerate() {
-            by_node.entry(agent.at).or_default().push(i);
-        }
-        for group in by_node.values() {
+        self.groups.group(self.net.node_count(), self.agents.iter().map(|a| a.at));
+        let groups = std::mem::take(&mut self.groups);
+        for (node, group) in groups.groups() {
             if group.len() < 2 {
                 continue;
             }
             self.overhead.meeting_messages += (group.len() * (group.len() - 1)) as u64;
             if self.config.trace_capacity > 0 {
                 self.trace.record(TraceEvent::Meeting {
-                    node: self.agents[group[0]].at,
+                    node,
                     participants: group.len() as u32,
                     at: now,
                 });
@@ -468,6 +495,7 @@ impl RoutingSim {
                 self.agents[i].memory = merged.clone();
             }
         }
+        self.groups = groups;
     }
 
     /// Move phase + routing-table update at the arrival node.
@@ -507,6 +535,7 @@ impl RoutingSim {
                     c.hops += 1;
                     self.tables[agent.at.index()]
                         .install(RouteEntry::new(c.gateway, prev, c.hops, now));
+                    self.route_index.mark_dirty(agent.at);
                     self.overhead.table_writes += 1;
                     if self.config.trace_capacity > 0 {
                         self.trace.record(TraceEvent::TableWrite {
@@ -537,13 +566,23 @@ impl TimeStepSim for RoutingSim {
         if self.config.communication && self.config.share_before_decide {
             self.share(now);
         }
-        let pending = self.decide(now);
+        self.decide(now);
         if self.config.communication && !self.config.share_before_decide {
             self.share(now);
         }
+        let pending = std::mem::take(&mut self.pending);
         self.move_and_update(&pending, now);
+        self.pending = pending;
 
-        let c = self.connectivity();
+        // Revalidate routes from deltas: table writes dirtied their nodes
+        // above, and a topology-version bump forces the full resync.
+        self.route_index.refresh(
+            &self.tables,
+            self.net.links(),
+            &self.is_gateway,
+            self.net.topology_version(),
+        );
+        let c = self.route_index.connected_fraction(&self.live_gateways);
         self.connectivity.record(c);
     }
 }
@@ -829,6 +868,60 @@ mod tests {
         let plain = RoutingSim::new(small_net(9), base.clone(), 3).unwrap().run(80);
         let stig = RoutingSim::new(small_net(9), base.stigmergic(true), 3).unwrap().run(80);
         assert_ne!(plain, stig, "stigmergy had no effect at all");
+    }
+
+    #[test]
+    fn incremental_connectivity_matches_reference_every_step() {
+        // Mobile network, communication on: topology churn exercises the
+        // full-resync path, table writes the incremental path. The
+        // recorded series must be bit-identical to the from-scratch
+        // reference after every step.
+        let cfg = RoutingConfig::new(RoutingPolicy::OldestNode, 20).communication(true);
+        let mut sim = RoutingSim::new(small_net(2), cfg, 7).unwrap();
+        for s in 0..80 {
+            sim.step(Step::new(s));
+            let recorded = *sim.connectivity_series().values().last().unwrap();
+            assert_eq!(recorded, sim.connectivity(), "index diverged at step {s}");
+        }
+    }
+
+    #[test]
+    fn incremental_connectivity_tracks_gateway_failure() {
+        let cfg = RoutingConfig::new(RoutingPolicy::OldestNode, 15);
+        let mut sim = RoutingSim::new(static_net(16), cfg, 3).unwrap();
+        for s in 0..40 {
+            sim.step(Step::new(s));
+        }
+        sim.fail_gateway(sim.network().gateways()[0]);
+        for s in 40..60 {
+            sim.step(Step::new(s));
+            let recorded = *sim.connectivity_series().values().last().unwrap();
+            assert_eq!(recorded, sim.connectivity(), "index diverged at step {s}");
+        }
+    }
+
+    #[test]
+    fn eviction_after_boundary_exchange_does_not_panic() {
+        // Entries installed late in a run carry stamps ahead of an
+        // earlier observer's clock (a co-located exchange at a step
+        // boundary). Aging and evicting against that earlier clock must
+        // saturate to age 0, not panic in `Step::since`.
+        let cfg = RoutingConfig::new(RoutingPolicy::OldestNode, 10).communication(true);
+        let mut sim = RoutingSim::new(static_net(6), cfg, 3).unwrap();
+        for s in 0..12 {
+            sim.step(Step::new(s));
+        }
+        let mut future_stamped = 0usize;
+        for i in 0..sim.network().node_count() {
+            for e in sim.table(NodeId::new(i)).entries() {
+                if e.installed_at > Step::new(5) {
+                    future_stamped += 1;
+                    assert_eq!(e.age(Step::new(5)), 0);
+                }
+            }
+            sim.tables[i].evict_older_than(Step::new(5), 1_000);
+        }
+        assert!(future_stamped > 0, "no future-stamped entries; test is vacuous");
     }
 
     #[test]

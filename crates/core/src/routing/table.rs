@@ -43,9 +43,13 @@ impl RouteEntry {
         RouteEntry { gateway, next_hop, hops, installed_at }
     }
 
-    /// Entry age in steps at time `now`.
+    /// Entry age in steps at time `now`. Entries stamped *ahead* of
+    /// `now` — installed by a co-located exchange at a step boundary,
+    /// where the installer's clock has already advanced past the
+    /// reader's — report age 0 instead of panicking in
+    /// [`Step::since`](agentnet_engine::Step::since).
     pub fn age(&self, now: Step) -> u64 {
-        now.since(self.installed_at)
+        now.checked_since(self.installed_at).unwrap_or(0)
     }
 }
 
@@ -139,11 +143,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "`earlier` (t17) is after `self` (t10)")]
-    fn age_before_installation_panics() {
-        // `Step::since` uses checked subtraction: asking an entry's age
-        // before it was installed is a logic error, not zero.
-        let _ = e(9, 3, 4, 17).age(Step::new(10));
+    fn age_saturates_for_future_stamped_entries() {
+        // An entry installed by a co-located exchange can carry a stamp
+        // one step ahead of the reader's clock; its age is 0, not a
+        // `Step::since` time-reversal panic.
+        assert_eq!(e(9, 3, 4, 17).age(Step::new(10)), 0);
+        assert_eq!(e(9, 3, 4, 11).age(Step::new(10)), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_future_stamped_entries() {
+        let mut t = RoutingTable::new();
+        t.install(e(9, 3, 4, 12)); // stamped ahead of `now`
+        t.install(e(7, 2, 2, 0)); // genuinely stale
+        assert_eq!(t.evict_older_than(Step::new(10), 5), 1);
+        assert!(t.entry_for(n(9)).is_some());
+        assert!(t.entry_for(n(7)).is_none());
     }
 
     #[test]

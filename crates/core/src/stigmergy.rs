@@ -91,11 +91,19 @@ impl FootprintBoard {
 
     /// All distinct targets marked within `window` steps of `now`.
     pub fn marked_targets(&self, now: Step, window: u64) -> Vec<NodeId> {
-        let mut targets: Vec<NodeId> =
-            self.slots.iter().filter(|fp| now.since(fp.at) <= window).map(|fp| fp.target).collect();
-        targets.sort_unstable();
-        targets.dedup();
+        let mut targets = Vec::new();
+        self.marked_targets_into(now, window, &mut targets);
         targets
+    }
+
+    /// Clears `out` and fills it with the distinct targets marked within
+    /// `window` steps of `now` — the scratch-reusing form of
+    /// [`Self::marked_targets`] for per-step callers.
+    pub fn marked_targets_into(&self, now: Step, window: u64, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.slots.iter().filter(|fp| now.since(fp.at) <= window).map(|fp| fp.target));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Iterator over the raw imprints, oldest first.
@@ -154,6 +162,10 @@ mod tests {
         assert_eq!(b.marked_targets(Step::new(3), 100), vec![NodeId::new(3), NodeId::new(9)]);
         // Tight window keeps only the latest imprint.
         assert_eq!(b.marked_targets(Step::new(3), 0), vec![NodeId::new(9)]);
+        // The into-variant clears stale contents of the scratch vector.
+        let mut scratch = vec![NodeId::new(42)];
+        b.marked_targets_into(Step::new(3), 100, &mut scratch);
+        assert_eq!(scratch, vec![NodeId::new(3), NodeId::new(9)]);
     }
 
     #[test]

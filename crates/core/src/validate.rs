@@ -399,6 +399,33 @@ impl Invariant<RoutingSim> for RoutingConnectivityBounds {
     }
 }
 
+/// Differential check of the incremental route index: the per-step
+/// connectivity value recorded by the simulation comes from the
+/// delta-maintained [`crate::routing::RouteIndex`]; it must be
+/// bit-identical to the from-scratch [`RoutingSim::connectivity`]
+/// reference, or the index missed an update.
+#[derive(Debug, Default)]
+pub struct RoutingIndexMatchesReference;
+
+impl Invariant<RoutingSim> for RoutingIndexMatchesReference {
+    fn name(&self) -> &'static str {
+        "routing-index-matches-reference"
+    }
+
+    fn check(&mut self, sim: &RoutingSim, _now: Step) -> Result<(), String> {
+        let Some(&recorded) = sim.connectivity_series().values().last() else {
+            return Ok(());
+        };
+        let reference = sim.connectivity();
+        if recorded != reference {
+            return Err(format!(
+                "incremental index recorded {recorded}, from-scratch reference {reference}"
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Adapts an invariant over the raw [`WirelessNetwork`] into one over a
 /// [`RoutingSim`] by checking the simulation's network substrate.
 struct OverNetwork<I>(I);
@@ -413,7 +440,7 @@ impl<I: Invariant<WirelessNetwork>> Invariant<RoutingSim> for OverNetwork<I> {
     }
 }
 
-/// The standard invariant set over a routing simulation: the four
+/// The standard invariant set over a routing simulation: the five
 /// agent-layer checks plus the physical-layer checks from
 /// `agentnet_radio::invariants` applied to the underlying network.
 pub fn routing_invariants() -> InvariantSet<RoutingSim> {
@@ -422,6 +449,7 @@ pub fn routing_invariants() -> InvariantSet<RoutingSim> {
     set.register(RoutingFreshEntryLiveLink);
     set.register(RoutingAgentState);
     set.register(RoutingConnectivityBounds);
+    set.register(RoutingIndexMatchesReference);
     set.register(OverNetwork(BatteryMonotone::new()));
     set.register(OverNetwork(LinksWellFormed));
     set.register(OverNetwork(SymmetricWhenHomogeneous));
@@ -486,7 +514,7 @@ mod tests {
             RoutingConfig::new(RoutingPolicy::OldestNode, 12).communication(true).stigmergic(true);
         let mut sim = RoutingSim::new(net, cfg, 7).unwrap();
         let mut checks = routing_invariants();
-        assert_eq!(checks.len(), 7);
+        assert_eq!(checks.len(), 8);
         sim.run_checked(80, &mut checks).expect("no violations");
     }
 

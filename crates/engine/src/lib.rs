@@ -24,6 +24,9 @@
 //! * [`exec`] — the cell executor: flattens (experiment × parameter ×
 //!   replicate) work across a shared worker pool, resumes from the cache,
 //!   and emits structured run events.
+//! * [`perf`] — the micro-benchmark harness behind `repro bench`:
+//!   warmup/measure kernel timing, `BENCH_<date>.json` reports, and the
+//!   calibration-normalized regression gate.
 //! * [`sweep`] — parameter sweeps producing labelled result rows.
 //! * [`table`] — markdown / CSV / JSON emission of result tables.
 //! * [`plot`] — terminal sparklines and block charts of time series.
@@ -52,6 +55,7 @@ pub mod cache;
 pub mod events;
 pub mod exec;
 pub mod invariant;
+pub mod perf;
 pub mod plot;
 pub mod replicate;
 pub mod rng;

@@ -1,0 +1,272 @@
+//! Micro-benchmark harness behind `repro bench`.
+//!
+//! Times named kernels with a warmup/measured-iteration protocol and
+//! packages the results as a serialisable [`BenchReport`] (the
+//! `BENCH_<date>.json` files the CI smoke job gates on). Because CI
+//! machines differ in raw speed, regression comparison is done on
+//! *normalized* timings: every kernel's ns/iter is divided by the
+//! ns/iter of a fixed pure-CPU [`calibration_kernel`] measured in the
+//! same run, so a uniformly slower machine cancels out and only changes
+//! in the kernels' relative cost trip the gate.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Name of the calibration kernel every report must contain for
+/// normalized comparison.
+pub const CALIBRATION_KERNEL: &str = "calibration";
+
+/// Warmup/measurement protocol for [`time_kernel`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchOptions {
+    /// Untimed iterations before measurement (cache/branch warmup).
+    pub warmup: u32,
+    /// Timed iterations; the reported ns/iter is their median.
+    pub iters: u32,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { warmup: 3, iters: 10 }
+    }
+}
+
+/// Timing of one kernel: the median, mean and minimum of the measured
+/// per-iteration wall times in nanoseconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Kernel name (stable across runs; the regression gate joins on it).
+    pub kernel: String,
+    /// Median wall time per iteration in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Mean wall time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration in nanoseconds — the gated value: the minimum
+    /// is the least noise-contaminated sample, so the regression gate
+    /// stays stable on loaded CI machines.
+    pub min_ns: f64,
+    /// Number of measured iterations.
+    pub iters: u32,
+}
+
+/// One kernel's regression verdict from [`BenchReport::regressions`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// The regressed kernel.
+    pub kernel: String,
+    /// Baseline calibration-normalized cost.
+    pub baseline: f64,
+    /// Current calibration-normalized cost.
+    pub current: f64,
+    /// `current / baseline` (> 1 means slower).
+    pub ratio: f64,
+}
+
+/// A machine-readable bench run: the `BENCH_<date>.json` schema.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version of this file format.
+    pub schema: u32,
+    /// UTC date of the run, `YYYY-MM-DD`.
+    pub date: String,
+    /// Warmup iterations used.
+    pub warmup: u32,
+    /// Measured iterations used.
+    pub iters: u32,
+    /// Per-kernel timings, in execution order.
+    pub kernels: Vec<KernelTiming>,
+}
+
+impl BenchReport {
+    /// Creates an empty report stamped with `date`.
+    pub fn new(date: impl Into<String>, opts: BenchOptions) -> Self {
+        BenchReport {
+            schema: 1,
+            date: date.into(),
+            warmup: opts.warmup,
+            iters: opts.iters,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// The timing recorded for `kernel`, if any.
+    pub fn kernel(&self, kernel: &str) -> Option<&KernelTiming> {
+        self.kernels.iter().find(|k| k.kernel == kernel)
+    }
+
+    /// `kernel`'s fastest iteration divided by the run's fastest
+    /// calibration iteration — the machine-independent cost the gate
+    /// compares (minima, being the least noise-contaminated samples,
+    /// keep the gate stable on loaded machines).
+    pub fn normalized(&self, kernel: &str) -> Option<f64> {
+        let cal = self.kernel(CALIBRATION_KERNEL)?.min_ns;
+        if cal <= 0.0 {
+            return None;
+        }
+        Some(self.kernel(kernel)?.min_ns / cal)
+    }
+
+    /// Kernels whose normalized cost exceeds the baseline's by more than
+    /// `max_regression_pct` percent. Kernels missing from either report
+    /// (and the calibration kernel itself) are skipped.
+    pub fn regressions(&self, baseline: &BenchReport, max_regression_pct: f64) -> Vec<Regression> {
+        let mut out = Vec::new();
+        let limit = 1.0 + max_regression_pct / 100.0;
+        for base in &baseline.kernels {
+            if base.kernel == CALIBRATION_KERNEL {
+                continue;
+            }
+            let (Some(b), Some(c)) =
+                (baseline.normalized(&base.kernel), self.normalized(&base.kernel))
+            else {
+                continue;
+            };
+            if b > 0.0 && c / b > limit {
+                out.push(Regression {
+                    kernel: base.kernel.clone(),
+                    baseline: b,
+                    current: c,
+                    ratio: c / b,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Times `f` under the given protocol: `opts.warmup` untimed calls, then
+/// `opts.iters` timed calls, reporting the median/mean/min wall time.
+///
+/// # Panics
+///
+/// Panics if `opts.iters` is zero.
+pub fn time_kernel<F: FnMut()>(name: &str, opts: BenchOptions, mut f: F) -> KernelTiming {
+    assert!(opts.iters > 0, "bench needs at least one measured iteration");
+    for _ in 0..opts.warmup {
+        f();
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(opts.iters as usize);
+    for _ in 0..opts.iters {
+        let started = Instant::now();
+        f();
+        samples.push(started.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("elapsed times are finite"));
+    let mid = samples.len() / 2;
+    let median =
+        if samples.len() % 2 == 1 { samples[mid] } else { 0.5 * (samples[mid - 1] + samples[mid]) };
+    KernelTiming {
+        kernel: name.to_string(),
+        ns_per_iter: median,
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        min_ns: samples[0],
+        iters: opts.iters,
+    }
+}
+
+/// The fixed pure-CPU workload used to normalize timings across
+/// machines: an FNV-1a fold over a fixed integer stream. Wrap the result
+/// in [`std::hint::black_box`] so the loop cannot be optimized away.
+pub fn calibration_kernel() -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for i in 0..200_000u64 {
+        h = (h ^ i).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Formats a unix timestamp (seconds since the epoch) as a UTC
+/// `YYYY-MM-DD` date — the `<date>` part of `BENCH_<date>.json`.
+pub fn utc_date_string(unix_seconds: u64) -> String {
+    // Civil-from-days (Howard Hinnant's algorithm), valid for all days
+    // representable here.
+    let z = (unix_seconds / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(kernel: &str, ns: f64) -> KernelTiming {
+        KernelTiming { kernel: kernel.into(), ns_per_iter: ns, mean_ns: ns, min_ns: ns, iters: 10 }
+    }
+
+    fn report(pairs: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new("2026-01-01", BenchOptions::default());
+        r.kernels = pairs.iter().map(|&(k, ns)| timing(k, ns)).collect();
+        r
+    }
+
+    #[test]
+    fn time_kernel_measures_and_counts() {
+        let mut calls = 0u32;
+        let t = time_kernel("busy", BenchOptions { warmup: 2, iters: 5 }, || {
+            calls += 1;
+            std::hint::black_box(calibration_kernel());
+        });
+        assert_eq!(calls, 7);
+        assert_eq!(t.iters, 5);
+        assert!(t.ns_per_iter > 0.0);
+        assert!(t.min_ns <= t.ns_per_iter);
+        assert!(t.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn normalization_divides_by_calibration() {
+        let r = report(&[(CALIBRATION_KERNEL, 100.0), ("k", 250.0)]);
+        assert_eq!(r.normalized("k"), Some(2.5));
+        assert_eq!(r.normalized("missing"), None);
+    }
+
+    #[test]
+    fn regression_gate_is_machine_speed_invariant() {
+        let base = report(&[(CALIBRATION_KERNEL, 100.0), ("k", 200.0)]);
+        // 3x slower machine, kernel unchanged relative to calibration.
+        let same = report(&[(CALIBRATION_KERNEL, 300.0), ("k", 600.0)]);
+        assert!(same.regressions(&base, 25.0).is_empty());
+        // Same machine speed, kernel 2x slower: flagged.
+        let slow = report(&[(CALIBRATION_KERNEL, 100.0), ("k", 400.0)]);
+        let regs = slow.regressions(&base, 25.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].kernel, "k");
+        assert!((regs[0].ratio - 2.0).abs() < 1e-12);
+        // Within threshold: not flagged.
+        let ok = report(&[(CALIBRATION_KERNEL, 100.0), ("k", 240.0)]);
+        assert!(ok.regressions(&base, 25.0).is_empty());
+    }
+
+    #[test]
+    fn regressions_skip_missing_and_calibration_kernels() {
+        let base = report(&[(CALIBRATION_KERNEL, 100.0), ("gone", 100.0)]);
+        let cur = report(&[(CALIBRATION_KERNEL, 500.0)]);
+        assert!(cur.regressions(&base, 25.0).is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(&[(CALIBRATION_KERNEL, 123.5), ("k", 4.0)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn utc_dates_are_correct() {
+        assert_eq!(utc_date_string(0), "1970-01-01");
+        assert_eq!(utc_date_string(86_400), "1970-01-02");
+        // 2000-02-29 00:00:00 UTC (leap day).
+        assert_eq!(utc_date_string(951_782_400), "2000-02-29");
+        // 2026-08-05 12:00:00 UTC.
+        assert_eq!(utc_date_string(1_785_931_200), "2026-08-05");
+    }
+}

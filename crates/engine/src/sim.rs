@@ -51,16 +51,28 @@ impl Step {
         Step(self.0 + 1)
     }
 
+    /// Steps elapsed since `earlier` (`self - earlier`), or `None` if
+    /// `earlier` is in the future. For callers that can legitimately see
+    /// timestamps ahead of their own clock (e.g. route entries installed
+    /// by a co-located exchange at a step boundary) and must not take the
+    /// [`Self::since`] panic.
+    #[inline]
+    pub fn checked_since(self, earlier: Step) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
+
     /// Steps elapsed since `earlier` (`self - earlier`).
     ///
     /// # Panics
     ///
     /// Panics if `earlier` is later than `self`: asking how long ago a
     /// *future* time was is always a logic error upstream, and silently
-    /// returning 0 (the old saturating behaviour) masked it.
+    /// returning 0 (the old saturating behaviour) masked it. Callers for
+    /// which a future timestamp is *not* a logic error should use
+    /// [`Self::checked_since`].
     #[inline]
     pub fn since(self, earlier: Step) -> u64 {
-        match self.0.checked_sub(earlier.0) {
+        match self.checked_since(earlier) {
             Some(elapsed) => elapsed,
             None => panic!("Step::since: `earlier` ({earlier}) is after `self` ({self})"),
         }
@@ -178,6 +190,8 @@ mod tests {
         assert_eq!(Step::new(3) - Step::new(4), Step::ZERO);
         assert_eq!(Step::new(9).since(Step::new(4)), 5);
         assert_eq!(Step::new(7).since(Step::new(7)), 0);
+        assert_eq!(Step::new(9).checked_since(Step::new(4)), Some(5));
+        assert_eq!(Step::new(4).checked_since(Step::new(9)), None);
         let mut s = Step::ZERO;
         s += Step::new(2);
         assert_eq!(s, Step::new(2));

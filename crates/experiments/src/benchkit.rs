@@ -1,0 +1,148 @@
+//! The `repro bench` kernel suite.
+//!
+//! Each kernel times one steady-state hot path of the simulators on the
+//! paper's fixed topologies ([`TOPOLOGY_SEED`]), so successive runs are
+//! comparable. Results are packaged as a
+//! [`BenchReport`](agentnet_engine::perf::BenchReport) and gated against
+//! a committed baseline on calibration-normalized timings (see
+//! [`agentnet_engine::perf`] for the normalization rationale).
+
+use crate::{paper_mapping_graph, paper_routing_network, TOPOLOGY_SEED};
+use agentnet_core::mapping::{MappingConfig, MappingSim};
+use agentnet_core::policy::{MappingPolicy, RoutingPolicy};
+use agentnet_core::routing::{RouteIndex, RoutingConfig, RoutingSim};
+use agentnet_engine::perf::{
+    calibration_kernel, time_kernel, utc_date_string, BenchOptions, BenchReport, CALIBRATION_KERNEL,
+};
+use agentnet_engine::sim::{Step, TimeStepSim};
+use std::hint::black_box;
+
+/// Network advances timed per bench iteration.
+const ADVANCES_PER_ITER: u64 = 64;
+
+/// Simulation steps timed per bench iteration.
+const STEPS_PER_ITER: u64 = 16;
+
+/// Runs the full kernel suite and returns the stamped report.
+///
+/// The kernels:
+///
+/// * `calibration` — the pure-CPU normalization workload.
+/// * `wireless_advance_static` — [`WirelessNetwork::advance`] on the
+///   paper routing network with every non-gateway node stationary and
+///   mains-powered: the steady state the allocation-free fast path
+///   targets (no movement, no battery decay, links unchanged).
+/// * `wireless_advance_mobile` — the same network with the paper's
+///   mobile fraction: movement, link recomputation, grid rebuild.
+/// * `routing_step` — full [`RoutingSim`] steps (decide / move /
+///   exchange / revalidate) on the paper network.
+/// * `mapping_step` — full [`MappingSim`] steps on the paper graph.
+/// * `route_revalidation` — a forced full [`RouteIndex`] resync plus
+///   reverse-BFS connectivity on a warmed routing state.
+///
+/// [`WirelessNetwork::advance`]: agentnet_radio::WirelessNetwork::advance
+pub fn run_kernels(opts: BenchOptions, unix_seconds: u64) -> BenchReport {
+    let mut report = BenchReport::new(utc_date_string(unix_seconds), opts);
+
+    report.kernels.push(time_kernel(CALIBRATION_KERNEL, opts, || {
+        black_box(calibration_kernel());
+    }));
+
+    let mut stationary = paper_routing_network()
+        .mobile_fraction(0.0)
+        .build(TOPOLOGY_SEED)
+        .expect("paper routing topology must build");
+    stationary.advance(); // settle: first advance builds the caches
+    report.kernels.push(time_kernel("wireless_advance_static", opts, || {
+        for _ in 0..ADVANCES_PER_ITER {
+            stationary.advance();
+        }
+        black_box(stationary.topology_version());
+    }));
+
+    let mut mobile =
+        paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing topology must build");
+    report.kernels.push(time_kernel("wireless_advance_mobile", opts, || {
+        for _ in 0..ADVANCES_PER_ITER {
+            mobile.advance();
+        }
+        black_box(mobile.topology_version());
+    }));
+
+    let net = paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing topology");
+    let config = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
+    let mut routing = RoutingSim::new(net, config, TOPOLOGY_SEED).expect("valid routing config");
+    let mut now = 0u64;
+    report.kernels.push(time_kernel("routing_step", opts, || {
+        for _ in 0..STEPS_PER_ITER {
+            routing.step(Step::new(now));
+            now += 1;
+        }
+        black_box(routing.connectivity_series().values().last().copied());
+    }));
+
+    let graph = paper_mapping_graph();
+    let config = MappingConfig::new(MappingPolicy::Conscientious, 15);
+    let mut mapping = MappingSim::new(graph, config, TOPOLOGY_SEED).expect("valid mapping config");
+    let mut now = 0u64;
+    report.kernels.push(time_kernel("mapping_step", opts, || {
+        for _ in 0..STEPS_PER_ITER {
+            mapping.step(Step::new(now));
+            now += 1;
+        }
+        black_box(mapping.is_done());
+    }));
+
+    // Route revalidation in isolation: clone the warmed routing state's
+    // tables and force a from-scratch index resync every iteration by
+    // alternating the version stamp.
+    let n = routing.network().node_count();
+    let tables: Vec<_> =
+        (0..n).map(|v| routing.table(agentnet_graph::NodeId::new(v)).clone()).collect();
+    let mut is_gateway = vec![false; n];
+    for &g in routing.network().gateways() {
+        is_gateway[g.index()] = true;
+    }
+    let live = routing.live_gateways().to_vec();
+    let mut index = RouteIndex::new(n);
+    let mut version = 0u64;
+    report.kernels.push(time_kernel("route_revalidation", opts, || {
+        // A single resync is ~10µs — too short to time against OS
+        // noise, so batch like the step kernels.
+        for _ in 0..STEPS_PER_ITER {
+            index.refresh(&tables, routing.network().links(), &is_gateway, version);
+            version = version.wrapping_add(1);
+            black_box(index.connected_fraction(&live));
+        }
+    }));
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_suite_is_complete_and_timed() {
+        let opts = BenchOptions { warmup: 0, iters: 1 };
+        let report = run_kernels(opts, 1_785_931_200);
+        assert_eq!(report.date, "2026-08-05");
+        let names: Vec<&str> = report.kernels.iter().map(|k| k.kernel.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                CALIBRATION_KERNEL,
+                "wireless_advance_static",
+                "wireless_advance_mobile",
+                "routing_step",
+                "mapping_step",
+                "route_revalidation",
+            ]
+        );
+        for k in &report.kernels {
+            assert!(k.ns_per_iter > 0.0, "{} not timed", k.kernel);
+            assert!(report.normalized(&k.kernel).is_some(), "{} not normalizable", k.kernel);
+        }
+    }
+}

@@ -41,10 +41,23 @@
 //! checks — printing a pass/fail table and exiting non-zero if any
 //! check fails. `--inject-failure` registers a deliberately failing
 //! invariant to prove violations surface.
+//!
+//! ```text
+//! repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]
+//!             [--warmup N] [--iters N]
+//! ```
+//!
+//! times the simulation kernels (see `agentnet_experiments::benchkit`)
+//! and writes a `BENCH_<date>.json` report (override with `--out`).
+//! With `--baseline`, compares calibration-normalized timings against
+//! the baseline report and exits non-zero if any kernel regressed by
+//! more than `--max-regression` percent (default 25) — the CI perf
+//! gate.
 
+use agentnet_engine::perf::{BenchOptions, BenchReport};
 use agentnet_engine::table::Table;
 use agentnet_engine::{Executor, ResultCache, RunEvent};
-use agentnet_experiments::{registry, Ctx, Mode};
+use agentnet_experiments::{benchkit, registry, Ctx, Mode};
 use agentnet_validate::{run_battery, ValidateConfig};
 use crossbeam::channel;
 use std::collections::BTreeMap;
@@ -57,7 +70,9 @@ fn usage() -> ! {
         "usage: repro [--smoke|--quick|--full] [--jobs N] [--resume] [--no-cache]\n\
          \x20            [--cache-dir DIR] [--filter SUBSTRING]... [--json FILE]\n\
          \x20            [--out DIR] [--trace] [--check] [--list] [EXPERIMENT_ID ...]\n\
-         \x20      repro validate [--seed N] [--inject-failure]"
+         \x20      repro validate [--seed N] [--inject-failure]\n\
+         \x20      repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
+         \x20            [--warmup N] [--iters N]"
     );
     eprintln!("experiments:");
     for e in registry::all() {
@@ -117,6 +132,138 @@ fn run_validate(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// The `repro bench` subcommand: times the kernel suite, writes the
+/// `BENCH_<date>.json` report, and (with `--baseline`) gates on
+/// calibration-normalized regressions.
+fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = BenchOptions::default();
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression_pct = 25.0f64;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path),
+                None => usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(path),
+                None => usage(),
+            },
+            "--max-regression" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(pct) => max_regression_pct = pct,
+                None => usage(),
+            },
+            "--warmup" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.warmup = n,
+                None => usage(),
+            },
+            "--iters" => match args.next().and_then(|n| n.parse::<u32>().ok()) {
+                Some(n) if n > 0 => opts.iters = n,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    eprintln!(
+        "repro bench: {} warmup + {} measured iterations per kernel",
+        opts.warmup, opts.iters
+    );
+    // Load the baseline up front so the retry (below) can happen before
+    // the report file is written.
+    let baseline: Option<BenchReport> = match &baseline_path {
+        None => None,
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("failed to parse baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("failed to read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let started = Instant::now();
+    let mut report = benchkit::run_kernels(opts, unix_seconds);
+    eprintln!("timed {} kernels in {:.1}s", report.kernels.len(), started.elapsed().as_secs_f64());
+
+    // An apparent regression on a loaded machine is usually noise: it
+    // must survive a full re-measurement (per-kernel best of both runs)
+    // before it fails the gate.
+    if let Some(baseline) = &baseline {
+        if !report.regressions(baseline, max_regression_pct).is_empty() {
+            eprintln!("apparent regression; re-measuring to confirm");
+            let second = benchkit::run_kernels(opts, unix_seconds);
+            for k in &mut report.kernels {
+                if let Some(s) = second.kernel(&k.kernel) {
+                    k.ns_per_iter = k.ns_per_iter.min(s.ns_per_iter);
+                    k.mean_ns = k.mean_ns.min(s.mean_ns);
+                    k.min_ns = k.min_ns.min(s.min_ns);
+                }
+            }
+        }
+    }
+
+    println!("# agentnet bench — {}\n", report.date);
+    let mut table = Table::new(["kernel", "ns/iter (median)", "min ns", "normalized"]);
+    for k in &report.kernels {
+        table.push_row([
+            k.kernel.clone(),
+            format!("{:.0}", k.ns_per_iter),
+            format!("{:.0}", k.min_ns),
+            match report.normalized(&k.kernel) {
+                Some(n) => format!("{n:.3}"),
+                None => "-".to_string(),
+            },
+        ]);
+    }
+    println!("{}", table.to_markdown());
+
+    let out_path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", report.date));
+    let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+    if let Err(e) = std::fs::write(&out_path, json + "\n") {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+
+    let (Some(baseline), Some(baseline_path)) = (baseline, baseline_path) else {
+        return ExitCode::SUCCESS;
+    };
+    let regressions = report.regressions(&baseline, max_regression_pct);
+    if regressions.is_empty() {
+        println!(
+            "no kernel regressed more than {max_regression_pct}% vs baseline {baseline_path} \
+             (dated {})",
+            baseline.date
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("{} kernel(s) regressed more than {max_regression_pct}%:", regressions.len());
+        for r in &regressions {
+            println!(
+                "- {}: normalized {:.3} -> {:.3} ({:.0}% slower)",
+                r.kernel,
+                r.baseline,
+                r.current,
+                (r.ratio - 1.0) * 100.0
+            );
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut mode = Mode::Quick;
     let mut jobs = 0usize; // 0 = all cores
@@ -133,6 +280,10 @@ fn main() -> ExitCode {
     if args.peek().map(String::as_str) == Some("validate") {
         args.next();
         return run_validate(args);
+    }
+    if args.peek().map(String::as_str) == Some("bench") {
+        args.next();
+        return run_bench(args);
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {

@@ -103,6 +103,83 @@ fn validate_subcommand_passes_and_prints_the_table() {
 }
 
 #[test]
+fn bench_subcommand_writes_the_report_and_passes_against_itself() {
+    let dir = tmpdir("bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_test.json");
+    let out_arg = out.to_str().unwrap();
+
+    let first = repro(&["bench", "--warmup", "0", "--iters", "1", "--out", out_arg]);
+    let text = stdout(&first);
+    assert!(text.contains("# agentnet bench"), "missing header:\n{text}");
+    assert!(text.contains("calibration"), "missing calibration row:\n{text}");
+    assert!(text.contains("route_revalidation"), "missing kernel row:\n{text}");
+
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out).expect("bench report written"))
+            .expect("bench report is JSON");
+    assert_eq!(report["schema"], 1);
+    assert!(report["kernels"].as_array().map(Vec::len).unwrap_or(0) >= 6, "report:\n{report:?}");
+
+    // A second run gated against the first passes with a threshold far
+    // above single-iteration timing noise.
+    let gated = repro(&[
+        "bench",
+        "--warmup",
+        "0",
+        "--iters",
+        "1",
+        "--max-regression",
+        "100000",
+        "--out",
+        dir.join("BENCH_second.json").to_str().unwrap(),
+        "--baseline",
+        out_arg,
+    ]);
+    let gated_text = stdout(&gated);
+    assert!(gated_text.contains("no kernel regressed"), "gate output:\n{gated_text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_regression_gate_fails_against_a_doctored_baseline() {
+    let dir = tmpdir("bench-gate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_current.json");
+    stdout(&repro(&["bench", "--warmup", "0", "--iters", "1", "--out", out.to_str().unwrap()]));
+
+    // Doctor the baseline so every simulation kernel looks 100x faster
+    // than what the gated run will measure.
+    let mut report: agentnet_engine::perf::BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    for kernel in &mut report.kernels {
+        if kernel.kernel != agentnet_engine::perf::CALIBRATION_KERNEL {
+            kernel.ns_per_iter /= 100.0;
+        }
+    }
+    let doctored = dir.join("BENCH_doctored.json");
+    std::fs::write(&doctored, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+
+    let gated = repro(&[
+        "bench",
+        "--warmup",
+        "0",
+        "--iters",
+        "1",
+        "--out",
+        dir.join("BENCH_gated.json").to_str().unwrap(),
+        "--baseline",
+        doctored.to_str().unwrap(),
+    ]);
+    assert!(!gated.status.success(), "doctored baseline must trip the gate");
+    let text = String::from_utf8_lossy(&gated.stdout);
+    assert!(text.contains("regressed more than"), "gate output:\n{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn validate_injected_failure_exits_nonzero_and_names_the_invariant() {
     let out = repro(&["validate", "--inject-failure"]);
     assert!(!out.status.success(), "an invariant violation must fail the process");

@@ -53,3 +53,4 @@ pub use builder::{BuildError, NetworkBuilder};
 pub use mobility::{MobilityKind, Motion};
 pub use network::WirelessNetwork;
 pub use node::{NodeKind, WirelessNode};
+pub use spatial::SpatialGrid;

@@ -3,7 +3,7 @@
 use crate::node::WirelessNode;
 use crate::spatial::SpatialGrid;
 use agentnet_engine::Step;
-use agentnet_graph::geometry::Rect;
+use agentnet_graph::geometry::{Point2, Rect};
 use agentnet_graph::{DiGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -26,6 +26,18 @@ pub struct WirelessNetwork {
     gateways: Vec<NodeId>,
     now: Step,
     mobility_rng: SmallRng,
+    /// Bumped every time `links` actually changes; lets higher layers
+    /// (e.g. the routing index) skip revalidation on frozen topologies.
+    topology_version: u64,
+    /// Cached spatial index, re-bucketed in place when node state drifts.
+    grid: SpatialGrid,
+    /// Positions at the last link computation (also the grid's points).
+    snap_positions: Vec<Point2>,
+    /// Effective radio ranges at the last link computation.
+    snap_ranges: Vec<f64>,
+    /// Double buffer: links are rebuilt into this graph (reusing its edge
+    /// storage) and swapped in only when the topology actually changed.
+    scratch_links: DiGraph,
 }
 
 impl WirelessNetwork {
@@ -43,15 +55,23 @@ impl WirelessNetwork {
             assert_eq!(node.id.index(), i, "node ids must be dense and ordered");
         }
         let gateways = nodes.iter().filter(|n| n.kind.is_gateway()).map(|n| n.id).collect();
+        let n = nodes.len();
         let mut net = WirelessNetwork {
             arena,
             nodes,
-            links: DiGraph::new(0),
+            links: DiGraph::new(n),
             gateways,
             now: Step::ZERO,
             mobility_rng: SmallRng::seed_from_u64(mobility_seed),
+            topology_version: 0,
+            grid: SpatialGrid::build(arena, 1.0, &[]),
+            snap_positions: Vec::new(),
+            snap_ranges: Vec::new(),
+            scratch_links: DiGraph::new(n),
         };
-        net.links = net.compute_links();
+        if n > 0 {
+            net.rebuild_links();
+        }
         net
     }
 
@@ -105,40 +125,75 @@ impl WirelessNetwork {
         self.now
     }
 
+    /// Version counter of the link digraph: bumped exactly when
+    /// [`Self::links`] changes, so consumers caching structures derived
+    /// from the topology (routing indices, forwarding graphs) know when
+    /// their caches are stale. An all-stationary, mains-powered network
+    /// keeps a constant version forever.
+    pub fn topology_version(&self) -> u64 {
+        self.topology_version
+    }
+
     /// Advances the network one time step: batteries decay, mobile nodes
-    /// move, and the link table is rebuilt.
+    /// move, and the link table is refreshed.
+    ///
+    /// The refresh is incremental: if no node's position or effective
+    /// range changed since the last computation (the mapping study's
+    /// all-stationary mains networks, or any quiescent stretch), the link
+    /// table is kept as-is without touching the heap; otherwise the graph
+    /// is rebuilt into a reused double buffer and swapped in only when
+    /// the edge set actually differs.
     pub fn advance(&mut self) {
         for node in &mut self.nodes {
             node.battery.step();
             node.position = node.motion.advance(node.position, self.arena, &mut self.mobility_rng);
         }
-        self.links = self.compute_links();
+        if !self.nodes.is_empty() && self.state_drifted() {
+            self.rebuild_links();
+        }
         self.now = self.now.next();
     }
 
-    /// Recomputes the directed link graph from current node state.
-    fn compute_links(&self) -> DiGraph {
-        let n = self.nodes.len();
-        let mut g = DiGraph::new(n);
-        if n == 0 {
-            return g;
-        }
-        let positions: Vec<_> = self.nodes.iter().map(|nd| nd.position).collect();
-        let max_range =
-            self.nodes.iter().map(|nd| nd.effective_range()).fold(0.0f64, f64::max).max(1e-9);
+    /// `true` if any node's position or effective range differs from the
+    /// snapshot taken at the last link computation. Exact float equality
+    /// is correct here: stationary motion returns the position unchanged
+    /// and mains batteries never decay, so quiescent state is bitwise
+    /// stable.
+    fn state_drifted(&self) -> bool {
+        self.nodes.len() != self.snap_positions.len()
+            || self
+                .nodes
+                .iter()
+                .zip(self.snap_positions.iter().zip(&self.snap_ranges))
+                .any(|(node, (&p, &r))| node.position != p || node.effective_range() != r)
+    }
+
+    /// Recomputes the link graph from current node state into the scratch
+    /// buffer (reusing grid buckets and adjacency storage), refreshes the
+    /// drift snapshots, and swaps the result in if the topology changed.
+    fn rebuild_links(&mut self) {
+        self.snap_positions.clear();
+        self.snap_positions.extend(self.nodes.iter().map(|nd| nd.position));
+        self.snap_ranges.clear();
+        self.snap_ranges.extend(self.nodes.iter().map(|nd| nd.effective_range()));
+        let max_range = self.snap_ranges.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-9);
         // Cell size of the max range keeps candidate sets tight while the
         // 3x3 cell neighbourhood of a query still covers the whole disc.
-        let grid = SpatialGrid::build(self.arena, max_range, &positions);
+        self.grid.rebuild(self.arena, max_range, &self.snap_positions);
+        self.scratch_links.clear_edges();
         for node in &self.nodes {
-            let r = node.effective_range();
-            for j in grid.candidates_within(node.position, r) {
+            let r = self.snap_ranges[node.id.index()];
+            for j in self.grid.candidates_within(node.position, r) {
                 let to = NodeId::new(j);
-                if to != node.id && node.covers(positions[j]) {
-                    g.add_edge(node.id, to);
+                if to != node.id && node.covers(self.snap_positions[j]) {
+                    self.scratch_links.add_edge(node.id, to);
                 }
             }
         }
-        g
+        if self.scratch_links != self.links {
+            std::mem::swap(&mut self.scratch_links, &mut self.links);
+            self.topology_version += 1;
+        }
     }
 
     /// Fraction of non-gateway nodes with *instantaneous graph* reachability
@@ -153,6 +208,7 @@ impl WirelessNetwork {
 mod tests {
     use super::*;
     use crate::battery::{BatteryModel, BatteryState};
+    use crate::builder::NetworkBuilder;
     use crate::mobility::Motion;
     use crate::node::NodeKind;
     use agentnet_graph::geometry::Point2;
@@ -246,6 +302,65 @@ mod tests {
         assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)));
         net.advance();
         assert!(!net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn topology_version_tracks_actual_changes() {
+        let mut low = still_node(0, 0.0, 0.0, 10.0);
+        low.battery = BatteryState::new(BatteryModel::Linear { per_step: 0.2, floor: 0.1 });
+        let nodes = vec![low, still_node(1, 9.0, 0.0, 20.0), still_node(2, 60.0, 60.0, 5.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        let v0 = net.topology_version();
+        net.advance();
+        // Battery decay shrinks node 0's range but 9.0 is still covered
+        // at charge 0.8 (10*sqrt(0.8) ≈ 8.94 < 9 — link drops).
+        let v1 = net.topology_version();
+        assert!(v1 > v0, "decay-driven link change must bump the version");
+        // Once the battery floors, the topology freezes again.
+        for _ in 0..10 {
+            net.advance();
+        }
+        let frozen = net.topology_version();
+        for _ in 0..10 {
+            net.advance();
+        }
+        assert_eq!(net.topology_version(), frozen, "floored battery kept changing the version");
+    }
+
+    #[test]
+    fn stationary_advance_keeps_version_constant() {
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        let v = net.topology_version();
+        for _ in 0..50 {
+            net.advance();
+        }
+        assert_eq!(net.topology_version(), v);
+    }
+
+    #[test]
+    fn fault_injection_matches_from_scratch_rebuild() {
+        // Teleport one node (outside the arena, even) and drain another,
+        // then check the incremental refresh agrees with a from-scratch
+        // rebuild of the same node state.
+        let mut net = NetworkBuilder::new(30)
+            .gateways(2)
+            .target_edges(240)
+            .mobile_fraction(0.0)
+            .min_initial_reachability(0.0)
+            .build(7)
+            .unwrap();
+        for _ in 0..3 {
+            net.advance();
+        }
+        net.node_mut(NodeId::new(4)).position = Point2::new(-25.0, 1500.0);
+        net.node_mut(NodeId::new(9)).battery = BatteryState::with_charge(BatteryModel::Mains, 0.0);
+        net.advance();
+        let scratch = WirelessNetwork::from_nodes(net.arena(), net.nodes().to_vec(), 99);
+        assert_eq!(net.links(), scratch.links());
+        net.advance();
+        let scratch = WirelessNetwork::from_nodes(net.arena(), net.nodes().to_vec(), 99);
+        assert_eq!(net.links(), scratch.links());
     }
 
     #[test]

@@ -38,43 +38,75 @@ impl SpatialGrid {
     ///
     /// Panics if `cell_size` is not finite and positive.
     pub fn build(arena: Rect, cell_size: f64, points: &[Point2]) -> Self {
-        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive and finite");
-        let cols = (arena.width / cell_size).ceil().max(1.0) as usize;
-        let rows = (arena.height / cell_size).ceil().max(1.0) as usize;
-        let mut grid = SpatialGrid {
-            arena,
-            cell: cell_size,
-            cols,
-            rows,
-            buckets: vec![Vec::new(); cols * rows],
-        };
-        for (i, &p) in points.iter().enumerate() {
-            let b = grid.bucket_of(p);
-            grid.buckets[b].push(i);
-        }
+        let mut grid =
+            SpatialGrid { arena, cell: 1.0, cols: 1, rows: 1, buckets: vec![Vec::new()] };
+        grid.rebuild(arena, cell_size, points);
         grid
     }
 
+    /// Re-indexes the grid in place over possibly new geometry, reusing
+    /// bucket storage — the steady-state path of
+    /// [`crate::WirelessNetwork::advance`], which would otherwise
+    /// reallocate every bucket every step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not finite and positive.
+    pub fn rebuild(&mut self, arena: Rect, cell_size: f64, points: &[Point2]) {
+        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive and finite");
+        let cols = (arena.width / cell_size).ceil().max(1.0) as usize;
+        let rows = (arena.height / cell_size).ceil().max(1.0) as usize;
+        self.arena = arena;
+        self.cell = cell_size;
+        self.cols = cols;
+        self.rows = rows;
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.buckets.resize_with(cols * rows, Vec::new);
+        for (i, &p) in points.iter().enumerate() {
+            let b = self.bucket_of(p);
+            self.buckets[b].push(i);
+        }
+    }
+
+    /// Maps a coordinate to a cell index, clamped into `0..limit`.
+    ///
+    /// Positions are allowed to fall outside the arena (fault injection
+    /// teleports, numerical drift at the walls): coordinates left of the
+    /// arena — where `coord / cell` is negative — clamp to cell 0
+    /// *explicitly* rather than through the float→usize cast's silent
+    /// saturation, and coordinates at or past the far edge clamp to the
+    /// last cell.
+    #[inline]
+    fn cell_index(coord: f64, cell: f64, limit: usize) -> usize {
+        let raw = coord / cell;
+        if raw <= 0.0 || raw.is_nan() {
+            return 0;
+        }
+        (raw as usize).min(limit - 1)
+    }
+
     fn bucket_of(&self, p: Point2) -> usize {
-        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
-        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
+        let cx = Self::cell_index(p.x, self.cell, self.cols);
+        let cy = Self::cell_index(p.y, self.cell, self.rows);
         cy * self.cols + cx
     }
 
     /// Iterator over indices of points whose cell intersects the disc of
-    /// `radius` around `center` — a superset of the true in-range set;
+    /// `radius` around `center` — a superset of the true in-range set
+    /// (out-of-arena points included, since they are indexed into the
+    /// clamped border cells the disc's clamped cell range also covers);
     /// callers still apply the exact distance test.
     pub fn candidates_within(
         &self,
         center: Point2,
         radius: f64,
     ) -> impl Iterator<Item = usize> + '_ {
-        let min_cx = (((center.x - radius).max(0.0) / self.cell) as usize).min(self.cols - 1);
-        let max_cx =
-            (((center.x + radius).min(self.arena.width) / self.cell) as usize).min(self.cols - 1);
-        let min_cy = (((center.y - radius).max(0.0) / self.cell) as usize).min(self.rows - 1);
-        let max_cy =
-            (((center.y + radius).min(self.arena.height) / self.cell) as usize).min(self.rows - 1);
+        let min_cx = Self::cell_index(center.x - radius, self.cell, self.cols);
+        let max_cx = Self::cell_index(center.x + radius, self.cell, self.cols);
+        let min_cy = Self::cell_index(center.y - radius, self.cell, self.rows);
+        let max_cy = Self::cell_index(center.y + radius, self.cell, self.rows);
         (min_cy..=max_cy).flat_map(move |cy| {
             (min_cx..=max_cx).flat_map(move |cx| self.buckets[cy * self.cols + cx].iter().copied())
         })
@@ -131,5 +163,27 @@ mod tests {
     #[should_panic(expected = "cell size")]
     fn zero_cell_size_panics() {
         let _ = SpatialGrid::build(Rect::square(1.0), 0.0, &[]);
+    }
+
+    #[test]
+    fn out_of_arena_points_clamp_to_border_cells() {
+        let pts = vec![Point2::new(-5.0, -5.0), Point2::new(15.0, 3.0)];
+        let g = SpatialGrid::build(Rect::square(10.0), 2.0, &pts);
+        // A query disc around the out-of-arena point still finds it in
+        // the clamped border cell.
+        let near: Vec<usize> = g.candidates_within(Point2::new(-4.0, -4.0), 2.0).collect();
+        assert!(near.contains(&0));
+        let far: Vec<usize> = g.candidates_within(Point2::new(14.0, 3.0), 2.0).collect();
+        assert!(far.contains(&1));
+    }
+
+    #[test]
+    fn rebuild_reindexes_in_place() {
+        let mut g = SpatialGrid::build(Rect::square(10.0), 2.0, &[Point2::new(1.0, 1.0)]);
+        assert_eq!(g.cell_count(), 25);
+        g.rebuild(Rect::square(10.0), 5.0, &[Point2::new(9.0, 9.0)]);
+        assert_eq!(g.cell_count(), 4);
+        let found: Vec<usize> = g.candidates_within(Point2::new(8.0, 8.0), 1.5).collect();
+        assert_eq!(found, vec![0]);
     }
 }

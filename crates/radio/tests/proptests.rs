@@ -2,12 +2,47 @@
 
 use agentnet_graph::geometry::{Point2, Rect};
 use agentnet_radio::mobility::Motion;
-use agentnet_radio::{BatteryModel, BatteryState, NetworkBuilder};
+use agentnet_radio::{BatteryModel, BatteryState, NetworkBuilder, SpatialGrid};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 
 proptest! {
+    #[test]
+    fn grid_candidates_are_a_superset_of_the_in_range_set(
+        width in 10.0f64..200.0,
+        height in 10.0f64..200.0,
+        cell in 1.0f64..50.0,
+        radius in 0.0f64..80.0,
+        points in proptest::collection::vec((0.0f64..1.5, 0.0f64..1.5), 0..60),
+        center in (-0.5f64..1.5, -0.5f64..1.5),
+    ) {
+        let arena = Rect::new(width, height);
+        // Scale the unit-ish samples onto (and beyond) the arena; a
+        // factor above 1 or below 0 lands outside it.
+        let points: Vec<Point2> = points
+            .iter()
+            .map(|&(fx, fy)| Point2::new((fx - 0.25) * width, (fy - 0.25) * height))
+            .collect();
+        let center = Point2::new((center.0) * width, (center.1) * height);
+
+        let grid = SpatialGrid::build(arena, cell, &points);
+        let candidates: BTreeSet<usize> = grid.candidates_within(center, radius).collect();
+        let in_range: BTreeSet<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| center.distance(**p) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(
+            in_range.is_subset(&candidates),
+            "grid missed in-range points {:?} (candidates {:?}, center {center}, r {radius})",
+            in_range.difference(&candidates).collect::<Vec<_>>(),
+            candidates,
+        );
+    }
+
     #[test]
     fn battery_charge_is_monotone_nonincreasing_and_floored(
         per_step in 0.0f64..0.2,
