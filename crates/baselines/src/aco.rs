@@ -24,7 +24,7 @@ use agentnet_radio::WirelessNetwork;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -120,7 +120,12 @@ impl ForwardAnt {
 }
 
 /// Per-node pheromone: `(gateway, neighbour) -> strength`.
-type Pheromone = HashMap<(NodeId, NodeId), f64>;
+///
+/// A `BTreeMap` keyed by node-id pairs: `evaporate` iterates and prunes
+/// the whole table each step, and hasher order must not leak into any
+/// result (agentlint `no-unordered-iteration`). All reads are keyed, so
+/// the ordered map changes no simulation output.
+type Pheromone = BTreeMap<(NodeId, NodeId), f64>;
 
 /// The ant-colony routing simulation.
 #[derive(Clone, Debug)]

@@ -21,6 +21,7 @@ impl AgentId {
     /// # Panics
     ///
     /// Panics if `index` does not fit in `u32`.
+    #[allow(clippy::expect_used)] // the documented panic above
     pub fn new(index: usize) -> Self {
         AgentId(u32::try_from(index).expect("agent index exceeds u32::MAX"))
     }

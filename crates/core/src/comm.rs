@@ -6,6 +6,8 @@
 //! meet "compute best route based on the all agents routing information,
 //! and then all of them use that best route afterword".
 
+#![cfg_attr(not(test), warn(clippy::indexing_slicing))]
+
 use crate::knowledge::{EdgeSet, VisitTimes};
 use agentnet_graph::NodeId;
 
@@ -34,13 +36,19 @@ impl GroupScratch {
     /// Groups agents by node. `nodes_of` yields each agent's current
     /// node in agent-index order and is iterated twice (count, then
     /// place), so it must be cheap and repeatable.
+    #[agentnet::hot_path]
     pub fn group(&mut self, node_count: usize, nodes_of: impl Iterator<Item = NodeId> + Clone) {
         self.ends.clear();
         self.ends.resize(node_count, 0);
         let mut agents = 0usize;
+        // Clones the lightweight position iterator for the counting pass,
+        // not agent state; no heap allocation.
+        // agentlint::allow(no-alloc-in-hot-path)
         for node in nodes_of.clone() {
-            self.ends[node.index()] += 1;
-            agents += 1;
+            if let Some(count) = self.ends.get_mut(node.index()) {
+                *count += 1;
+                agents += 1;
+            }
         }
         self.cursors.clear();
         let mut acc = 0usize;
@@ -52,8 +60,10 @@ impl GroupScratch {
         self.order.clear();
         self.order.resize(agents, 0);
         for (agent, node) in nodes_of.enumerate() {
-            let slot = &mut self.cursors[node.index()];
-            self.order[*slot] = agent;
+            let Some(slot) = self.cursors.get_mut(node.index()) else { continue };
+            if let Some(cell) = self.order.get_mut(*slot) {
+                *cell = agent;
+            }
             *slot += 1;
         }
     }
@@ -65,7 +75,10 @@ impl GroupScratch {
         self.ends.iter().enumerate().filter_map(move |(i, &end)| {
             let start = prev;
             prev = end;
-            (end > start).then(|| (NodeId::new(i), &self.order[start..end]))
+            (end > start)
+                .then(|| self.order.get(start..end))
+                .flatten()
+                .map(|members| (NodeId::new(i), members))
         })
     }
 }

@@ -67,10 +67,12 @@ impl Trail {
     /// Consecutive duplicate nodes are collapsed (staying put is not a
     /// hop).
     pub fn push(&mut self, node: NodeId, when: Step) {
-        if self.entries.back().is_some_and(|&(last, _)| last == node) {
-            // Refresh the timestamp of the stay instead of duplicating.
-            self.entries.back_mut().expect("nonempty").1 = when;
-            return;
+        if let Some(last) = self.entries.back_mut() {
+            if last.0 == node {
+                // Refresh the timestamp of the stay instead of duplicating.
+                last.1 = when;
+                return;
+            }
         }
         if self.entries.len() == self.capacity {
             self.entries.pop_front();
@@ -175,14 +177,12 @@ impl VisitMemory {
             return;
         }
         if self.entries.len() == self.capacity {
-            let oldest = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &(n, t))| (t, n))
-                .map(|(i, _)| i)
-                .expect("memory at capacity is nonempty");
-            self.entries.swap_remove(oldest);
+            let oldest =
+                self.entries.iter().enumerate().min_by_key(|&(_, &(n, t))| (t, n)).map(|(i, _)| i);
+            // Capacity is validated positive, so a full memory is nonempty.
+            if let Some(oldest) = oldest {
+                self.entries.swap_remove(oldest);
+            }
         }
         self.entries.push((node, when));
     }

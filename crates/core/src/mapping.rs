@@ -15,6 +15,8 @@
 //! agent holds a perfect map; *knowledge over time* is the mean fraction
 //! of edges known.
 
+#![cfg_attr(not(test), warn(clippy::indexing_slicing))]
+
 use crate::agent::AgentId;
 use crate::comm::{union_edges, union_visits, GroupScratch};
 use crate::error::CoreError;
@@ -386,13 +388,16 @@ impl TimeStepSim for MappingSim {
                     at: now,
                 });
             }
-            let union_e = union_edges(group.iter().map(|&i| &self.agents[i].edges))
-                .expect("group is nonempty");
-            let union_v = union_visits(group.iter().map(|&i| &self.agents[i].merged_visits))
-                .expect("group is nonempty");
+            let members = || group.iter().filter_map(|&i| self.agents.get(i));
+            let Some(union_e) = union_edges(members().map(|a| &a.edges)) else { continue };
+            let Some(union_v) = union_visits(members().map(|a| &a.merged_visits)) else {
+                continue;
+            };
             for &i in group {
-                self.agents[i].edges = union_e.clone();
-                self.agents[i].merged_visits = union_v.clone();
+                if let Some(agent) = self.agents.get_mut(i) {
+                    agent.edges = union_e.clone();
+                    agent.merged_visits = union_v.clone();
+                }
             }
         }
         self.groups = groups;
@@ -405,18 +410,16 @@ impl TimeStepSim for MappingSim {
         pending.clear();
         let mut avoid = std::mem::take(&mut self.avoid);
         for i in 0..self.agents.len() {
-            let at = self.agents[i].at;
+            let Some(agent) = self.agents.get(i) else { continue };
+            let at = agent.at;
             let candidates = self.graph.out_neighbors(at);
             if self.config.stigmergic {
-                self.boards[at.index()].marked_targets_into(
-                    now,
-                    self.config.footprint_window,
-                    &mut avoid,
-                );
+                if let Some(board) = self.boards.get_mut(at.index()) {
+                    board.marked_targets_into(now, self.config.footprint_window, &mut avoid);
+                }
             } else {
                 avoid.clear();
             }
-            let agent = &self.agents[i];
             let choice = match self.config.policy {
                 MappingPolicy::Random => choose_move(
                     candidates,
@@ -451,7 +454,9 @@ impl TimeStepSim for MappingSim {
             };
             if self.config.stigmergic {
                 if let Some(target) = choice {
-                    self.boards[at.index()].imprint(AgentId::new(i), target, now);
+                    if let Some(board) = self.boards.get_mut(at.index()) {
+                        board.imprint(AgentId::new(i), target, now);
+                    }
                     self.overhead.footprint_writes += 1;
                     if self.config.trace_capacity > 0 {
                         self.trace.record(TraceEvent::Footprint {

@@ -13,6 +13,8 @@
 //! exits are removed from the candidate set first, unless that would
 //! empty it — see [`choose_move`].
 
+#![cfg_attr(not(test), warn(clippy::indexing_slicing))]
+
 use agentnet_engine::Step;
 use agentnet_graph::NodeId;
 use rand::RngExt;
@@ -132,7 +134,7 @@ where
     let pool: &[NodeId] = if unmarked.is_empty() { candidates } else { &unmarked };
 
     let Some(lookup) = last_visit else {
-        return Some(pool[rng.random_range(0..pool.len())]);
+        return pool.get(rng.random_range(0..pool.len())).copied();
     };
 
     // Rank: never-visited (None) beats any visit; then older is better.
@@ -142,17 +144,17 @@ where
             Some(t) => (true, t),
         }
     };
-    let best = pool.iter().map(|&n| key(n)).min().expect("pool is nonempty");
+    let best = pool.iter().map(|&n| key(n)).min()?;
     let tied: Vec<NodeId> = pool.iter().copied().filter(|&n| key(n) == best).collect();
     match tie {
         TieBreak::LowestId => tied.iter().copied().min(),
-        TieBreak::Random => Some(tied[rng.random_range(0..tied.len())]),
+        TieBreak::Random => tied.get(rng.random_range(0..tied.len())).copied(),
         TieBreak::Hashed => {
             let mut h = decision_seed;
             for c in &tied {
                 h = mix64(h ^ u64::from(c.as_u32()));
             }
-            Some(tied[(h % tied.len() as u64) as usize])
+            tied.get((h % tied.len().max(1) as u64) as usize).copied()
         }
     }
 }

@@ -17,6 +17,8 @@
 //! revalidation is O(live gateways + reachable set) with zero heap
 //! allocation in steady state.
 
+#![cfg_attr(not(test), warn(clippy::indexing_slicing))]
+
 use crate::routing::table::RoutingTable;
 use agentnet_graph::{DiGraph, NodeId};
 
@@ -67,11 +69,14 @@ impl RouteIndex {
 
     /// Marks `node`'s forwarding row stale — call after any routing-table
     /// write to it or after its gateway status changes.
+    #[agentnet::hot_path]
     pub fn mark_dirty(&mut self, node: NodeId) {
         let i = node.index();
-        if !self.dirty[i] {
-            self.dirty[i] = true;
-            self.dirty_list.push(i);
+        if let Some(flag) = self.dirty.get_mut(i) {
+            if !*flag {
+                *flag = true;
+                self.dirty_list.push(i);
+            }
         }
     }
 
@@ -80,6 +85,7 @@ impl RouteIndex {
     /// If `net_version` differs from the last synced version the whole
     /// graph is rebuilt (any link may have flipped); otherwise only the
     /// rows of nodes marked dirty since the last refresh are rewritten.
+    #[agentnet::hot_path]
     pub fn refresh(
         &mut self,
         tables: &[RoutingTable],
@@ -101,7 +107,9 @@ impl RouteIndex {
         }
         let mut list = std::mem::take(&mut self.dirty_list);
         for &v in &list {
-            self.dirty[v] = false;
+            if let Some(flag) = self.dirty.get_mut(v) {
+                *flag = false;
+            }
             self.clear_row(v);
             self.write_row(v, tables, links, is_gateway);
         }
@@ -130,11 +138,12 @@ impl RouteIndex {
         links: &DiGraph,
         is_gateway: &[bool],
     ) {
-        if is_gateway[v] {
+        if is_gateway.get(v).copied().unwrap_or(true) {
             return;
         }
         let from = NodeId::new(v);
-        for next in tables[v].next_hops() {
+        let Some(table) = tables.get(v) else { return };
+        for next in table.next_hops() {
             if links.has_edge(from, next) {
                 self.forwarding.add_edge(from, next);
             }
@@ -144,6 +153,7 @@ impl RouteIndex {
     /// Fraction of nodes whose next-hop chain reaches some live gateway
     /// (gateways count as connected) — reverse BFS from the gateways over
     /// the persistent forwarding graph, allocation-free in steady state.
+    #[agentnet::hot_path]
     pub fn connected_fraction(&mut self, live_gateways: &[NodeId]) -> f64 {
         let n = self.forwarding.node_count();
         if n == 0 {
@@ -155,22 +165,30 @@ impl RouteIndex {
         self.queue.clear();
         let mut count = 0usize;
         for &g in live_gateways {
-            if !self.reached[g.index()] {
-                self.reached[g.index()] = true;
-                count += 1;
-                self.queue.push(g.index());
+            match self.reached.get_mut(g.index()) {
+                Some(flag) if !*flag => {
+                    *flag = true;
+                    count += 1;
+                    self.queue.push(g.index());
+                }
+                _ => {}
             }
         }
         let mut head = 0usize;
         while head < self.queue.len() {
-            let v = NodeId::new(self.queue[head]);
+            let Some(&q) = self.queue.get(head) else { break };
+            let v = NodeId::new(q);
             head += 1;
             for i in 0..self.forwarding.in_neighbors(v).len() {
-                let u = self.forwarding.in_neighbors(v)[i].index();
-                if !self.reached[u] {
-                    self.reached[u] = true;
-                    count += 1;
-                    self.queue.push(u);
+                let Some(&from) = self.forwarding.in_neighbors(v).get(i) else { break };
+                let u = from.index();
+                match self.reached.get_mut(u) {
+                    Some(flag) if !*flag => {
+                        *flag = true;
+                        count += 1;
+                        self.queue.push(u);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -196,8 +214,8 @@ mod tests {
             links.add_edge(n(v - 1), n(v));
         }
         let mut tables = vec![RoutingTable::new(); 4];
-        for v in 1..4 {
-            tables[v].install(RouteEntry::new(n(0), n(v - 1), v as u32, Step::ZERO));
+        for (v, table) in tables.iter_mut().enumerate().skip(1) {
+            table.install(RouteEntry::new(n(0), n(v - 1), v as u32, Step::ZERO));
         }
         let mut is_gateway = vec![false; 4];
         is_gateway[0] = true;

@@ -17,6 +17,8 @@
 //! re-validated every step, so link churn silently invalidates routes
 //! until agents re-repair them.
 
+#![cfg_attr(not(test), warn(clippy::indexing_slicing))]
+
 use crate::agent::AgentId;
 use crate::comm::GroupScratch;
 use crate::error::CoreError;
@@ -226,7 +228,9 @@ impl RoutingSim {
         }
         let mut is_gateway = vec![false; n];
         for &g in net.gateways() {
-            is_gateway[g.index()] = true;
+            if let Some(flag) = is_gateway.get_mut(g.index()) {
+                *flag = true;
+            }
         }
         let live_gateways = net.gateways().to_vec();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -235,7 +239,8 @@ impl RoutingSim {
                 let at = NodeId::new(rng.random_range(0..n));
                 let mut memory = VisitMemory::new(config.history_size);
                 memory.record(at, Step::ZERO);
-                let carried = is_gateway[at.index()].then_some(Carried { gateway: at, hops: 0 });
+                let on_gateway = is_gateway.get(at.index()).copied().unwrap_or(false);
+                let carried = on_gateway.then_some(Carried { gateway: at, hops: 0 });
                 RoutingAgent { at, carried, memory }
             })
             .collect();
@@ -287,7 +292,9 @@ impl RoutingSim {
             return false;
         };
         self.live_gateways.remove(pos);
-        self.is_gateway[id.index()] = false;
+        if let Some(flag) = self.is_gateway.get_mut(id.index()) {
+            *flag = false;
+        }
         // Its forwarding row changes shape (non-gateways export their
         // table entries); the next refresh must rewrite it.
         self.route_index.mark_dirty(id);
@@ -304,7 +311,11 @@ impl RoutingSim {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
+    #[allow(clippy::indexing_slicing)] // the documented panic above
     pub fn table(&self, node: NodeId) -> &RoutingTable {
+        // Documented panic on an out-of-range node; inspection-only
+        // accessor, never on the step path.
+        // agentlint::allow(no-panic-in-kernel)
         &self.tables[node.index()]
     }
 
@@ -364,12 +375,12 @@ impl RoutingSim {
         // Forwarding graph: v -> next_hop for every table entry whose link
         // is currently live.
         let mut forwarding = DiGraph::new(n);
-        for v in 0..n {
-            if self.is_gateway[v] {
+        for (v, (&gw, table)) in self.is_gateway.iter().zip(&self.tables).enumerate() {
+            if gw {
                 continue;
             }
             let from = NodeId::new(v);
-            for next in self.tables[v].next_hops() {
+            for next in table.next_hops() {
                 if links.has_edge(from, next) {
                     forwarding.add_edge(from, next);
                 }
@@ -408,18 +419,16 @@ impl RoutingSim {
         pending.clear();
         let mut avoid = std::mem::take(&mut self.avoid);
         for i in 0..self.agents.len() {
-            let at = self.agents[i].at;
+            let Some(agent) = self.agents.get(i) else { continue };
+            let at = agent.at;
             let candidates = self.net.links().out_neighbors(at);
             if self.config.stigmergic {
-                self.boards[at.index()].marked_targets_into(
-                    now,
-                    self.config.footprint_window,
-                    &mut avoid,
-                );
+                if let Some(board) = self.boards.get_mut(at.index()) {
+                    board.marked_targets_into(now, self.config.footprint_window, &mut avoid);
+                }
             } else {
                 avoid.clear();
             }
-            let agent = &self.agents[i];
             let choice = match self.config.policy {
                 RoutingPolicy::Random => choose_move(
                     candidates,
@@ -440,7 +449,9 @@ impl RoutingSim {
             };
             if self.config.stigmergic {
                 if let Some(target) = choice {
-                    self.boards[at.index()].imprint(AgentId::new(i), target, now);
+                    if let Some(board) = self.boards.get_mut(at.index()) {
+                        board.imprint(AgentId::new(i), target, now);
+                    }
                     self.overhead.footprint_writes += 1;
                     if self.config.trace_capacity > 0 {
                         self.trace.record(TraceEvent::Footprint {
@@ -479,20 +490,29 @@ impl RoutingSim {
             }
             let best = group
                 .iter()
-                .filter_map(|&i| self.agents[i].carried)
+                .filter_map(|&i| self.agents.get(i).and_then(|a| a.carried))
                 .min_by_key(|c| (c.hops, c.gateway));
             if let Some(best) = best {
                 for &i in group {
-                    self.agents[i].carried = Some(best);
+                    if let Some(agent) = self.agents.get_mut(i) {
+                        agent.carried = Some(best);
+                    }
                 }
             }
-            let mut merged = self.agents[group[0]].memory.clone();
-            for &i in &group[1..] {
-                merged.merge(&self.agents[i].memory);
+            let Some((&first, rest)) = group.split_first() else { continue };
+            let Some(mut merged) = self.agents.get(first).map(|a| a.memory.clone()) else {
+                continue;
+            };
+            for &i in rest {
+                if let Some(agent) = self.agents.get(i) {
+                    merged.merge(&agent.memory);
+                }
             }
             merged.canonicalize();
             for &i in group {
-                self.agents[i].memory = merged.clone();
+                if let Some(agent) = self.agents.get_mut(i) {
+                    agent.memory = merged.clone();
+                }
             }
         }
         self.groups = groups;
@@ -522,7 +542,7 @@ impl RoutingSim {
                 _ => false,
             };
             agent.memory.record(agent.at, now);
-            if self.is_gateway[agent.at.index()] {
+            if self.is_gateway.get(agent.at.index()).copied().unwrap_or(false) {
                 // Standing on a gateway resets the claim to zero hops.
                 agent.carried = Some(Carried { gateway: agent.at, hops: 0 });
                 continue;
@@ -533,8 +553,9 @@ impl RoutingSim {
             match &mut agent.carried {
                 Some(c) if c.hops < history => {
                     c.hops += 1;
-                    self.tables[agent.at.index()]
-                        .install(RouteEntry::new(c.gateway, prev, c.hops, now));
+                    if let Some(table) = self.tables.get_mut(agent.at.index()) {
+                        table.install(RouteEntry::new(c.gateway, prev, c.hops, now));
+                    }
                     self.route_index.mark_dirty(agent.at);
                     self.overhead.table_writes += 1;
                     if self.config.trace_capacity > 0 {

@@ -144,9 +144,11 @@ impl TraceLog {
     /// Serializes the retained events as JSON lines (one event per
     /// line), ready for external tooling.
     pub fn to_jsonl(&self) -> String {
+        // Serialization of these plain enums cannot fail; an event that
+        // somehow did is dropped rather than poisoning the export.
         self.ring
             .iter()
-            .map(|e| serde_json::to_string(e).expect("trace events serialize"))
+            .filter_map(|e| serde_json::to_string(e).ok())
             .collect::<Vec<_>>()
             .join("\n")
     }

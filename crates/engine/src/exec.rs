@@ -193,6 +193,9 @@ impl Executor {
         // pool so concurrent experiments cannot oversubscribe it.
         let compute = |i: usize| -> T {
             let key = ResultCache::key_for(experiment, config_hash, seeds, i);
+            // Measures per-cell wall time for the stderr trace only; it
+            // never enters results.
+            // agentlint::allow(no-ambient-entropy)
             let started = Instant::now();
             let value = {
                 let _permit = self.permits.acquire();

@@ -18,7 +18,7 @@ proptest! {
 
     #[test]
     fn summary_of_constant_sample_has_zero_spread(v in -1e6f64..1e6, n in 1usize..32) {
-        let s = Summary::from_samples(std::iter::repeat(v).take(n)).unwrap();
+        let s = Summary::from_samples(std::iter::repeat_n(v, n)).unwrap();
         prop_assert!((s.mean - v).abs() < 1e-9);
         prop_assert!(s.std.abs() < 1e-9);
         prop_assert!(s.ci95.abs() < 1e-9);

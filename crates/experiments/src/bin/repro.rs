@@ -53,6 +53,18 @@
 //! the baseline report and exits non-zero if any kernel regressed by
 //! more than `--max-regression` percent (default 25) — the CI perf
 //! gate.
+//!
+//! ```text
+//! repro lint [--baseline] [--root DIR] [--rules]
+//! ```
+//!
+//! runs the `agentlint` static-analysis pass (see `agentnet_lint`) over
+//! the workspace sources, printing findings as `file:line rule message`
+//! and exiting non-zero on any finding not grandfathered by the
+//! committed `lint.toml` — or on a stale `lint.toml` entry that no
+//! longer matches, so the baseline can only shrink. `--baseline`
+//! rewrites `lint.toml` from the current findings; `--rules` lists the
+//! rule catalogue.
 
 use agentnet_engine::perf::{BenchOptions, BenchReport};
 use agentnet_engine::table::Table;
@@ -72,7 +84,8 @@ fn usage() -> ! {
          \x20            [--out DIR] [--trace] [--check] [--list] [EXPERIMENT_ID ...]\n\
          \x20      repro validate [--seed N] [--inject-failure]\n\
          \x20      repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
-         \x20            [--warmup N] [--iters N]"
+         \x20            [--warmup N] [--iters N]\n\
+         \x20      repro lint [--baseline] [--root DIR] [--rules]"
     );
     eprintln!("experiments:");
     for e in registry::all() {
@@ -167,6 +180,9 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
 
+    // Stamps the report filename/date only; kernel timings are
+    // calibration-normalized in perf.
+    // agentlint::allow(no-ambient-entropy)
     let unix_seconds = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -194,6 +210,7 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
         },
     };
 
+    // agentlint::allow(no-ambient-entropy) — stderr progress timing only.
     let started = Instant::now();
     let mut report = benchkit::run_kernels(opts, unix_seconds);
     eprintln!("timed {} kernels in {:.1}s", report.kernels.len(), started.elapsed().as_secs_f64());
@@ -264,6 +281,95 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// The `repro lint` subcommand: runs the `agentlint` rules over the
+/// workspace, diffs against the committed `lint.toml` baseline, prints
+/// findings as `file:line rule message`, and exits non-zero on new
+/// findings or stale baseline entries.
+fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut snapshot = false;
+    let mut show_rules = false;
+    let mut root_arg: Option<String> = None;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => snapshot = true,
+            "--rules" => show_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(dir),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if show_rules {
+        println!("# agentlint rules\n");
+        for rule in agentnet_lint::all_rules() {
+            println!("{:<24} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match root_arg {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+            match agentnet_lint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!("repro lint: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let findings = match agentnet_lint::run_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("repro lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline_path = root.join("lint.toml");
+    if snapshot {
+        if let Err(e) = agentnet_lint::baseline::save(&baseline_path, &findings) {
+            eprintln!("repro lint: failed to write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "repro lint: snapshot of {} finding(s) written to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let baseline = match agentnet_lint::baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("repro lint: failed to read {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = agentnet_lint::baseline::diff(&findings, &baseline);
+    for f in &diff.new {
+        println!("{f}");
+    }
+    for s in &diff.stale {
+        println!("lint.toml stale-entry {s}");
+    }
+    eprintln!(
+        "repro lint: {} finding(s) ({} baselined, {} new), {} stale baseline entr{}",
+        findings.len(),
+        findings.len() - diff.new.len(),
+        diff.new.len(),
+        diff.stale.len(),
+        if diff.stale.len() == 1 { "y" } else { "ies" }
+    );
+    if diff.new.is_empty() && diff.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut mode = Mode::Quick;
     let mut jobs = 0usize; // 0 = all cores
@@ -284,6 +390,10 @@ fn main() -> ExitCode {
     if args.peek().map(String::as_str) == Some("bench") {
         args.next();
         return run_bench(args);
+    }
+    if args.peek().map(String::as_str) == Some("lint") {
+        args.next();
+        return run_lint(args);
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -389,6 +499,9 @@ fn main() -> ExitCode {
     // One thread per experiment; the shared executor flattens their
     // cells over its worker permits. Reports fan back in indexed so
     // stdout order (and content) is independent of scheduling.
+    // Wall-clock for the stderr run-metrics table; reports depend only
+    // on seeds.
+    // agentlint::allow(no-ambient-entropy)
     let run_started = Instant::now();
     let (report_tx, report_rx) = channel::unbounded();
     std::thread::scope(|scope| {
@@ -397,6 +510,7 @@ fn main() -> ExitCode {
             let exec = &exec;
             scope.spawn(move || {
                 eprintln!("running {} ...", exp.id);
+                // agentlint::allow(no-ambient-entropy) — stderr metrics only.
                 let started = Instant::now();
                 let report = (exp.run)(&Ctx::new(exec, exp.id, mode).checked(check));
                 let secs = started.elapsed().as_secs_f64();

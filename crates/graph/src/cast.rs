@@ -1,0 +1,52 @@
+//! Audited numeric-cast helpers.
+//!
+//! The `no-lossy-cast` agentlint rule bans bare float↔int `as` casts in
+//! this crate and in `radio::spatial`; these helpers are the sanctioned
+//! crossing points. Each documents its domain and carries the single
+//! `agentlint::allow` for the cast it wraps, so every lossy conversion
+//! in metric code is auditable in one place.
+
+/// `part / whole` as an `f64` fraction; 0 when `whole` is 0.
+///
+/// Exact for counts below 2^53 — node/edge counts in this workspace are
+/// bounded orders of magnitude below that.
+#[inline]
+#[must_use]
+pub fn fraction(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        return 0.0;
+    }
+    // agentlint::allow(no-lossy-cast) — counts are far below 2^53.
+    part as f64 / whole as f64
+}
+
+/// A count as `f64`, exact below 2^53.
+#[inline]
+#[must_use]
+pub fn count_f64(n: usize) -> f64 {
+    // agentlint::allow(no-lossy-cast) — counts are far below 2^53.
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_matches_direct_division() {
+        assert_eq!(fraction(3, 4), 0.75);
+        assert_eq!(fraction(0, 7), 0.0);
+        assert_eq!(fraction(7, 7), 1.0);
+    }
+
+    #[test]
+    fn fraction_of_zero_whole_is_zero() {
+        assert_eq!(fraction(5, 0), 0.0);
+    }
+
+    #[test]
+    fn count_is_exact_for_small_values() {
+        assert_eq!(count_f64(0), 0.0);
+        assert_eq!(count_f64(1 << 20), 1_048_576.0);
+    }
+}

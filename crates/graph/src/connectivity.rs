@@ -157,7 +157,7 @@ pub fn fraction_reaching(graph: &DiGraph, targets: &[NodeId]) -> f64 {
         return 0.0;
     }
     let hits = reaches_any(graph, targets).iter().filter(|&&b| b).count();
-    hits as f64 / n as f64
+    crate::cast::fraction(hits, n)
 }
 
 #[cfg(test)]

@@ -213,7 +213,7 @@ impl DiGraph {
         if n < 2 {
             return 0.0;
         }
-        self.edge_count as f64 / (n * (n - 1)) as f64
+        crate::cast::fraction(self.edge_count, n * (n - 1))
     }
 
     /// Returns `true` if every edge `a -> b` has a matching edge `b -> a`

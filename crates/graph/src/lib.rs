@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cast;
 pub mod connectivity;
 pub mod digraph;
 pub mod error;

@@ -1,0 +1,204 @@
+//! The committed `lint.toml` baseline.
+//!
+//! A baseline entry grandfathers one existing finding, keyed by
+//! `(file, line, rule)`. CI fails on any finding *not* in the baseline
+//! (a regression) and on any baseline entry that no longer matches a
+//! finding (stale — the debt was paid or the line moved, so the file
+//! must be regenerated with `repro lint --baseline`). The format is the
+//! small `[[finding]]` array-of-tables subset of TOML; the hand-rolled
+//! parser below reads exactly what [`save`] writes.
+
+use crate::rules::Finding;
+use std::io;
+use std::path::Path;
+
+/// One grandfathered finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{} {} {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Baseline comparison result.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings not grandfathered by the baseline.
+    pub new: Vec<Finding>,
+    /// Baseline entries that no longer match any finding.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Loads a baseline file. A missing file is an empty baseline.
+pub fn load(path: &Path) -> io::Result<Vec<BaselineEntry>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(parse(&text))
+}
+
+/// Parses the `[[finding]]` subset of TOML written by [`save`].
+pub fn parse(text: &str) -> Vec<BaselineEntry> {
+    let mut entries = Vec::new();
+    let mut current: Option<BaselineEntry> = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[finding]]" {
+            if let Some(e) = current.take() {
+                entries.push(e);
+            }
+            current = Some(BaselineEntry {
+                file: String::new(),
+                line: 0,
+                rule: String::new(),
+                message: String::new(),
+            });
+            continue;
+        }
+        let Some(entry) = current.as_mut() else { continue };
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "file" => entry.file = unquote(value),
+            "rule" => entry.rule = unquote(value),
+            "message" => entry.message = unquote(value),
+            "line" => entry.line = value.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(e);
+    }
+    entries
+}
+
+/// Serializes findings as a baseline file.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("# agentlint baseline — grandfathered findings.\n");
+    out.push_str("# Regenerate with `repro lint --baseline`. CI fails on findings not\n");
+    out.push_str("# listed here AND on stale entries that no longer match.\n");
+    for f in findings {
+        out.push_str("\n[[finding]]\n");
+        out.push_str(&format!("file = {}\n", quote(&f.file)));
+        out.push_str(&format!("line = {}\n", f.line));
+        out.push_str(&format!("rule = {}\n", quote(f.rule)));
+        out.push_str(&format!("message = {}\n", quote(&f.message)));
+    }
+    out
+}
+
+/// Writes findings as the baseline at `path`.
+pub fn save(path: &Path, findings: &[Finding]) -> io::Result<()> {
+    std::fs::write(path, render(findings))
+}
+
+/// Compares current findings against a baseline.
+pub fn diff(findings: &[Finding], baseline: &[BaselineEntry]) -> Diff {
+    let key = |file: &str, line: u32, rule: &str| format!("{file}:{line}:{rule}");
+    let baseline_keys: Vec<String> =
+        baseline.iter().map(|e| key(&e.file, e.line, &e.rule)).collect();
+    let finding_keys: Vec<String> = findings.iter().map(|f| key(&f.file, f.line, f.rule)).collect();
+    Diff {
+        new: findings
+            .iter()
+            .zip(&finding_keys)
+            .filter(|(_, k)| !baseline_keys.contains(k))
+            .map(|(f, _)| f.clone())
+            .collect(),
+        stale: baseline
+            .iter()
+            .zip(&baseline_keys)
+            .filter(|(_, k)| !finding_keys.contains(k))
+            .map(|(e, _)| e.clone())
+            .collect(),
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn unquote(s: &str) -> String {
+    let inner = s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or(s);
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str, msg: &str) -> Finding {
+        Finding { file: file.into(), line, rule, message: msg.into() }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fs = vec![
+            finding("crates/a/src/x.rs", 3, "no-lossy-cast", "int -> `f64` cast"),
+            finding("crates/b/src/y.rs", 7, "no-ambient-entropy", "he said \"now\""),
+        ];
+        let text = render(&fs);
+        let parsed = parse(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].file, "crates/a/src/x.rs");
+        assert_eq!(parsed[0].line, 3);
+        assert_eq!(parsed[0].rule, "no-lossy-cast");
+        assert_eq!(parsed[1].message, "he said \"now\"");
+    }
+
+    #[test]
+    fn diff_reports_new_and_stale() {
+        let committed = vec![finding("a.rs", 1, "r", "old"), finding("b.rs", 2, "r", "gone")];
+        let baseline = parse(&render(&committed));
+        let now = vec![finding("a.rs", 1, "r", "old"), finding("c.rs", 9, "r", "fresh")];
+        let d = diff(&now, &baseline);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].file, "c.rs");
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].file, "b.rs");
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let entries = load(Path::new("/nonexistent/lint.toml")).expect("missing file is ok");
+        assert!(entries.is_empty());
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-file analysis context shared by all rules.
+//!
+//! A [`FileContext`] wraps the lexed token stream with the structural
+//! facts every rule needs: which token spans are `#[cfg(test)]`-gated,
+//! which lines carry `agentlint::allow` directives, and where the bodies
+//! of `#[agentnet::hot_path]`-marked functions are.
+
+use crate::lexer::{lex, AllowDirective, Tok, TokKind};
+
+/// A half-open token-index range.
+#[derive(Clone, Copy, Debug)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+/// The body of a function carrying `#[agentnet::hot_path]`.
+#[derive(Clone, Debug)]
+pub struct HotPathFn {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token span of the `{ ... }` body (braces included).
+    pub body: Span,
+}
+
+/// Lexed file plus structural annotations.
+pub struct FileContext {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    pub tokens: Vec<Tok>,
+    allows: Vec<AllowDirective>,
+    /// Token spans covered by `#[cfg(test)]` items.
+    test_spans: Vec<Span>,
+    /// Bodies of `#[agentnet::hot_path]` functions.
+    pub hot_paths: Vec<HotPathFn>,
+}
+
+impl FileContext {
+    /// Lexes and annotates one file. `rel_path` is workspace-relative.
+    pub fn new(rel_path: &str, source: &str) -> Self {
+        let lexed = lex(source);
+        let test_spans = find_cfg_test_spans(&lexed.tokens);
+        let hot_paths = find_hot_path_fns(&lexed.tokens);
+        FileContext {
+            rel_path: rel_path.replace('\\', "/"),
+            tokens: lexed.tokens,
+            allows: lexed.allows,
+            test_spans,
+            hot_paths,
+        }
+    }
+
+    /// True if token index `i` sits inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|s| i >= s.start && i < s.end)
+    }
+
+    /// True if `rule` is suppressed at `line` by an allow directive on
+    /// the same line or on the line directly above (so both trailing
+    /// comments and standalone comment lines work).
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+
+    /// All allow directives (for diagnostics/tests).
+    pub fn allows(&self) -> &[AllowDirective] {
+        &self.allows
+    }
+}
+
+/// True at `i` for the exact identifier `s`.
+fn ident_at(tokens: &[Tok], i: usize, s: &str) -> bool {
+    tokens.get(i).map(|t| t.is_ident(s)).unwrap_or(false)
+}
+
+/// True at `i` for the punctuation char `c`.
+fn punct_at(tokens: &[Tok], i: usize, c: char) -> bool {
+    tokens.get(i).map(|t| t.is_punct(c)).unwrap_or(false)
+}
+
+/// From an opening bracket at `open`, returns the index one past its
+/// matching close, tracking all three bracket kinds.
+fn skip_balanced(tokens: &[Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < tokens.len() {
+        if let TokKind::Punct = tokens[i].kind {
+            match tokens[i].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Finds `#[cfg(test)]` (or `#[cfg(all(test, ...))]` etc.) attributes and
+/// returns the token span of the item each one gates.
+fn find_cfg_test_spans(tokens: &[Tok]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if punct_at(tokens, i, '#') && punct_at(tokens, i + 1, '[') {
+            let attr_end = skip_balanced(tokens, i + 1);
+            let is_cfg_test = ident_at(tokens, i + 2, "cfg")
+                && tokens[i + 2..attr_end].iter().any(|t| t.is_ident("test"));
+            if is_cfg_test {
+                spans.push(Span { start: i, end: item_end(tokens, attr_end) });
+            }
+            i = attr_end;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// From the first token after an item's attributes, returns one past the
+/// item's end: the matching `}` of its first top-level brace, or the
+/// first top-level `;` (whichever comes first).
+fn item_end(tokens: &[Tok], mut i: usize) -> usize {
+    // Skip any further attributes on the same item.
+    while punct_at(tokens, i, '#') && punct_at(tokens, i + 1, '[') {
+        i = skip_balanced(tokens, i + 1);
+    }
+    let mut depth = 0i64;
+    while i < tokens.len() {
+        if let TokKind::Punct = tokens[i].kind {
+            match tokens[i].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" => return skip_balanced(tokens, i),
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Finds functions annotated `#[agentnet::hot_path]` (any path ending in
+/// `hot_path` inside an attribute) and records their body spans.
+fn find_hot_path_fns(tokens: &[Tok]) -> Vec<HotPathFn> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if punct_at(tokens, i, '#') && punct_at(tokens, i + 1, '[') {
+            let attr_end = skip_balanced(tokens, i + 1);
+            let is_marker = tokens[i + 2..attr_end].iter().any(|t| t.is_ident("hot_path"));
+            if is_marker {
+                if let Some(f) = parse_fn_after_attrs(tokens, attr_end) {
+                    fns.push(f);
+                }
+            }
+            i = attr_end;
+        } else {
+            i += 1;
+        }
+    }
+    fns
+}
+
+/// From the first token after a marker attribute, skips further
+/// attributes and qualifiers, then parses `fn name ... { body }`.
+fn parse_fn_after_attrs(tokens: &[Tok], mut i: usize) -> Option<HotPathFn> {
+    while punct_at(tokens, i, '#') && punct_at(tokens, i + 1, '[') {
+        i = skip_balanced(tokens, i + 1);
+    }
+    // Qualifiers: pub, pub(crate), const, unsafe, extern "C", async.
+    loop {
+        if ident_at(tokens, i, "fn") {
+            break;
+        }
+        match tokens.get(i) {
+            Some(t) if t.kind == TokKind::Ident || t.kind == TokKind::Str => i += 1,
+            Some(t) if t.is_punct('(') => i = skip_balanced(tokens, i),
+            _ => return None,
+        }
+    }
+    let fn_line = tokens.get(i)?.line;
+    let name = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident)?.text.clone();
+    // Find the body: the first `{` at angle-free bracket depth zero after
+    // the signature. Generic bounds never contain braces in this
+    // codebase, so the first top-level `{` is the body.
+    let mut j = i + 2;
+    let mut depth = 0i64;
+    while j < tokens.len() {
+        if let TokKind::Punct = tokens[j].kind {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    let end = skip_balanced(tokens, j);
+                    return Some(HotPathFn { name, line: fn_line, body: Span { start: j, end } });
+                }
+                ";" if depth == 0 => return None,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mod_is_spanned() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        let unwrap_idx =
+            ctx.tokens.iter().position(|t| t.is_ident("unwrap")).expect("unwrap token present");
+        assert!(ctx.in_test(unwrap_idx));
+        let live_idx = ctx.tokens.iter().position(|t| t.is_ident("live")).expect("live");
+        assert!(!ctx.in_test(live_idx));
+    }
+
+    #[test]
+    fn cfg_test_on_statement_items() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        let hm = ctx.tokens.iter().position(|t| t.is_ident("HashMap")).expect("HashMap");
+        assert!(ctx.in_test(hm));
+        let live = ctx.tokens.iter().position(|t| t.is_ident("live")).expect("live");
+        assert!(!ctx.in_test(live));
+    }
+
+    #[test]
+    fn hot_path_fn_body_is_found() {
+        let src = "impl S {\n    #[agentnet::hot_path]\n    pub fn advance(&mut self) -> u64 {\n        self.tick += 1;\n        self.tick\n    }\n    pub fn other(&self) {}\n}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        assert_eq!(ctx.hot_paths.len(), 1);
+        let hp = &ctx.hot_paths[0];
+        assert_eq!(hp.name, "advance");
+        assert_eq!(hp.line, 3);
+        let body = &ctx.tokens[hp.body.start..hp.body.end];
+        assert!(body.iter().any(|t| t.is_ident("tick")));
+        assert!(!body.iter().any(|t| t.is_ident("other")));
+    }
+
+    #[test]
+    fn allow_covers_same_and_next_line() {
+        let src = "// agentlint::allow(r1)\nlet a = 1;\nlet b = 2; // agentlint::allow(r2)\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        assert!(ctx.is_allowed("r1", 1));
+        assert!(ctx.is_allowed("r1", 2));
+        assert!(!ctx.is_allowed("r1", 3));
+        assert!(ctx.is_allowed("r2", 3));
+        assert!(!ctx.is_allowed("r2", 2));
+    }
+}

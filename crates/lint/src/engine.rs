@@ -1,0 +1,126 @@
+//! The workspace walker and rule driver.
+
+use crate::context::FileContext;
+use crate::rules::{all_rules, Finding};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints one in-memory source file under its workspace-relative path.
+/// The path decides which rules apply (see each rule's scope); allow
+/// directives and `#[cfg(test)]` spans are honored.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let ctx = FileContext::new(rel_path, source);
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        rule.check(&ctx, &mut findings);
+    }
+    findings.retain(|f| !ctx.is_allowed(f.rule, f.line));
+    sort(&mut findings);
+    findings
+}
+
+/// Lints every workspace source file under `root` and returns sorted
+/// findings. Walks `crates/*/src/**/*.rs` plus the root facade's
+/// `src/**/*.rs`; `vendor/` stand-ins, `tests/`, benches, and fixture
+/// trees are outside the walk by construction.
+pub fn run_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (rel, path) in workspace_files(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &source));
+    }
+    sort(&mut findings);
+    Ok(findings)
+}
+
+/// Enumerates `(workspace-relative path, absolute path)` for every
+/// linted source file, sorted by relative path.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            collect_rs(&dir.join("src"), root, &mut out)?;
+        }
+    }
+    collect_rs(&root.join("src"), root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` (if it exists).
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn sort(findings: &mut Vec<Finding>) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    findings.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_directive_suppresses() {
+        let src = "fn f() {\n\
+                   \x20   // deliberate: status line only — agentlint::allow(no-ambient-entropy)\n\
+                   \x20   let t = std::time::Instant::now();\n\
+                   \x20   let _ = t;\n\
+                   }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+        let bare = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", bare).len(), 1);
+    }
+
+    #[test]
+    fn findings_are_sorted_and_deduped() {
+        let src = "fn f(v: &[u32], o: Option<u32>) -> u32 { v[o.unwrap() as usize] }\n";
+        let f = lint_source("crates/core/src/policy.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        let mut sorted = f.clone();
+        sorted.sort_by(|a, b| {
+            (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        });
+        assert_eq!(f, sorted);
+    }
+}

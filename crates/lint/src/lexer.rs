@@ -1,0 +1,471 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The workspace builds fully offline, so `agentlint` cannot lean on
+//! `syn`; instead the rules operate on a token stream produced here.
+//! The lexer understands exactly as much Rust as the rules need:
+//!
+//! * comments (line, nested block) are skipped, but
+//!   `agentlint::allow(...)` directives inside them are recorded;
+//! * string/char/lifetime/raw-string literals are tokenized opaquely so
+//!   pattern matches never fire inside literal text;
+//! * numeric literals carry an `is_float` flag (used as cast evidence by
+//!   the `no-lossy-cast` rule);
+//! * everything else becomes identifier or single-character punctuation
+//!   tokens with 1-based line numbers.
+
+/// Token kind. Punctuation is one token per character; rules that need
+/// multi-character operators (`::`, `..`) match adjacent tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character.
+    Punct,
+    /// Numeric literal; `is_float` is true for `1.0`, `1e3`, `2f64`, ...
+    Num { is_float: bool },
+    /// String literal of any flavor (plain, raw, byte).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime such as `'a` (including `'static`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// An `// agentlint::allow(rule, ...)` directive found in a comment.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// 1-based line the directive's comment starts on.
+    pub line: u32,
+    /// The rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+}
+
+/// Lexer output: the token stream plus any allow directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Tok>,
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lexes `source`, skipping comments and recording allow directives.
+///
+/// The lexer is resilient: malformed input (unterminated strings, stray
+/// bytes) never panics — it degrades to opaque tokens so a lint run can
+/// report on every file it can read.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let Some(c) = source[i..].chars().next() else { break };
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                record_allows(&source[start..i], line, &mut out.allows);
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                record_allows(&source[start..i], start_line, &mut out.allows);
+            }
+            '"' => {
+                let (len, newlines) = scan_string(&source[i..]);
+                out.tokens.push(Tok { kind: TokKind::Str, text: String::new(), line });
+                i += len;
+                line += newlines;
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&source[i..]) => {
+                let (kind, len, newlines) = scan_prefixed_literal(&source[i..]);
+                out.tokens.push(Tok { kind, text: String::new(), line });
+                i += len;
+                line += newlines;
+            }
+            '\'' => {
+                let (kind, len) = scan_quote(&source[i..]);
+                let text = source[i..i + len].to_string();
+                out.tokens.push(Tok { kind, text, line });
+                i += len;
+            }
+            c if c.is_ascii_digit() => {
+                let (len, is_float) = scan_number(&source[i..]);
+                out.tokens.push(Tok {
+                    kind: TokKind::Num { is_float },
+                    text: source[i..i + len].to_string(),
+                    line,
+                });
+                i += len;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                for ch in source[i..].chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `agentlint::allow(a, b)` rule lists from comment text.
+fn record_allows(comment: &str, line: u32, allows: &mut Vec<AllowDirective>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("agentlint::allow(") {
+        let after = &rest[pos + "agentlint::allow(".len()..];
+        let Some(close) = after.find(')') else { return };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if !rules.is_empty() {
+            allows.push(AllowDirective { line, rules });
+        }
+        rest = &after[close..];
+    }
+}
+
+/// True if the text starts a raw string (`r"`, `r#"`) or byte literal
+/// (`b"`, `b'`, `br"`, `br#"`) rather than an identifier.
+fn starts_raw_or_byte_literal(s: &str) -> bool {
+    let b = s.as_bytes();
+    match b.first() {
+        Some(b'r') => matches!(peek_past_hashes(&b[1..]), Some(b'"')),
+        Some(b'b') => match b.get(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(peek_past_hashes(&b[2..]), Some(b'"')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a run of `#` and returns the byte after it.
+fn peek_past_hashes(b: &[u8]) -> Option<u8> {
+    let mut i = 0;
+    while b.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    b.get(i).copied()
+}
+
+/// Scans a plain `"..."` string starting at the opening quote. Returns
+/// (byte length including quotes, newline count inside).
+fn scan_string(s: &str) -> (usize, u32) {
+    let b = s.as_bytes();
+    let mut i = 1usize;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        match b[i] {
+            // An escape consumes two bytes; `\<newline>` (string line
+            // continuation) still advances the line counter.
+            b'\\' => {
+                if b.get(i + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                i += 2;
+            }
+            b'\n' => {
+                newlines += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, newlines),
+            _ => i += 1,
+        }
+    }
+    (b.len(), newlines)
+}
+
+/// Scans a literal starting with `r`, `b`, or `br`: raw strings, byte
+/// strings, byte chars. Returns (kind, byte length, newline count).
+fn scan_prefixed_literal(s: &str) -> (TokKind, usize, u32) {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    if !raw {
+        return match b.get(i) {
+            Some(b'\'') => {
+                let (_, len) = scan_quote(&s[i..]);
+                (TokKind::Char, i + len, 0)
+            }
+            _ => {
+                let (len, newlines) = scan_string(&s[i..]);
+                (TokKind::Str, i + len, newlines)
+            }
+        };
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    // Opening quote.
+    i += 1;
+    let mut newlines = 0u32;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            newlines += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (TokKind::Str, j, newlines);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    (TokKind::Str, b.len(), newlines)
+}
+
+/// Disambiguates a `'` into a char literal or a lifetime. Returns
+/// (kind, byte length).
+fn scan_quote(s: &str) -> (TokKind, usize) {
+    let b = s.as_bytes();
+    // Escape sequence: definitely a char literal. Scanning bytes for the
+    // ASCII closing quote is UTF-8 safe (0x27 never appears inside a
+    // multi-byte sequence).
+    if b.get(1) == Some(&b'\\') {
+        let mut i = 2usize;
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return (TokKind::Char, (i + 1).min(b.len()));
+    }
+    let mut chars = s.char_indices();
+    chars.next(); // opening quote
+    let Some((first_pos, first)) = chars.next() else {
+        return (TokKind::Char, 1);
+    };
+    let after_first = first_pos + first.len_utf8();
+    // `'x'` — any single scalar between quotes is a char literal (this
+    // covers multi-byte chars like the sparkline glyphs).
+    if first != '\'' && b.get(after_first) == Some(&b'\'') {
+        return (TokKind::Char, after_first + 1);
+    }
+    // `'ident` not followed by a closing quote is a lifetime.
+    if first.is_alphabetic() || first == '_' {
+        let mut end = after_first;
+        for ch in s[after_first..].chars() {
+            if ch.is_alphanumeric() || ch == '_' {
+                end += ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if b.get(end) == Some(&b'\'') {
+            return (TokKind::Char, end + 1);
+        }
+        return (TokKind::Lifetime, end);
+    }
+    // Lone or unrecognized quote: opaque single-byte token.
+    (TokKind::Char, 1)
+}
+
+/// Scans a numeric literal. Returns (byte length, is_float).
+fn scan_number(s: &str) -> (usize, bool) {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let mut is_float = false;
+    if b.len() > 1 && b[0] == b'0' && matches!(b[1], b'x' | b'o' | b'b') {
+        i = 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return (i, false);
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: only if followed by a digit (so `1.max(2)` and
+    // ranges `0..n` stay integers) or by nothing identifier-like (`1.`).
+    if i < b.len() && b[i] == b'.' {
+        let next = b.get(i + 1).copied();
+        let next_is_digit = next.map(|c| c.is_ascii_digit()).unwrap_or(false);
+        let next_is_ident = next.map(|c| (c as char).is_alphabetic() || c == b'_').unwrap_or(false);
+        let next_is_dot = next == Some(b'.');
+        if next_is_digit || (!next_is_ident && !next_is_dot) {
+            is_float = true;
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Exponent.
+    if i < b.len() && matches!(b[i], b'e' | b'E') {
+        let mut j = i + 1;
+        if matches!(b.get(j), Some(b'+') | Some(b'-')) {
+            j += 1;
+        }
+        if b.get(j).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            is_float = true;
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, ...).
+    let suffix_start = i;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    if s[suffix_start..i].starts_with('f') {
+        is_float = true;
+    }
+    (i, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // thread_rng in a comment
+            /* Instant::now in /* a nested */ block */
+            let s = "SystemTime::now()";
+            let r = r#"thread_rng"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(ids.iter().any(|i| i == "let"));
+    }
+
+    #[test]
+    fn allow_directives_are_recorded_with_lines() {
+        let src = "let x = 1;\n// agentlint::allow(no-lossy-cast, no-panic-in-kernel) — why\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 2);
+        assert_eq!(lexed.allows[0].rules, ["no-lossy-cast", "no-panic-in-kernel"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn float_detection() {
+        let cases = [
+            ("1.0", true),
+            ("1.", true),
+            ("1e3", true),
+            ("2f64", true),
+            ("1_000", false),
+            ("0xff", false),
+            ("3usize", false),
+        ];
+        for (src, want) in cases {
+            let lexed = lex(src);
+            assert_eq!(lexed.tokens.len(), 1, "{src}");
+            assert_eq!(lexed.tokens[0].kind, TokKind::Num { is_float: want }, "{src}");
+        }
+    }
+
+    #[test]
+    fn method_on_int_literal_is_not_float() {
+        let lexed = lex("1.max(2)");
+        assert_eq!(lexed.tokens[0].kind, TokKind::Num { is_float: false });
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet b = 3;\n";
+        let lexed = lex(src);
+        let b_tok = lexed.tokens.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn line_numbers_track_string_continuations() {
+        let src = "let a = \"one\\\n  two\";\nlet b = 3;\n";
+        let lexed = lex(src);
+        let b_tok = lexed.tokens.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b_tok.line, 3);
+    }
+}

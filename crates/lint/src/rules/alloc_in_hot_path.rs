@@ -1,0 +1,127 @@
+//! `no-alloc-in-hot-path`: functions marked `#[agentnet::hot_path]` are
+//! the kernels the counting-allocator integration test proves
+//! allocation-free in steady state; this rule enforces the property at
+//! review time, file by file, instead of only through one end-to-end
+//! test.
+//!
+//! Flags constructing calls (`Vec::new`, `with_capacity`, `Box::new`,
+//! `vec!`, `format!`, `String::new`, ...) and owning adapters
+//! (`.collect()`, `.to_vec()`, `.to_owned()`, `.clone()`) inside a
+//! marked body. Growth of pre-warmed scratch (`push`, `extend`,
+//! `resize`, `clear`) is deliberately legal: the steady-state contract
+//! is "no *new* allocations once warmed", and amortized growth during
+//! warm-up is exactly what the scratch-buffer pattern relies on.
+
+use crate::context::FileContext;
+use crate::rules::{ident_at, method_call_at, path_sep_at, punct_at, Finding, Rule};
+
+pub struct AllocInHotPath;
+
+/// `Type::ctor` pairs that allocate.
+const ALLOC_CTORS: &[&str] =
+    &["Vec", "VecDeque", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet"];
+
+const ALLOC_CTOR_FNS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Owning adapters that allocate.
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_owned", "clone"];
+
+impl Rule for AllocInHotPath {
+    fn name(&self) -> &'static str {
+        "no-alloc-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "allocating calls inside #[agentnet::hot_path] kernels (scratch growth via push/extend stays legal)"
+    }
+
+    fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>) {
+        let toks = &ctx.tokens;
+        for hp in &ctx.hot_paths {
+            if ctx.in_test(hp.body.start) {
+                continue;
+            }
+            for i in hp.body.start..hp.body.end.min(toks.len()) {
+                let hit: Option<String> = if ALLOC_CTORS.iter().any(|c| ident_at(toks, i, c))
+                    && path_sep_at(toks, i + 1)
+                    && ALLOC_CTOR_FNS.iter().any(|f| ident_at(toks, i + 3, f))
+                {
+                    Some(format!("`{}::{}`", toks[i].text, toks[i + 3].text))
+                } else if ALLOC_MACROS.iter().any(|m| ident_at(toks, i, m))
+                    && punct_at(toks, i + 1, '!')
+                {
+                    Some(format!("`{}!`", toks[i].text))
+                } else if ALLOC_METHODS.iter().any(|m| method_call_at(toks, i, m)) {
+                    Some(format!("`.{}()`", toks[i].text))
+                } else {
+                    None
+                };
+                if let Some(what) = hit {
+                    findings.push(Finding {
+                        file: ctx.rel_path.clone(),
+                        line: toks[i].line,
+                        rule: self.name(),
+                        message: format!(
+                            "{what} allocates inside #[agentnet::hot_path] fn `{}`; reuse warmed scratch instead",
+                            hp.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new("crates/radio/src/network.rs", src);
+        let mut f = Vec::new();
+        AllocInHotPath.check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn flags_allocations_only_inside_marked_fns() {
+        let src = "impl S {\n\
+                   \x20   #[agentnet::hot_path]\n\
+                   \x20   pub fn advance(&mut self) {\n\
+                   \x20       let v: Vec<u32> = Vec::new();\n\
+                   \x20       let w = vec![0u32; 8];\n\
+                   \x20       let c: Vec<u32> = v.iter().copied().collect();\n\
+                   \x20       let d = c.clone();\n\
+                   \x20       let _ = (w, d);\n\
+                   \x20   }\n\
+                   \x20   pub fn cold(&mut self) { let _ = Vec::<u32>::new(); }\n\
+                   }\n";
+        let f = run(src);
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(f.iter().all(|x| x.message.contains("`advance`")));
+    }
+
+    #[test]
+    fn scratch_growth_is_legal() {
+        let src = "impl S {\n\
+                   \x20   #[agentnet::hot_path]\n\
+                   \x20   pub fn advance(&mut self) {\n\
+                   \x20       self.queue.clear();\n\
+                   \x20       self.queue.push(1);\n\
+                   \x20       self.flags.resize(self.n, false);\n\
+                   \x20       self.row.extend_from_slice(&[1, 2]);\n\
+                   \x20   }\n\
+                   }\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unmarked_functions_are_ignored() {
+        let src = "pub fn cold() -> Vec<u32> { vec![1, 2, 3] }\n";
+        assert!(run(src).is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! `no-lossy-cast`: bare `as` casts between floats and ints silently
+//! truncate, saturate, or lose precision.
+//!
+//! Scope: `radio::spatial` (the float-heavy grid math) and the `graph`
+//! crate. Two directions are flagged:
+//!
+//! * **float → int** (`x.ceil() as usize`): truncating/saturating —
+//!   NaN becomes 0 and overflow clamps silently. Detected when the cast
+//!   source shows float evidence (a float literal, an `f32`/`f64`
+//!   token, a float-producing method such as `ceil`, or a local whose
+//!   `let` binding shows the same evidence).
+//! * **int → float** (`n as f64`): exact only below 2^53. Flagged
+//!   unconditionally unless the source is already a float.
+//!
+//! Both belong inside small audited helpers (`graph::cast`,
+//! `SpatialGrid::cell_index`/`cell_count`) that clamp or document their
+//! domain and carry the `agentlint::allow` for the single cast they
+//! wrap.
+
+use crate::context::FileContext;
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{open_of, path_under, punct_at, Finding, Rule};
+
+pub struct LossyCast;
+
+const SCOPE: &[&str] = &["crates/radio/src/spatial.rs", "crates/graph/src/"];
+
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+const FLOAT_TYPES: &[&str] = &["f32", "f64"];
+
+/// Methods whose result is (almost always) a float in this codebase.
+const FLOAT_METHODS: &[&str] =
+    &["ceil", "floor", "round", "trunc", "sqrt", "hypot", "powf", "powi", "exp", "ln", "abs"];
+
+impl Rule for LossyCast {
+    fn name(&self) -> &'static str {
+        "no-lossy-cast"
+    }
+
+    fn description(&self) -> &'static str {
+        "bare `as` float<->int casts in radio::spatial and graph outside the clamped helpers"
+    }
+
+    fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>) {
+        if !path_under(ctx, SCOPE) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            if ctx.in_test(i) || !toks[i].is_ident("as") {
+                continue;
+            }
+            let Some(target) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let to_int = INT_TYPES.contains(&target.text.as_str());
+            let to_float = FLOAT_TYPES.contains(&target.text.as_str());
+            if !to_int && !to_float {
+                continue;
+            }
+            let src_float = source_is_float(ctx, i);
+            if to_int && src_float {
+                findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: toks[i].line,
+                    rule: self.name(),
+                    message: format!(
+                        "float -> `{}` `as` cast truncates and saturates silently (NaN becomes 0); use a clamped helper",
+                        target.text
+                    ),
+                });
+            } else if to_float && !src_float {
+                findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: toks[i].line,
+                    rule: self.name(),
+                    message: format!(
+                        "int -> `{}` `as` cast is exact only below 2^53; use graph::cast helpers",
+                        target.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True if the expression ending just before the `as` at `as_idx` shows
+/// float evidence.
+fn source_is_float(ctx: &FileContext, as_idx: usize) -> bool {
+    let toks = &ctx.tokens;
+    if as_idx == 0 {
+        return false;
+    }
+    let prev = &toks[as_idx - 1];
+    match prev.kind {
+        TokKind::Num { is_float } => is_float,
+        TokKind::Punct if prev.text == ")" => {
+            let open = open_of(toks, as_idx - 1);
+            // Method call: `...ceil() as` — check the method name.
+            if open >= 2 && punct_at(toks, open - 2, '.') {
+                if let Some(m) = toks.get(open - 1) {
+                    if FLOAT_METHODS.contains(&m.text.as_str()) {
+                        return true;
+                    }
+                    // Walk the method chain left: `(a / b).ceil().max(1.0) as`
+                    // recurses through each `()` group.
+                    if m.kind == TokKind::Ident && open >= 3 && punct_at(toks, open - 3, ')') {
+                        let inner_open = open_of(toks, open - 3);
+                        if span_has_float(toks, inner_open, open - 3)
+                            || chain_is_float(ctx, inner_open)
+                        {
+                            return true;
+                        }
+                    }
+                }
+            }
+            // Parenthesized expression: float evidence anywhere inside.
+            span_has_float(toks, open, as_idx - 1)
+        }
+        TokKind::Ident => let_binding_is_float(ctx, &prev.text),
+        _ => false,
+    }
+}
+
+/// Float evidence in `toks[start..=end]`: a float literal, an `f32`/
+/// `f64` token, or a float-method name.
+fn span_has_float(toks: &[Tok], start: usize, end: usize) -> bool {
+    toks[start..=end.min(toks.len() - 1)].iter().any(|t| match t.kind {
+        TokKind::Num { is_float } => is_float,
+        TokKind::Ident => {
+            FLOAT_TYPES.contains(&t.text.as_str()) || FLOAT_METHODS.contains(&t.text.as_str())
+        }
+        _ => false,
+    })
+}
+
+/// For a `(` at `open` that closes a method-chain group, checks whether
+/// the chain's head (`recv.m1().m2(...)`) shows float evidence.
+fn chain_is_float(ctx: &FileContext, mut open: usize) -> bool {
+    let toks = &ctx.tokens;
+    let mut guard = 0usize;
+    while guard < 8 {
+        guard += 1;
+        if open >= 2 && punct_at(toks, open - 2, '.') {
+            if let Some(m) = toks.get(open - 1) {
+                if FLOAT_METHODS.contains(&m.text.as_str()) {
+                    return true;
+                }
+            }
+            if open >= 3 && punct_at(toks, open - 3, ')') {
+                let inner = open_of(toks, open - 3);
+                if span_has_float(toks, inner, open - 3) {
+                    return true;
+                }
+                open = inner;
+                continue;
+            }
+        }
+        break;
+    }
+    false
+}
+
+/// True if `name` has a `let [mut] name = ...;` binding whose tokens
+/// show float evidence, or a `name: f32`/`name: f64` annotation
+/// (parameter, field, or annotated let) anywhere in this file.
+fn let_binding_is_float(ctx: &FileContext, name: &str) -> bool {
+    let toks = &ctx.tokens;
+    // Annotation form: `name : [&] f32|f64`.
+    for i in 0..toks.len() {
+        if toks[i].is_ident(name) && punct_at(toks, i + 1, ':') && !punct_at(toks, i + 2, ':') {
+            let mut j = i + 2;
+            while toks.get(j).map(|t| t.is_punct('&') || t.is_ident("mut")).unwrap_or(false) {
+                j += 1;
+            }
+            if toks.get(j).map(|t| FLOAT_TYPES.contains(&t.text.as_str())).unwrap_or(false) {
+                return true;
+            }
+        }
+    }
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).map(|t| t.is_ident("mut")).unwrap_or(false) {
+            j += 1;
+        }
+        if !toks.get(j).map(|t| t.is_ident(name)).unwrap_or(false) {
+            continue;
+        }
+        // Scan the statement to its `;` for float evidence.
+        let mut k = j + 1;
+        let mut depth = 0i64;
+        while let Some(t) = toks.get(k) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            if span_has_float(toks, k, k) {
+                return true;
+            }
+            k += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new(rel, src);
+        let mut f = Vec::new();
+        LossyCast.check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn flags_float_to_int_with_method_evidence() {
+        let src = "fn f(w: f64, c: f64) -> usize { (w / c).ceil().max(1.0) as usize }\n";
+        let f = run("crates/radio/src/spatial.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("truncates"));
+    }
+
+    #[test]
+    fn flags_float_local_to_int() {
+        let src = "fn f(x: f64) -> usize {\n    let raw = x.floor();\n    raw as usize\n}\n";
+        let f = run("crates/radio/src/spatial.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn flags_int_to_float() {
+        let src = "fn density(e: usize, n: usize) -> f64 { e as f64 / (n * (n - 1)) as f64 }\n";
+        let f = run("crates/graph/src/digraph.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.message.contains("2^53")));
+    }
+
+    #[test]
+    fn int_to_int_and_float_to_float_are_fine() {
+        let src = "fn f(a: u32, b: f32) -> (usize, f64) { (a as usize, b as f64) }\n";
+        assert!(
+            run("crates/graph/src/ids.rs", src).is_empty(),
+            "u32->usize widens; f32 local->f64 widens"
+        );
+    }
+
+    #[test]
+    fn out_of_scope_files_are_clean() {
+        let src = "fn f(n: usize) -> f64 { n as f64 }\n";
+        assert!(run("crates/engine/src/stats.rs", src).is_empty());
+        assert!(run("crates/radio/src/network.rs", src).is_empty());
+    }
+}

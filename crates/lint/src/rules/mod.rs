@@ -1,0 +1,111 @@
+//! The rule registry and shared matching helpers.
+//!
+//! Each rule scans a [`FileContext`]'s token stream and pushes
+//! [`Finding`]s. Rules do not apply `agentlint::allow` suppression or
+//! baseline filtering themselves — the engine does that centrally — but
+//! they are responsible for skipping `#[cfg(test)]` spans, since only
+//! they know which token produced a finding.
+
+use crate::context::FileContext;
+use crate::lexer::{Tok, TokKind};
+
+mod alloc_in_hot_path;
+mod ambient_entropy;
+mod lossy_cast;
+mod panic_in_kernel;
+mod unordered_iteration;
+
+/// One lint finding, printed as `file:line rule message`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule name (kebab-case).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{} {} {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A lint rule.
+pub trait Rule {
+    /// Kebab-case rule name used in output, allow directives, and the
+    /// baseline.
+    fn name(&self) -> &'static str;
+    /// One-line description for `repro lint --rules`.
+    fn description(&self) -> &'static str;
+    /// Scans `ctx` and appends findings.
+    fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>);
+}
+
+/// All registered rules, in output order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(unordered_iteration::UnorderedIteration),
+        Box::new(ambient_entropy::AmbientEntropy),
+        Box::new(panic_in_kernel::PanicInKernel),
+        Box::new(alloc_in_hot_path::AllocInHotPath),
+        Box::new(lossy_cast::LossyCast),
+    ]
+}
+
+/// True if the file lives under any of the given workspace-relative
+/// directory prefixes.
+pub(crate) fn path_under(ctx: &FileContext, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| ctx.rel_path.starts_with(p))
+}
+
+/// True if token `i` is the identifier `s`.
+pub(crate) fn ident_at(tokens: &[Tok], i: usize, s: &str) -> bool {
+    tokens.get(i).map(|t| t.is_ident(s)).unwrap_or(false)
+}
+
+/// True if token `i` is the punctuation char `c`.
+pub(crate) fn punct_at(tokens: &[Tok], i: usize, c: char) -> bool {
+    tokens.get(i).map(|t| t.is_punct(c)).unwrap_or(false)
+}
+
+/// True if tokens `i, i+1` spell `::`.
+pub(crate) fn path_sep_at(tokens: &[Tok], i: usize) -> bool {
+    punct_at(tokens, i, ':') && punct_at(tokens, i + 1, ':')
+}
+
+/// True if token `i` is a method call `.name(`: `.` at `i-1`, ident at
+/// `i`, `(` or `::` (turbofish) at `i+1`.
+pub(crate) fn method_call_at(tokens: &[Tok], i: usize, name: &str) -> bool {
+    i > 0
+        && punct_at(tokens, i - 1, '.')
+        && ident_at(tokens, i, name)
+        && (punct_at(tokens, i + 1, '(') || path_sep_at(tokens, i + 1))
+}
+
+/// Walks back from a closing `)`/`]` at `close` to its matching opener.
+/// Returns the opener's index (or 0 on imbalance).
+pub(crate) fn open_of(tokens: &[Tok], close: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = close;
+    loop {
+        if let TokKind::Punct = tokens[i].kind {
+            match tokens[i].text.as_str() {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}

@@ -1,0 +1,151 @@
+//! `no-panic-in-kernel`: the simulation kernels must not abort mid-run.
+//!
+//! Scope (module-level approximation of "reachable from
+//! `WirelessNetwork::advance` and the two sim step loops"): the radio
+//! network/spatial modules and the core mapping/routing/policy/comm
+//! modules. Flags `.unwrap()`, `.expect(...)`, `panic!`/`unreachable!`/
+//! `todo!`/`unimplemented!`, and expression indexing (`x[i]`,
+//! `&slice[a..b]`), all of which can panic at runtime. `assert!` /
+//! `debug_assert!` invariant checks are deliberately not flagged —
+//! failing loudly on a broken invariant is the point; dying on a
+//! missing map key is not. Documented-panic accessors keep an
+//! `agentlint::allow` with their `# Panics` section.
+
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::rules::{punct_at, Finding, Rule};
+
+pub struct PanicInKernel;
+
+/// The kernel modules: everything on the per-step path of
+/// `WirelessNetwork::advance`, `MappingSim::step`, `RoutingSim::step`.
+const KERNEL_FILES: &[&str] = &[
+    "crates/radio/src/network.rs",
+    "crates/radio/src/spatial.rs",
+    "crates/core/src/comm.rs",
+    "crates/core/src/policy.rs",
+    "crates/core/src/mapping.rs",
+    "crates/core/src/routing/sim.rs",
+    "crates/core/src/routing/index.rs",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for PanicInKernel {
+    fn name(&self) -> &'static str {
+        "no-panic-in-kernel"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/indexing in modules on the advance/step hot paths"
+    }
+
+    fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>) {
+        if !KERNEL_FILES.contains(&ctx.rel_path.as_str()) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            if ctx.in_test(i) || toks[i].kind != TokKind::Punct && toks[i].kind != TokKind::Ident {
+                continue;
+            }
+            let mut push = |line: u32, message: String| {
+                findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line,
+                    rule: "no-panic-in-kernel",
+                    message,
+                });
+            };
+            if toks[i].kind == TokKind::Ident {
+                let name = toks[i].text.as_str();
+                if (name == "unwrap" || name == "expect")
+                    && i > 0
+                    && punct_at(toks, i - 1, '.')
+                    && punct_at(toks, i + 1, '(')
+                {
+                    push(
+                        toks[i].line,
+                        format!("`.{name}()` can panic on the step path; use get/let-else/`?` and a deterministic fallback"),
+                    );
+                } else if PANIC_MACROS.contains(&name) && punct_at(toks, i + 1, '!') {
+                    push(
+                        toks[i].line,
+                        format!("`{name}!` aborts the simulation mid-step; return an error or a deterministic fallback"),
+                    );
+                }
+            } else if punct_at(toks, i, '[') && i > 0 {
+                let prev = &toks[i - 1];
+                let is_index_expr = prev.kind == TokKind::Ident
+                    && !is_keyword_before_bracket(&prev.text)
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if is_index_expr {
+                    push(
+                        toks[i].line,
+                        "slice/array indexing can panic out of bounds; use `.get()`/`.get_mut()` or iterate"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [..]`, `in [..]`, `else [..]`-ish positions).
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(s, "return" | "in" | "break" | "else" | "match" | "mut" | "dyn" | "as")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new(rel, src);
+        let mut f = Vec::new();
+        PanicInKernel.check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic_indexing() {
+        let src = "fn f(v: &[u32], o: Option<u32>) -> u32 {\n\
+                   \x20   let a = o.unwrap();\n\
+                   \x20   let b = o.expect(\"msg\");\n\
+                   \x20   if a > b { panic!(\"boom\"); }\n\
+                   \x20   v[0]\n\
+                   }\n";
+        let f = run("crates/core/src/policy.rs", src);
+        let rules: Vec<u32> = f.iter().map(|x| x.line).collect();
+        assert_eq!(rules, [2, 3, 4, 5], "{f:?}");
+    }
+
+    #[test]
+    fn asserts_attributes_and_array_types_are_fine() {
+        let src = "#[derive(Clone)]\n\
+                   struct S { xs: [u64; 4] }\n\
+                   fn f(v: &[u32]) -> u32 {\n\
+                   \x20   assert!(!v.is_empty());\n\
+                   \x20   debug_assert_eq!(v.len(), 4);\n\
+                   \x20   let w = vec![0u32; 4];\n\
+                   \x20   v.first().copied().unwrap_or(0) + w.len() as u32\n\
+                   }\n";
+        assert!(run("crates/core/src/policy.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_kernel_files_are_out_of_scope() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        assert!(run("crates/engine/src/exec.rs", src).is_empty());
+        assert!(!run("crates/core/src/mapping.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(v: &[u32]) -> u32 { v[0] }\n}\n";
+        assert!(run("crates/core/src/comm.rs", src).is_empty());
+    }
+}

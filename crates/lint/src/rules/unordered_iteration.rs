@@ -1,0 +1,319 @@
+//! `no-unordered-iteration`: iteration over `HashMap`/`HashSet` leaks
+//! hasher state into simulation results.
+//!
+//! Scope: `core`, `radio`, `graph`, `baselines` sources (the crates
+//! whose outputs feed experiment reports). Keyed point lookups
+//! (`get`/`contains`/`insert`) are order-insensitive and stay legal;
+//! what the rule flags is *iteration* — `for` loops over hash-typed
+//! values and order-exposing adapter calls (`iter`, `keys`, `values`,
+//! `values_mut`, `drain`, `retain`, `into_iter`, ...). Deterministic
+//! alternatives: `BTreeMap`/`BTreeSet`, sorted key snapshots, or dense
+//! index-keyed `Vec`s as used throughout `core`.
+
+use crate::context::FileContext;
+use crate::lexer::TokKind;
+use crate::rules::{ident_at, method_call_at, path_sep_at, path_under, punct_at, Finding, Rule};
+
+pub struct UnorderedIteration;
+
+const SCOPE: &[&str] =
+    &["crates/core/src/", "crates/radio/src/", "crates/graph/src/", "crates/baselines/src/"];
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Iterator adapters whose order reflects hasher state.
+const ORDERED_SINKS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+impl Rule for UnorderedIteration {
+    fn name(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "iteration over HashMap/HashSet in core/radio/graph/baselines (order leaks into results)"
+    }
+
+    fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>) {
+        if !path_under(ctx, SCOPE) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        let tainted = collect_tainted(ctx);
+        let is_hashy = |name: &str| HASH_TYPES.contains(&name) || tainted.iter().any(|t| t == name);
+
+        for i in 0..toks.len() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            // Direct adapter call on a hash-typed receiver:
+            // `map.values_mut()`, `set.iter()`, `table.retain(...)`.
+            if ORDERED_SINKS.iter().any(|s| method_call_at(toks, i, s)) {
+                if let Some(recv) = receiver_ident(ctx, i - 1) {
+                    if is_hashy(&recv) {
+                        findings.push(Finding {
+                            file: ctx.rel_path.clone(),
+                            line: toks[i].line,
+                            rule: self.name(),
+                            message: format!(
+                                "`.{}()` on HashMap/HashSet-typed `{}` exposes hasher order; use BTreeMap/BTreeSet or sorted keys",
+                                toks[i].text, recv
+                            ),
+                        });
+                    }
+                }
+            }
+            // `for pat in <expr> {` where the expression's final primary
+            // identifier is hash-typed (covers `for x in &map`).
+            if ident_at(toks, i, "for") {
+                if let Some((expr_last, line)) = for_loop_subject(ctx, i) {
+                    if is_hashy(&expr_last) {
+                        findings.push(Finding {
+                            file: ctx.rel_path.clone(),
+                            line,
+                            rule: self.name(),
+                            message: format!(
+                                "`for` over HashMap/HashSet-typed `{expr_last}` iterates in hasher order; use BTreeMap/BTreeSet or sorted keys"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names tainted as hash-typed in this file: type-alias names whose
+/// definition mentions a hash type, plus `let`/field/param bindings whose
+/// type annotation or initializer mentions a hash type or tainted alias.
+fn collect_tainted(ctx: &FileContext) -> Vec<String> {
+    let toks = &ctx.tokens;
+    let mut tainted: Vec<String> = Vec::new();
+
+    // Pass 1: `type X = ...HashMap...;`
+    for i in 0..toks.len() {
+        if ident_at(toks, i, "type") {
+            if let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                let mut j = i + 2;
+                let mut hashy = false;
+                while j < toks.len() && !punct_at(toks, j, ';') {
+                    if HASH_TYPES.iter().any(|h| ident_at(toks, j, h)) {
+                        hashy = true;
+                    }
+                    j += 1;
+                }
+                if hashy {
+                    tainted.push(name.text.clone());
+                }
+            }
+        }
+    }
+
+    // Pass 2: bindings. For every hash-type (or tainted-alias) mention,
+    // look back for the `name :` or `let [mut] name =` that binds it.
+    let mentions_hash = |i: usize| {
+        HASH_TYPES.iter().any(|h| ident_at(toks, i, h))
+            || tainted.iter().any(|t| ident_at(toks, i, t))
+    };
+    let mut extra: Vec<String> = Vec::new();
+    for i in 0..toks.len() {
+        if !mentions_hash(i) {
+            continue;
+        }
+        // Walk back over type/initializer tokens to the binder.
+        let mut j = i;
+        let mut guard = 0usize;
+        while j > 0 && guard < 64 {
+            guard += 1;
+            if punct_at(toks, j, ':')
+                && !path_sep_at(toks, j.saturating_sub(1))
+                && !path_sep_at(toks, j)
+            {
+                // `name : Type` — field, param, or annotated let.
+                if let Some(name) = toks.get(j - 1).filter(|t| t.kind == TokKind::Ident) {
+                    extra.push(name.text.clone());
+                }
+                break;
+            }
+            if punct_at(toks, j, '=') {
+                // `let [mut] name = init`.
+                let mut k = j - 1;
+                if let Some(name) = toks.get(k).filter(|t| t.kind == TokKind::Ident) {
+                    if name.text == "mut" {
+                        k -= 1;
+                    }
+                }
+                if let Some(name) = toks.get(k).filter(|t| t.kind == TokKind::Ident) {
+                    if name.text != "mut" && name.text != "let" {
+                        extra.push(name.text.clone());
+                    }
+                }
+                break;
+            }
+            if punct_at(toks, j, ';') || punct_at(toks, j, '{') || punct_at(toks, j, '}') {
+                break;
+            }
+            j -= 1;
+        }
+    }
+    tainted.extend(extra);
+    tainted.sort();
+    tainted.dedup();
+    tainted
+}
+
+/// For a `.` at index `dot`, returns the identifier directly before it
+/// (the receiver's final path segment), e.g. `pheromone` for
+/// `self.pheromone.values_mut()`.
+fn receiver_ident(ctx: &FileContext, dot: usize) -> Option<String> {
+    let toks = &ctx.tokens;
+    if dot == 0 {
+        return None;
+    }
+    let prev = toks.get(dot - 1)?;
+    match prev.kind {
+        TokKind::Ident => Some(prev.text.clone()),
+        TokKind::Punct if prev.text == ")" || prev.text == "]" => {
+            // `expr[i].iter()` / `f(x).keys()`: use the identifier before
+            // the bracketed group, e.g. `pheromone` in
+            // `self.pheromone[v].values()`.
+            let open = crate::rules::open_of(toks, dot - 1);
+            toks.get(open.checked_sub(1)?)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+        }
+        _ => None,
+    }
+}
+
+/// For a `for` keyword at `i`, finds the loop expression between `in`
+/// and the body `{`, and returns (final ident of the expression, line).
+fn for_loop_subject(ctx: &FileContext, i: usize) -> Option<(String, u32)> {
+    let toks = &ctx.tokens;
+    // Find `in` at pattern depth 0 (patterns may contain tuples).
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    loop {
+        let t = toks.get(j)?;
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" | ";" => return None,
+                _ => {}
+            }
+        }
+        if depth == 0 && t.is_ident("in") {
+            break;
+        }
+        j += 1;
+        if j > i + 32 {
+            return None;
+        }
+    }
+    // Scan the expression to the body `{`; remember the last identifier
+    // that is not a method name in a trailing call.
+    let mut last: Option<(String, u32)> = None;
+    let mut k = j + 1;
+    let mut depth = 0i64;
+    while let Some(t) = toks.get(k) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        if t.kind == TokKind::Ident && depth == 0 {
+            // Skip method names (handled by the adapter check) so
+            // `map.keys()` attributes to `map`, not `keys`.
+            let is_method = k > 0 && punct_at(toks, k - 1, '.') && punct_at(toks, k + 1, '(');
+            if !is_method {
+                last = Some((t.text.clone(), t.line));
+            }
+        }
+        k += 1;
+        if k > j + 64 {
+            break;
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new(rel, src);
+        let mut f = Vec::new();
+        UnorderedIteration.check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn flags_for_loop_and_adapters_on_hash_types() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) {\n\
+                   \x20   for (k, v) in m { let _ = (k, v); }\n\
+                   \x20   for k in m.keys() { let _ = k; }\n\
+                   }\n";
+        let f = run("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}"); // for, for, .keys()
+        assert!(f.iter().all(|x| x.rule == "no-unordered-iteration"));
+    }
+
+    #[test]
+    fn alias_taint_propagates() {
+        let src = "use std::collections::HashMap;\n\
+                   type Pheromone = HashMap<(u32, u32), f64>;\n\
+                   struct S { pheromone: Vec<Pheromone> }\n\
+                   impl S {\n\
+                   \x20   fn evaporate(&mut self) {\n\
+                   \x20       for table in &mut self.pheromone {\n\
+                   \x20           table.retain(|_, t| *t > 0.0);\n\
+                   \x20       }\n\
+                   \x20   }\n\
+                   }\n";
+        let f = run("crates/baselines/src/aco.rs", src);
+        // `for` over the tainted field and `.retain` on the tainted
+        // element binding are both surfaced.
+        assert!(f.iter().any(|x| x.message.contains("pheromone")), "{f:?}");
+    }
+
+    #[test]
+    fn keyed_lookups_and_out_of_scope_files_are_clean() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &mut HashMap<u32, u32>) -> Option<u32> {\n\
+                   \x20   m.insert(1, 2);\n\
+                   \x20   m.get(&1).copied()\n\
+                   }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+        let iterating = "use std::collections::HashMap;\nfn f(m: &HashMap<u32,u32>) { for k in m.keys() { let _ = k; } }\n";
+        assert!(!run("crates/core/src/x.rs", iterating).is_empty());
+        assert!(run("crates/engine/src/x.rs", iterating).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   use std::collections::HashSet;\n\
+                   \x20   fn t() { let s: HashSet<u32> = HashSet::new(); for x in s.iter() { let _ = x; } }\n\
+                   }\n";
+        assert!(run("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: allocation inside a marked hot path. Scratch growth
+// (push/extend/clear) is legal; construction and copying are not.
+#[agentnet::hot_path]
+pub fn hot(xs: &[u32], scratch: &mut Vec<u32>) -> Vec<u32> {
+    scratch.clear();
+    scratch.extend(xs.iter().copied());
+    xs.to_vec()
+}
+
+pub fn cold(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}

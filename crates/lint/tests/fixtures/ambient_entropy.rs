@@ -1,0 +1,9 @@
+// Fixture: ambient randomness and wall-clock reads.
+pub fn unseeded() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}

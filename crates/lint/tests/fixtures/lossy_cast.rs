@@ -1,0 +1,8 @@
+// Fixture: bare float<->int `as` casts.
+pub fn shrink(x: f64) -> usize {
+    x as usize
+}
+
+pub fn widen(n: usize) -> f64 {
+    n as f64
+}

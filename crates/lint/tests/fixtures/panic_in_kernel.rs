@@ -1,0 +1,12 @@
+// Fixture: panic paths inside a simulation kernel module.
+pub fn first(v: &[u32]) -> u32 {
+    v[0]
+}
+
+pub fn must(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn claimed(o: Option<u32>) -> u32 {
+    o.expect("always present")
+}

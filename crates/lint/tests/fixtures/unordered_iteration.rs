@@ -1,0 +1,14 @@
+// Fixture: order-sensitive iteration over hash containers.
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_values(m: &HashMap<u32, u32>) -> u32 {
+    let mut sum = 0;
+    for (_, v) in m.iter() {
+        sum += v;
+    }
+    sum
+}
+
+pub fn first_key(s: &HashSet<u32>) -> Option<u32> {
+    s.iter().next().copied()
+}

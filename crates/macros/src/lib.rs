@@ -1,0 +1,26 @@
+//! Marker attributes consumed by `agentlint` (`crates/lint`).
+//!
+//! The attributes expand to the unmodified item — they exist only so the
+//! static-analysis pass can find the functions they mark by token
+//! inspection. Keeping them as real proc-macro attributes (rather than
+//! `#[cfg_attr]` tricks or doc conventions) means a typo'd marker is a
+//! compile error instead of a silently unlinted kernel.
+//!
+//! Crates that use the markers depend on this package under the rename
+//! `agentnet = { package = "agentnet-macros", ... }` so call sites read
+//! as the workspace-wide `#[agentnet::hot_path]`.
+
+use proc_macro::TokenStream;
+
+/// Marks a function as a steady-state hot path.
+///
+/// Functions carrying `#[agentnet::hot_path]` are the kernels the
+/// counting-allocator integration test exercises: they must not allocate
+/// once warmed. The `no-alloc-in-hot-path` lint rule flags allocating
+/// calls (`Vec::new`, `vec!`, `Box::new`, `collect`, `to_vec`, `clone`,
+/// ...) inside any marked function. The attribute itself is a no-op
+/// passthrough.
+#[proc_macro_attribute]
+pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -39,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panic-safety: simulation kernels must not abort mid-experiment.
+// `agentlint` (`repro lint`) enforces the same invariant textually;
+// the clippy lints catch what its module-scope approximation misses.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod battery;
 pub mod builder;

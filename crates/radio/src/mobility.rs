@@ -200,8 +200,9 @@ impl Motion {
                     );
                     arrived
                 } else {
-                    let dir = to_target.normalized().expect("dist > speed >= 0 implies nonzero");
-                    position + dir * *speed
+                    // dist > speed >= 0 implies a nonzero vector; stand
+                    // still in the degenerate case instead of panicking.
+                    to_target.normalized().map_or(position, |dir| position + dir * *speed)
                 }
             }
         }

@@ -1,5 +1,7 @@
 //! The dynamic wireless network: nodes plus the link digraph they induce.
 
+#![cfg_attr(not(test), warn(clippy::indexing_slicing))]
+
 use crate::node::WirelessNode;
 use crate::spatial::SpatialGrid;
 use agentnet_engine::Step;
@@ -95,7 +97,11 @@ impl WirelessNetwork {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
+    #[allow(clippy::indexing_slicing)] // the documented panic above
     pub fn node(&self, id: NodeId) -> &WirelessNode {
+        // Documented panic on an out-of-range id; inspection accessor,
+        // not on the advance path.
+        // agentlint::allow(no-panic-in-kernel)
         &self.nodes[id.index()]
     }
 
@@ -106,7 +112,11 @@ impl WirelessNetwork {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
+    #[allow(clippy::indexing_slicing)] // the documented panic above
     pub fn node_mut(&mut self, id: NodeId) -> &mut WirelessNode {
+        // Documented panic on an out-of-range id; fault-injection
+        // accessor, not on the advance path.
+        // agentlint::allow(no-panic-in-kernel)
         &mut self.nodes[id.index()]
     }
 
@@ -143,6 +153,7 @@ impl WirelessNetwork {
     /// table is kept as-is without touching the heap; otherwise the graph
     /// is rebuilt into a reused double buffer and swapped in only when
     /// the edge set actually differs.
+    #[agentnet::hot_path]
     pub fn advance(&mut self) {
         for node in &mut self.nodes {
             node.battery.step();
@@ -159,6 +170,7 @@ impl WirelessNetwork {
     /// is correct here: stationary motion returns the position unchanged
     /// and mains batteries never decay, so quiescent state is bitwise
     /// stable.
+    #[agentnet::hot_path]
     fn state_drifted(&self) -> bool {
         self.nodes.len() != self.snap_positions.len()
             || self
@@ -171,6 +183,7 @@ impl WirelessNetwork {
     /// Recomputes the link graph from current node state into the scratch
     /// buffer (reusing grid buckets and adjacency storage), refreshes the
     /// drift snapshots, and swaps the result in if the topology changed.
+    #[agentnet::hot_path]
     fn rebuild_links(&mut self) {
         self.snap_positions.clear();
         self.snap_positions.extend(self.nodes.iter().map(|nd| nd.position));
@@ -181,11 +194,12 @@ impl WirelessNetwork {
         // 3x3 cell neighbourhood of a query still covers the whole disc.
         self.grid.rebuild(self.arena, max_range, &self.snap_positions);
         self.scratch_links.clear_edges();
-        for node in &self.nodes {
-            let r = self.snap_ranges[node.id.index()];
+        for (node, &r) in self.nodes.iter().zip(&self.snap_ranges) {
             for j in self.grid.candidates_within(node.position, r) {
                 let to = NodeId::new(j);
-                if to != node.id && node.covers(self.snap_positions[j]) {
+                let covered =
+                    to != node.id && self.snap_positions.get(j).is_some_and(|&p| node.covers(p));
+                if covered {
                     self.scratch_links.add_edge(node.id, to);
                 }
             }

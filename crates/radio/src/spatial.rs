@@ -6,6 +6,8 @@
 //! turning the per-step link rebuild from `O(n²)` into roughly
 //! `O(n · k)` for `k` nodes per neighbourhood.
 
+#![cfg_attr(not(test), warn(clippy::indexing_slicing))]
+
 use agentnet_graph::geometry::{Point2, Rect};
 
 /// A uniform grid over an arena, bucketing point indices by cell.
@@ -52,10 +54,11 @@ impl SpatialGrid {
     /// # Panics
     ///
     /// Panics if `cell_size` is not finite and positive.
+    #[agentnet::hot_path]
     pub fn rebuild(&mut self, arena: Rect, cell_size: f64, points: &[Point2]) {
         assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive and finite");
-        let cols = (arena.width / cell_size).ceil().max(1.0) as usize;
-        let rows = (arena.height / cell_size).ceil().max(1.0) as usize;
+        let cols = Self::cell_span(arena.width, cell_size);
+        let rows = Self::cell_span(arena.height, cell_size);
         self.arena = arena;
         self.cell = cell_size;
         self.cols = cols;
@@ -63,11 +66,28 @@ impl SpatialGrid {
         for bucket in &mut self.buckets {
             bucket.clear();
         }
+        // Fills only newly grown cells; in steady state the grid shape
+        // is stable and none grow.
+        // agentlint::allow(no-alloc-in-hot-path)
         self.buckets.resize_with(cols * rows, Vec::new);
         for (i, &p) in points.iter().enumerate() {
             let b = self.bucket_of(p);
-            self.buckets[b].push(i);
+            if let Some(bucket) = self.buckets.get_mut(b) {
+                bucket.push(i);
+            }
         }
+    }
+
+    /// Number of cells covering `extent` at `cell` width, at least 1 —
+    /// the audited float→usize crossing for grid dimensioning. `rebuild`
+    /// validates `cell` finite and positive; the result is clamped below
+    /// by `max(1.0)` and the cast saturates on absurd extents instead of
+    /// wrapping.
+    #[inline]
+    fn cell_span(extent: f64, cell: f64) -> usize {
+        let cells = (extent / cell).ceil().max(1.0);
+        // agentlint::allow(no-lossy-cast) — domain clamped to >= 1 above.
+        cells as usize
     }
 
     /// Maps a coordinate to a cell index, clamped into `0..limit`.
@@ -84,7 +104,9 @@ impl SpatialGrid {
         if raw <= 0.0 || raw.is_nan() {
             return 0;
         }
-        (raw as usize).min(limit - 1)
+        // agentlint::allow(no-lossy-cast) — raw is finite and positive
+        // here, and the min() clamps the far edge into range.
+        (raw as usize).min(limit.saturating_sub(1))
     }
 
     fn bucket_of(&self, p: Point2) -> usize {
@@ -98,6 +120,7 @@ impl SpatialGrid {
     /// (out-of-arena points included, since they are indexed into the
     /// clamped border cells the disc's clamped cell range also covers);
     /// callers still apply the exact distance test.
+    #[agentnet::hot_path]
     pub fn candidates_within(
         &self,
         center: Point2,
@@ -108,7 +131,11 @@ impl SpatialGrid {
         let min_cy = Self::cell_index(center.y - radius, self.cell, self.rows);
         let max_cy = Self::cell_index(center.y + radius, self.cell, self.rows);
         (min_cy..=max_cy).flat_map(move |cy| {
-            (min_cx..=max_cx).flat_map(move |cx| self.buckets[cy * self.cols + cx].iter().copied())
+            (min_cx..=max_cx).flat_map(move |cx| {
+                let bucket =
+                    self.buckets.get(cy * self.cols + cx).map(Vec::as_slice).unwrap_or(&[]);
+                bucket.iter().copied()
+            })
         })
     }
 

@@ -8,6 +8,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The `json!` macro's array arm necessarily builds by pushing; the lint
+// would fire at every in-crate expansion site.
+#![allow(clippy::vec_init_then_push)]
 
 pub use serde::value::{Map, Number, Value};
 pub use serde::Error;
@@ -398,7 +401,7 @@ macro_rules! json {
     (null) => { $crate::Value::Null };
     ([ $($body:tt)* ]) => {{
         #[allow(unused_mut)]
-        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec![];
         $crate::json!(@arr vec ($($body)*));
         $crate::Value::Array(vec)
     }};
