@@ -141,17 +141,40 @@ impl TraceLog {
         self.total
     }
 
-    /// Serializes the retained events as JSON lines (one event per
-    /// line), ready for external tooling.
-    pub fn to_jsonl(&self) -> String {
-        // Serialization of these plain enums cannot fail; an event that
-        // somehow did is dropped rather than poisoning the export.
-        self.ring
-            .iter()
-            .filter_map(|e| serde_json::to_string(e).ok())
-            .collect::<Vec<_>>()
-            .join("\n")
+    /// Serializes the retained events as JSON lines — one event per
+    /// line, every line newline-terminated, so exports concatenate and
+    /// stream cleanly. An event that fails to serialize is skipped
+    /// rather than poisoning the export, but the skip is *counted*:
+    /// callers must surface [`JsonlExport::dropped`] (the `repro`
+    /// binary feeds it into the metrics registry) instead of silently
+    /// losing data.
+    pub fn to_jsonl(&self) -> JsonlExport {
+        let mut text = String::new();
+        let mut dropped = 0u64;
+        for event in &self.ring {
+            match serde_json::to_string(event) {
+                Ok(line) => {
+                    text.push_str(&line);
+                    text.push('\n');
+                }
+                Err(_) => dropped += 1,
+            }
+        }
+        JsonlExport { text, dropped }
     }
+}
+
+/// Result of [`TraceLog::to_jsonl`]: the newline-terminated JSON-lines
+/// text plus how many retained events failed to serialize and were
+/// left out of it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JsonlExport {
+    /// One JSON object per line; empty, or ending in `\n`.
+    pub text: String,
+    /// Retained events that could not be serialized (absent from
+    /// `text`). Zero in practice — these plain enums serialize
+    /// infallibly — but an export must say so, not assume so.
+    pub dropped: u64,
 }
 
 #[cfg(test)]
@@ -198,12 +221,22 @@ mod tests {
             hops: 3,
             at: Step::new(4),
         });
-        let jsonl = log.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 2);
-        assert!(jsonl.lines().nth(1).unwrap().contains("\"table_write\""));
+        let export = log.to_jsonl();
+        assert_eq!(export.dropped, 0);
+        assert_eq!(export.text.lines().count(), 2);
+        assert!(export.text.lines().nth(1).unwrap().contains("\"table_write\""));
+        // Every line is newline-terminated (tailing/concatenation-safe).
+        assert!(export.text.ends_with('\n'));
         // Round-trips through serde.
-        let back: TraceEvent = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        let back: TraceEvent = serde_json::from_str(export.text.lines().next().unwrap()).unwrap();
         assert_eq!(&back, log.events().next().unwrap());
+    }
+
+    #[test]
+    fn empty_log_exports_empty_text() {
+        let export = TraceLog::new(4).to_jsonl();
+        assert_eq!(export, JsonlExport::default());
+        assert!(export.text.is_empty());
     }
 
     #[test]

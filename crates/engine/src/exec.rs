@@ -43,6 +43,9 @@ pub enum RunEvent {
         cached: bool,
         /// Wall-clock cost of producing the value, in microseconds.
         micros: u64,
+        /// Of `micros`, how long the cell waited for a worker permit
+        /// before computing (queue pressure; 0 for cache hits).
+        wait_micros: u64,
     },
 }
 
@@ -136,7 +139,15 @@ impl Executor {
         self.jobs
     }
 
-    fn emit(&self, experiment: &str, replicate: usize, seed: u64, cached: bool, micros: u64) {
+    fn emit(
+        &self,
+        experiment: &str,
+        replicate: usize,
+        seed: u64,
+        cached: bool,
+        micros: u64,
+        wait_micros: u64,
+    ) {
         if let Some(sink) = &self.sink {
             let _ = sink.send(RunEvent::CellFinished {
                 experiment: experiment.to_string(),
@@ -144,6 +155,7 @@ impl Executor {
                 seed,
                 cached,
                 micros,
+                wait_micros,
             });
         }
     }
@@ -181,7 +193,7 @@ impl Executor {
             };
             match hit {
                 Some(value) => {
-                    self.emit(experiment, i, key.seed, true, 0);
+                    self.emit(experiment, i, key.seed, true, 0, 0);
                     *slot = Some(value);
                 }
                 None => misses.push(i),
@@ -197,9 +209,10 @@ impl Executor {
             // never enters results.
             // agentlint::allow(no-ambient-entropy)
             let started = Instant::now();
-            let value = {
+            let (value, wait_micros) = {
                 let _permit = self.permits.acquire();
-                job(i, seeds.child(i as u64))
+                let wait_micros = started.elapsed().as_micros() as u64;
+                (job(i, seeds.child(i as u64)), wait_micros)
             };
             let micros = started.elapsed().as_micros() as u64;
             if let Some(cache) = &self.cache {
@@ -207,7 +220,7 @@ impl Executor {
                     eprintln!("warning: cache write failed for {experiment}: {err}");
                 }
             }
-            self.emit(experiment, i, key.seed, false, micros);
+            self.emit(experiment, i, key.seed, false, micros, wait_micros);
             value
         };
 
@@ -404,6 +417,20 @@ mod tests {
             }
         });
         assert_eq!(peak.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn events_carry_wait_within_total_micros() {
+        let (tx, rx) = channel::unbounded();
+        let exec = Executor::new(2).with_event_sink(tx);
+        exec.run_cells("w", 0, 6, SeedSequence::new(3).child(0), sample_job);
+        drop(exec);
+        let events: Vec<RunEvent> = rx.iter().collect();
+        assert_eq!(events.len(), 6);
+        for RunEvent::CellFinished { cached, micros, wait_micros, .. } in &events {
+            assert!(!cached, "no cache attached");
+            assert!(wait_micros <= micros, "permit wait is part of the cell's wall time");
+        }
     }
 
     #[test]

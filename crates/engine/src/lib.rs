@@ -24,6 +24,9 @@
 //! * [`exec`] — the cell executor: flattens (experiment × parameter ×
 //!   replicate) work across a shared worker pool, resumes from the cache,
 //!   and emits structured run events.
+//! * [`obs`] — structured observability: counters, gauges, fixed-bucket
+//!   histograms and span timers behind a zero-overhead-when-disabled
+//!   [`Metrics`] handle, snapshot-exportable as JSON or Prometheus text.
 //! * [`perf`] — the micro-benchmark harness behind `repro bench`:
 //!   warmup/measure kernel timing, `BENCH_<date>.json` reports, and the
 //!   calibration-normalized regression gate.
@@ -55,6 +58,7 @@ pub mod cache;
 pub mod events;
 pub mod exec;
 pub mod invariant;
+pub mod obs;
 pub mod perf;
 pub mod plot;
 pub mod replicate;
@@ -68,6 +72,7 @@ pub mod timeseries;
 pub use cache::ResultCache;
 pub use exec::{Executor, RunEvent};
 pub use invariant::{run_until_checked, Invariant, InvariantSet, InvariantViolation};
+pub use obs::{Metrics, MetricsSnapshot};
 pub use rng::SeedSequence;
 pub use sim::{run_until, RunOutcome, Step, TimeStepSim};
 pub use stats::Summary;

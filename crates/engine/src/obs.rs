@@ -1,0 +1,373 @@
+//! Structured observability: counters, gauges, fixed-bucket histograms
+//! and span timers behind a single cloneable [`Metrics`] handle.
+//!
+//! The paper's simulator is a "data-collection system"; this module is
+//! its production-shaped counterpart. Design constraints:
+//!
+//! * **Zero overhead when disabled.** [`Metrics::disabled`] carries no
+//!   registry; every recording call is an early-return on a `None` and
+//!   span timers never read the clock. Simulation results must be
+//!   byte-identical with metrics on or off — observability is a side
+//!   channel, never an input.
+//! * **Deterministic.** The registry is `BTreeMap`-ordered, so
+//!   snapshots, JSON manifests and Prometheus expositions list series
+//!   in a stable order. No ambient entropy enters any measured value
+//!   except wall-clock *durations*, which never feed back into reports.
+//! * **Fixed buckets.** Histograms take their bucket bounds at first
+//!   observation and never resize, so merged/serialized output is
+//!   comparable across runs.
+//!
+//! This file is one of the sanctioned timing modules under agentlint's
+//! `no-ambient-entropy` rule: [`SpanTimer`] owns the only `Instant`
+//! reads, and only while a registry is attached.
+//!
+//! # Example
+//!
+//! ```
+//! use agentnet_engine::obs::{Metrics, DURATION_MICROS_BUCKETS};
+//!
+//! let metrics = Metrics::enabled();
+//! metrics.counter_add("cells_total", 3);
+//! metrics.observe("cell_micros", 42.0, DURATION_MICROS_BUCKETS);
+//! {
+//!     let _span = metrics.span("phase_micros"); // records on drop
+//! }
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counters["cells_total"], 3);
+//! assert!(snap.to_prometheus().contains("agentnet_cells_total 3"));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default histogram buckets for durations measured in microseconds:
+/// decades from 10µs to 10s. Spans land here.
+pub const DURATION_MICROS_BUCKETS: &[f64] =
+    &[10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0];
+
+/// A fixed-bucket histogram: counts per upper bound (a final implicit
+/// `+Inf` bucket catches the rest), plus the sum and count of all
+/// observations — exactly the shape Prometheus expects.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bounds of the finite buckets, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts; one longer than `bounds` (the last
+    /// entry is the `+Inf` bucket).
+    counts: Vec<u64>,
+    /// Sum of all observed values.
+    sum: f64,
+    /// Number of observations.
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the given finite bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be increasing");
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        if let Some(slot) = self.counts.get_mut(idx) {
+            *slot += 1;
+        }
+        self.sum += value;
+        self.count += 1;
+    }
+
+    /// Finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the `+Inf` bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// A point-in-time copy of the registry: every counter, gauge and
+/// histogram, `BTreeMap`-ordered so serialized output is deterministic.
+/// This is the `metrics` section of the run manifest.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone event counts.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins point values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket distributions.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Keeps metric names inside the Prometheus charset
+/// (`[a-zA-Z0-9_:]`); anything else becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Formats a bucket bound the way Prometheus renders `le` labels
+/// (shortest float representation; `1000`, not `1000.0`).
+fn prom_bound(bound: f64) -> String {
+    format!("{bound}")
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format,
+    /// every series prefixed `agentnet_`. Histograms emit cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = prom_name(name);
+            out.push_str(&format!("# TYPE agentnet_{name} counter\n"));
+            out.push_str(&format!("agentnet_{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let name = prom_name(name);
+            out.push_str(&format!("# TYPE agentnet_{name} gauge\n"));
+            out.push_str(&format!("agentnet_{name} {value}\n"));
+        }
+        for (name, hist) in &self.histograms {
+            let name = prom_name(name);
+            out.push_str(&format!("# TYPE agentnet_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds.iter().zip(&hist.counts) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "agentnet_{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    prom_bound(*bound)
+                ));
+            }
+            out.push_str(&format!("agentnet_{name}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+            out.push_str(&format!("agentnet_{name}_sum {}\n", hist.sum));
+            out.push_str(&format!("agentnet_{name}_count {}\n", hist.count));
+        }
+        out
+    }
+}
+
+/// Cloneable handle to a shared metrics registry — or to nothing.
+///
+/// [`Metrics::disabled`] (also `Default`) is the zero-cost mode: every
+/// method is a no-op returning immediately. [`Metrics::enabled`] backs
+/// the handle with an `Arc<Mutex<MetricsSnapshot>>` shared by all
+/// clones, so executor workers and experiment threads record into one
+/// registry.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Mutex<MetricsSnapshot>>>,
+}
+
+impl Metrics {
+    /// A handle that records nothing (the default).
+    pub fn disabled() -> Self {
+        Metrics { inner: None }
+    }
+
+    /// A handle backed by a fresh registry.
+    pub fn enabled() -> Self {
+        Metrics { inner: Some(Arc::new(Mutex::new(MetricsSnapshot::default()))) }
+    }
+
+    /// Whether this handle is backed by a registry.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with_registry(&self, f: impl FnOnce(&mut MetricsSnapshot)) {
+        if let Some(inner) = &self.inner {
+            f(&mut inner.lock().expect("metrics registry mutex poisoned"));
+        }
+    }
+
+    /// Adds `n` to the named counter (creating it at zero).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.with_registry(|reg| {
+            *reg.counters.entry(name.to_string()).or_insert(0) += n;
+        });
+    }
+
+    /// Sets the named gauge (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.with_registry(|reg| {
+            reg.gauges.insert(name.to_string(), value);
+        });
+    }
+
+    /// Records `value` into the named histogram, created with `bounds`
+    /// on first observation (later `bounds` arguments are ignored — the
+    /// bucket layout is fixed at creation).
+    pub fn observe(&self, name: &str, value: f64, bounds: &[f64]) {
+        self.with_registry(|reg| {
+            reg.histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Histogram::new(bounds))
+                .observe(value);
+        });
+    }
+
+    /// Starts a span timer; on drop it records the elapsed wall time in
+    /// microseconds into the named histogram (buckets
+    /// [`DURATION_MICROS_BUCKETS`]). With a disabled handle the clock
+    /// is never read.
+    pub fn span(&self, name: &str) -> SpanTimer {
+        SpanTimer {
+            state: self
+                .inner
+                .as_ref()
+                .map(|reg| (Arc::clone(reg), name.to_string(), Instant::now())),
+        }
+    }
+
+    /// A copy of the registry's current contents (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("metrics registry mutex poisoned").clone(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+}
+
+/// Guard returned by [`Metrics::span`]: measures the wall time between
+/// creation and drop and records it as a histogram observation.
+/// Durations flow *out* of the simulation only — they never influence
+/// simulated behavior, so runs stay deterministic.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanTimer {
+    state: Option<(Arc<Mutex<MetricsSnapshot>>, String, Instant)>,
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some((registry, name, started)) = self.state.take() {
+            let micros = started.elapsed().as_micros() as f64;
+            if let Ok(mut reg) = registry.lock() {
+                reg.histograms
+                    .entry(name)
+                    .or_insert_with(|| Histogram::new(DURATION_MICROS_BUCKETS))
+                    .observe(micros);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        m.counter_add("c", 5);
+        m.gauge_set("g", 1.5);
+        m.observe("h", 3.0, DURATION_MICROS_BUCKETS);
+        drop(m.span("s"));
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let m = Metrics::enabled();
+        m.counter_add("cells", 2);
+        m.counter_add("cells", 3);
+        m.gauge_set("wall", 1.0);
+        m.gauge_set("wall", 2.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["cells"], 5);
+        assert_eq!(snap.gauges["wall"], 2.5);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let m = Metrics::enabled();
+        let clone = m.clone();
+        clone.counter_add("shared", 1);
+        m.counter_add("shared", 1);
+        assert_eq!(m.snapshot().counters["shared"], 2);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 50.0, 500.0, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[1, 2, 1, 1]); // 10.0 lands in its own bucket (le)
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 565.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn span_records_a_duration() {
+        let m = Metrics::enabled();
+        {
+            let _span = m.span("phase_micros");
+        }
+        let snap = m.snapshot();
+        let h = &snap.histograms["phase_micros"];
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::enabled();
+        m.counter_add("a", 7);
+        m.gauge_set("b", 0.25);
+        m.observe("c", 42.0, &[10.0, 100.0]);
+        let snap = m.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_complete_and_ordered() {
+        let m = Metrics::enabled();
+        m.counter_add("z_counter", 1);
+        m.counter_add("a_counter", 2);
+        m.gauge_set("speed", 1.5);
+        m.observe("lat", 5.0, &[1.0, 10.0]);
+        m.observe("lat", 0.5, &[1.0, 10.0]);
+        let text = m.snapshot().to_prometheus();
+        // BTreeMap order: a_counter before z_counter.
+        let a = text.find("agentnet_a_counter 2").unwrap();
+        let z = text.find("agentnet_z_counter 1").unwrap();
+        assert!(a < z);
+        assert!(text.contains("# TYPE agentnet_speed gauge\nagentnet_speed 1.5\n"));
+        // Cumulative buckets: le=1 has one observation, le=10 both.
+        assert!(text.contains("agentnet_lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("agentnet_lat_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("agentnet_lat_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("agentnet_lat_sum 5.5\n"));
+        assert!(text.contains("agentnet_lat_count 2\n"));
+        // Every line is newline-terminated.
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized_for_prometheus() {
+        let m = Metrics::enabled();
+        m.counter_add("weird-name.total", 1);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("agentnet_weird_name_total 1"));
+    }
+}

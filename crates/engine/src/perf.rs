@@ -106,9 +106,40 @@ impl BenchReport {
         Some(self.kernel(kernel)?.min_ns / cal)
     }
 
+    /// Why this report cannot be calibration-normalized, if it can't:
+    /// the calibration kernel is missing, or its recorded minimum is not
+    /// a positive time. Either condition makes [`Self::normalized`]
+    /// return `None` for *every* kernel — which would let the regression
+    /// gate pass vacuously — so gate drivers must check this first and
+    /// fail loudly.
+    pub fn calibration_error(&self) -> Option<String> {
+        match self.kernel(CALIBRATION_KERNEL) {
+            None => Some(format!("report has no `{CALIBRATION_KERNEL}` kernel")),
+            Some(k) if k.min_ns.is_nan() || k.min_ns <= 0.0 => Some(format!(
+                "`{CALIBRATION_KERNEL}` kernel min_ns is {} (must be a positive time)",
+                k.min_ns
+            )),
+            Some(_) => None,
+        }
+    }
+
+    /// Kernels timed in this run but absent from `baseline` (the
+    /// calibration kernel excepted): [`Self::regressions`] iterates
+    /// baseline kernels only, so these are invisible to the gate until
+    /// the baseline is refreshed. Gate drivers must report them.
+    pub fn ungated_kernels(&self, baseline: &BenchReport) -> Vec<&str> {
+        self.kernels
+            .iter()
+            .map(|k| k.kernel.as_str())
+            .filter(|&k| k != CALIBRATION_KERNEL && baseline.kernel(k).is_none())
+            .collect()
+    }
+
     /// Kernels whose normalized cost exceeds the baseline's by more than
     /// `max_regression_pct` percent. Kernels missing from either report
-    /// (and the calibration kernel itself) are skipped.
+    /// (and the calibration kernel itself) are skipped — see
+    /// [`Self::ungated_kernels`] and [`Self::calibration_error`] for the
+    /// blind spots a gate driver must close.
     pub fn regressions(&self, baseline: &BenchReport, max_regression_pct: f64) -> Vec<Regression> {
         let mut out = Vec::new();
         let limit = 1.0 + max_regression_pct / 100.0;
@@ -250,6 +281,33 @@ mod tests {
         let base = report(&[(CALIBRATION_KERNEL, 100.0), ("gone", 100.0)]);
         let cur = report(&[(CALIBRATION_KERNEL, 500.0)]);
         assert!(cur.regressions(&base, 25.0).is_empty());
+    }
+
+    #[test]
+    fn calibration_error_catches_missing_and_degenerate_kernels() {
+        let ok = report(&[(CALIBRATION_KERNEL, 100.0), ("k", 200.0)]);
+        assert_eq!(ok.calibration_error(), None);
+
+        let missing = report(&[("k", 200.0)]);
+        let err = missing.calibration_error().unwrap();
+        assert!(err.contains("no `calibration` kernel"), "{err}");
+        assert_eq!(missing.normalized("k"), None, "the silent-pass mode being guarded");
+
+        for bad in [0.0, -5.0, f64::NAN] {
+            let degenerate = report(&[(CALIBRATION_KERNEL, bad), ("k", 200.0)]);
+            let err = degenerate.calibration_error().unwrap();
+            assert!(err.contains("min_ns"), "{err}");
+        }
+    }
+
+    #[test]
+    fn ungated_kernels_lists_additions_only() {
+        let base = report(&[(CALIBRATION_KERNEL, 100.0), ("old", 200.0)]);
+        let cur = report(&[(CALIBRATION_KERNEL, 100.0), ("old", 210.0), ("new", 50.0)]);
+        assert_eq!(cur.ungated_kernels(&base), vec!["new"]);
+        // A fully covered report has nothing to flag, and the
+        // calibration kernel itself is never listed.
+        assert!(base.ungated_kernels(&cur).is_empty());
     }
 
     #[test]

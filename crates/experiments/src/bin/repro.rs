@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--smoke|--quick|--full] [--jobs N] [--resume] [--no-cache]
 //!       [--cache-dir DIR] [--filter SUBSTRING]... [--json FILE]
-//!       [--out DIR] [--trace] [--list] [EXPERIMENT_ID ...]
+//!       [--out DIR] [--metrics-out FILE] [--metrics-prom FILE]
+//!       [--trace-out FILE] [--trace] [--list] [EXPERIMENT_ID ...]
 //! ```
 //!
 //! Without ids, runs the whole registry; `--filter` keeps the
@@ -25,6 +26,14 @@
 //! go to stderr; only reports and the summary go to stdout. `--json
 //! FILE` additionally writes machine-readable results and `--out DIR`
 //! writes one CSV per experiment.
+//!
+//! Observability is a side channel: `--metrics-out FILE` writes a
+//! versioned JSON run manifest (configuration, per-experiment cell
+//! stats, cache stats, wall clock, and the full metrics registry of
+//! counters/gauges/histograms), `--metrics-prom FILE` writes the same
+//! registry in the Prometheus text exposition format, and `--trace-out
+//! FILE` exports every replicate's simulation trace as JSON lines.
+//! None of the three changes a byte of stdout.
 //!
 //! `--check` reruns every replicate under the simulator's per-step
 //! invariant set (monotone knowledge, bounded histories, live-link
@@ -66,9 +75,14 @@
 //! rewrites `lint.toml` from the current findings; `--rules` lists the
 //! rule catalogue.
 
+use agentnet_engine::obs::{Metrics, DURATION_MICROS_BUCKETS};
 use agentnet_engine::perf::{BenchOptions, BenchReport};
 use agentnet_engine::table::Table;
 use agentnet_engine::{Executor, ResultCache, RunEvent};
+use agentnet_experiments::obs::{
+    percent_or_dash, rate_or_dash, CacheStats, ExperimentCellStats, RunManifest, TraceSink,
+    MANIFEST_SCHEMA,
+};
 use agentnet_experiments::{benchkit, registry, Ctx, Mode};
 use agentnet_validate::{run_battery, ValidateConfig};
 use crossbeam::channel;
@@ -81,7 +95,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--smoke|--quick|--full] [--jobs N] [--resume] [--no-cache]\n\
          \x20            [--cache-dir DIR] [--filter SUBSTRING]... [--json FILE]\n\
-         \x20            [--out DIR] [--trace] [--check] [--list] [EXPERIMENT_ID ...]\n\
+         \x20            [--out DIR] [--metrics-out FILE] [--metrics-prom FILE]\n\
+         \x20            [--trace-out FILE] [--trace] [--check] [--list] [EXPERIMENT_ID ...]\n\
          \x20      repro validate [--seed N] [--inject-failure]\n\
          \x20      repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
          \x20            [--warmup N] [--iters N]\n\
@@ -108,6 +123,11 @@ struct CellStats {
     cells: usize,
     hits: usize,
 }
+
+/// Per-replicate event retention `--trace-out` asks simulations for.
+/// Large enough for every event of a smoke/quick replicate; full-mode
+/// overflow is reported via the export's dropped count.
+const TRACE_EXPORT_CAPACITY: usize = 4096;
 
 /// The `repro validate` subcommand: runs the validation battery, prints
 /// its pass/fail table, exits non-zero on any failure.
@@ -209,11 +229,28 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
             }
         },
     };
+    // A baseline without a usable calibration kernel would make
+    // `normalized()` return `None` for every kernel and the gate pass
+    // vacuously — refuse instead of silently comparing nothing.
+    if let (Some(b), Some(path)) = (&baseline, &baseline_path) {
+        if let Some(err) = b.calibration_error() {
+            eprintln!("repro bench: baseline {path} is unusable: {err}");
+            eprintln!(
+                "repro bench: without a valid calibration kernel no timing can be \
+                 normalized and the regression gate passes vacuously; refusing to run"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     // agentlint::allow(no-ambient-entropy) — stderr progress timing only.
     let started = Instant::now();
     let mut report = benchkit::run_kernels(opts, unix_seconds);
     eprintln!("timed {} kernels in {:.1}s", report.kernels.len(), started.elapsed().as_secs_f64());
+    if let Some(err) = report.calibration_error() {
+        eprintln!("repro bench: this run's report is unusable: {err}");
+        return ExitCode::FAILURE;
+    }
 
     // An apparent regression on a loaded machine is usually noise: it
     // must survive a full re-measurement (per-kernel best of both runs)
@@ -265,7 +302,6 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
              (dated {})",
             baseline.date
         );
-        ExitCode::SUCCESS
     } else {
         println!("{} kernel(s) regressed more than {max_regression_pct}%:", regressions.len());
         for r in &regressions {
@@ -277,6 +313,23 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
                 (r.ratio - 1.0) * 100.0
             );
         }
+    }
+    // A kernel added since the baseline was taken has nothing to gate
+    // against; surface it instead of letting the suite grow ungated.
+    let ungated = report.ungated_kernels(&baseline);
+    if !ungated.is_empty() {
+        println!(
+            "{} kernel(s) missing from baseline {baseline_path} (timed but NOT gated):",
+            ungated.len()
+        );
+        for k in &ungated {
+            println!("- {k}");
+        }
+        println!("refresh the baseline (repro bench --out {baseline_path}) to cover them");
+    }
+    if regressions.is_empty() && ungated.is_empty() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }
@@ -381,6 +434,9 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut json_path: Option<String> = None;
     let mut out_dir: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_prom: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1).peekable();
     if args.peek().map(String::as_str) == Some("validate") {
@@ -424,6 +480,18 @@ fn main() -> ExitCode {
                 Some(dir) => out_dir = Some(dir),
                 None => usage(),
             },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path),
+                None => usage(),
+            },
+            "--metrics-prom" => match args.next() {
+                Some(path) => metrics_prom = Some(path),
+                None => usage(),
+            },
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => usage(),
+            },
             "--list" => {
                 for e in registry::all() {
                     println!("{:<16} {}", e.id, e.title);
@@ -456,6 +524,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Observability is opt-in: the registry is live only when an output
+    // flag will consume it, so the default path records nothing and the
+    // reports on stdout are byte-identical either way.
+    let want_obs = metrics_out.is_some() || metrics_prom.is_some() || trace_out.is_some();
+    let obs = if want_obs { Metrics::enabled() } else { Metrics::disabled() };
+    let trace_sink = trace_out.as_ref().map(|_| TraceSink::new(TRACE_EXPORT_CAPACITY));
+
     let mut exec = Executor::new(jobs);
     if !no_cache {
         exec = exec.with_cache(ResultCache::new(&cache_dir), resume);
@@ -477,14 +552,28 @@ fn main() -> ExitCode {
 
     // Drains trace events while experiments run; returns the per-
     // experiment counters once the executor (the only sender) drops.
+    let collector_obs = obs.clone();
     let collector = std::thread::spawn(move || {
         let mut stats: BTreeMap<String, CellStats> = BTreeMap::new();
         for event in event_rx {
-            let RunEvent::CellFinished { experiment, replicate, seed, cached, micros } = event;
+            let RunEvent::CellFinished { experiment, replicate, seed, cached, micros, wait_micros } =
+                event;
             if trace {
                 eprintln!(
                     "cell {experiment} replicate={replicate} seed={seed:016x} \
                      cached={cached} micros={micros}"
+                );
+            }
+            collector_obs.counter_add("exec_cells_total", 1);
+            if cached {
+                collector_obs.counter_add("exec_cache_hits_total", 1);
+            } else {
+                collector_obs.counter_add("exec_cache_misses_total", 1);
+                collector_obs.observe("exec_cell_micros", micros as f64, DURATION_MICROS_BUCKETS);
+                collector_obs.observe(
+                    "exec_queue_wait_micros",
+                    wait_micros as f64,
+                    DURATION_MICROS_BUCKETS,
                 );
             }
             let entry = stats.entry(experiment).or_default();
@@ -508,11 +597,17 @@ fn main() -> ExitCode {
         for (idx, exp) in experiments.iter().enumerate() {
             let report_tx = report_tx.clone();
             let exec = &exec;
+            let obs = &obs;
+            let trace_sink = trace_sink.as_ref();
             scope.spawn(move || {
                 eprintln!("running {} ...", exp.id);
                 // agentlint::allow(no-ambient-entropy) — stderr metrics only.
                 let started = Instant::now();
-                let report = (exp.run)(&Ctx::new(exec, exp.id, mode).checked(check));
+                let mut ctx = Ctx::new(exec, exp.id, mode).checked(check).with_metrics(obs);
+                if let Some(sink) = trace_sink {
+                    ctx = ctx.with_trace_sink(sink);
+                }
+                let report = (exp.run)(&ctx);
                 let secs = started.elapsed().as_secs_f64();
                 eprintln!("finished {} in {secs:.1}s", exp.id);
                 let _ = report_tx.send((idx, report, secs));
@@ -532,6 +627,7 @@ fn main() -> ExitCode {
 
     // Executor dropped here: its event sender closes and the collector
     // sees end-of-stream.
+    let jobs_used = exec.jobs();
     drop(exec);
     let stats = collector.join().expect("event collector panicked");
 
@@ -578,13 +674,9 @@ fn main() -> ExitCode {
             exp.id.to_string(),
             st.cells.to_string(),
             st.hits.to_string(),
-            if st.cells == 0 {
-                "-".to_string()
-            } else {
-                format!("{:.0}%", 100.0 * st.hits as f64 / st.cells as f64)
-            },
+            percent_or_dash(st.hits as u64, st.cells as u64),
             format!("{secs:.1}"),
-            if *secs > 0.0 { format!("{:.1}", st.cells as f64 / secs) } else { "-".into() },
+            rate_or_dash(st.cells as u64, *secs),
         ]);
     }
     eprintln!("\nrun metrics:\n{}", metrics.to_markdown());
@@ -594,6 +686,68 @@ fn main() -> ExitCode {
         if all_cells == 0 { 0.0 } else { 100.0 * all_hits as f64 / all_cells as f64 },
         if total_secs > 0.0 { all_cells as f64 / total_secs } else { 0.0 },
     );
+
+    // Observability side channel: files and stderr only, after every
+    // stdout byte above has been printed.
+    if let (Some(path), Some(sink)) = (&trace_out, &trace_sink) {
+        let export = sink.export();
+        obs.counter_add("trace_dropped_events_total", export.dropped);
+        if let Err(e) = std::fs::write(path, &export.text) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {path} ({} trace event(s) from {} cell(s), {} dropped)",
+            export.events, export.cells, export.dropped
+        );
+    }
+    if want_obs {
+        obs.gauge_set("run_wall_secs", total_secs);
+    }
+    if let Some(path) = &metrics_out {
+        let manifest = RunManifest {
+            schema: MANIFEST_SCHEMA,
+            mode: mode_name(mode).to_string(),
+            jobs: jobs_used,
+            invariant_checks: check,
+            wall_secs: total_secs,
+            cache: CacheStats {
+                enabled: !no_cache,
+                resume,
+                dir: if no_cache { None } else { Some(cache_dir.clone()) },
+                hits: all_hits as u64,
+                misses: (all_cells - all_hits) as u64,
+            },
+            experiments: experiments
+                .iter()
+                .zip(&results)
+                .map(|(exp, (r, secs))| {
+                    let st = stats.get(exp.id).copied().unwrap_or_default();
+                    ExperimentCellStats {
+                        id: exp.id.to_string(),
+                        title: exp.title.to_string(),
+                        passed: r.passed(),
+                        cells: st.cells as u64,
+                        cache_hits: st.hits as u64,
+                        wall_secs: *secs,
+                    }
+                })
+                .collect(),
+            metrics: obs.snapshot(),
+        };
+        if let Err(e) = std::fs::write(path, manifest.to_json_pretty()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (run manifest, schema {MANIFEST_SCHEMA})");
+    }
+    if let Some(path) = &metrics_prom {
+        if let Err(e) = std::fs::write(path, obs.snapshot().to_prometheus()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (Prometheus text exposition)");
+    }
 
     if let Some(path) = json_path {
         let json = serde_json::json!({

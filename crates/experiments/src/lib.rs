@@ -15,6 +15,9 @@
 //!   E13 tie-breaking ablation, E14 link-degradation ablation.
 //! * [`comparisons`] — E15 overhead accounting, E16 packet traffic,
 //!   E17 ant-colony and E18 distance-vector baselines.
+//! * [`obs`] — run-level observability: the versioned run manifest
+//!   (`--metrics-out`), Prometheus exposition (`--metrics-prom`), and
+//!   the cross-experiment trace sink (`--trace-out`).
 //! * [`registry`] — every experiment by id, for the `repro` binary.
 //! * [`report`] — rendering of experiment reports as markdown/JSON.
 //!
@@ -50,10 +53,12 @@ pub mod benchkit;
 pub mod comparisons;
 pub mod extensions;
 pub mod mapping_figs;
+pub mod obs;
 pub mod registry;
 pub mod report;
 pub mod routing_figs;
 
+pub use obs::{RunManifest, TraceSink, MANIFEST_SCHEMA};
 pub use registry::Experiment;
 pub use report::{Claim, ExperimentReport};
 
@@ -61,6 +66,7 @@ use agentnet_core::mapping::{MappingConfig, MappingOutcome, MappingSim};
 use agentnet_core::routing::{RoutingConfig, RoutingOutcome, RoutingSim};
 use agentnet_core::validate::{mapping_invariants, routing_invariants};
 use agentnet_engine::cache::hash_config;
+use agentnet_engine::obs::{Metrics, SpanTimer};
 use agentnet_engine::rng::SeedSequence;
 use agentnet_engine::{Executor, Summary, TimeSeries};
 use agentnet_graph::generators::GeometricConfig;
@@ -105,12 +111,37 @@ pub struct Ctx<'a> {
     id: &'static str,
     mode: Mode,
     check: bool,
+    metrics: Option<&'a Metrics>,
+    traces: Option<&'a TraceSink>,
 }
 
 impl<'a> Ctx<'a> {
     /// Binds an executor to one experiment at one compute budget.
     pub fn new(exec: &'a Executor, id: &'static str, mode: Mode) -> Self {
-        Ctx { exec, id, mode, check: false }
+        Ctx { exec, id, mode, check: false, metrics: None, traces: None }
+    }
+
+    /// Attaches the run's metrics registry: replicate helpers fold
+    /// per-sim overhead counters (migrations, meetings, footprints,
+    /// table writes, radio churn) and span timings into it. Detached —
+    /// or attached to a disabled handle — nothing is recorded and
+    /// nothing is paid; report bytes are identical either way.
+    pub fn with_metrics(mut self, metrics: &'a Metrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches the run's trace sink: replicate helpers enable event
+    /// tracing on their sim configs (ring capacity
+    /// [`TraceSink::capacity`]) and deposit each replicate's
+    /// [`agentnet_core::trace::TraceLog`] for the `--trace-out` export.
+    /// Because the config then retains events, traced replicates have a
+    /// different cache identity from untraced ones — they recompute
+    /// rather than alias untraced cache entries, and produce the same
+    /// report bytes (tracing never touches simulation randomness).
+    pub fn with_trace_sink(mut self, sink: &'a TraceSink) -> Self {
+        self.traces = Some(sink);
+        self
     }
 
     /// Enables per-step invariant checking inside every replicate (the
@@ -161,6 +192,64 @@ impl<'a> Ctx<'a> {
         let seeds = SeedSequence::new(MASTER_SEED).child(stream);
         let hash = hash_config(kind, params) ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         self.exec.run_cells(self.id, hash, self.runs(), seeds, job)
+    }
+
+    /// Starts a span timer on the attached registry, if any. The guard
+    /// records elapsed microseconds on drop; `None` costs nothing.
+    fn span(&self, name: &str) -> Option<SpanTimer> {
+        self.metrics.map(|m| m.span(name))
+    }
+
+    /// The event retention replicate configs should run with: the trace
+    /// sink's ring capacity, or 0 (tracing off) without a sink.
+    fn trace_capacity(&self) -> usize {
+        self.traces.map_or(0, TraceSink::capacity)
+    }
+
+    /// Folds a finished mapping replicate into the run's observability
+    /// side channels: overhead counters into the metrics registry, the
+    /// replicate's trace into the sink. Cache-hit cells never execute,
+    /// so these counters cover *computed* cells only (cache traffic is
+    /// counted separately from executor events).
+    pub fn observe_mapping(&self, sim: &MappingSim, kind: &str, stream: u64, replicate: usize) {
+        if let Some(m) = self.metrics {
+            let o = sim.overhead();
+            m.counter_add("mapping_replicates_total", 1);
+            m.counter_add("mapping_migrations_total", o.migrations);
+            m.counter_add("mapping_migrated_bytes_total", o.migrated_bytes);
+            m.counter_add("mapping_meeting_messages_total", o.meeting_messages);
+            m.counter_add("mapping_footprint_writes_total", o.footprint_writes);
+            m.counter_add("trace_events_total", sim.trace().total_recorded());
+        }
+        if let Some(t) = self.traces {
+            t.record(self.id, kind, stream, replicate, sim.trace());
+        }
+    }
+
+    /// Routing counterpart of [`Ctx::observe_mapping`]; additionally
+    /// folds the substrate's [`agentnet_radio::NetStats`] (link churn,
+    /// topology bumps, battery decay).
+    pub fn observe_routing(&self, sim: &RoutingSim, kind: &str, stream: u64, replicate: usize) {
+        if let Some(m) = self.metrics {
+            let o = sim.overhead();
+            m.counter_add("routing_replicates_total", 1);
+            m.counter_add("routing_migrations_total", o.migrations);
+            m.counter_add("routing_migrated_bytes_total", o.migrated_bytes);
+            m.counter_add("routing_meeting_messages_total", o.meeting_messages);
+            m.counter_add("routing_footprint_writes_total", o.footprint_writes);
+            m.counter_add("routing_table_writes_total", o.table_writes);
+            m.counter_add("trace_events_total", sim.trace().total_recorded());
+            let s = sim.network().stats();
+            m.counter_add("radio_steps_total", s.advances);
+            m.counter_add("radio_link_rebuilds_total", s.link_rebuilds);
+            m.counter_add("radio_topology_bumps_total", s.topology_bumps);
+            m.counter_add("radio_links_formed_total", s.links_formed);
+            m.counter_add("radio_links_broken_total", s.links_broken);
+            m.counter_add("radio_battery_decay_steps_total", s.battery_decay_steps);
+        }
+        if let Some(t) = self.traces {
+            t.record(self.id, kind, stream, replicate, sim.trace());
+        }
     }
 }
 
@@ -214,12 +303,17 @@ pub fn paper_routing_network() -> NetworkBuilder {
 /// invariant set when `check` is on. An invariant violation inside an
 /// experiment replicate is always a simulator bug, so it panics (and
 /// the failing invariant, step and message surface in the panic).
-fn run_mapping_replicate(sim: &mut MappingSim, check: bool) -> MappingOutcome {
-    if check {
+fn run_mapping_replicate(sim: &mut MappingSim, ctx: &Ctx) -> MappingOutcome {
+    if ctx.check() {
+        // The checked histogram covers simulation *plus* per-step
+        // invariant evaluation; its gap to the unchecked histogram is
+        // the invariant-check cost.
+        let _span = ctx.span("mapping_checked_replicate_micros");
         let mut checks = mapping_invariants();
         sim.run_checked(MAPPING_STEP_BUDGET, &mut checks)
             .unwrap_or_else(|v| panic!("mapping replicate failed validation: {v}"))
     } else {
+        let _span = ctx.span("mapping_replicate_micros");
         sim.run(MAPPING_STEP_BUDGET)
     }
 }
@@ -227,12 +321,14 @@ fn run_mapping_replicate(sim: &mut MappingSim, check: bool) -> MappingOutcome {
 /// Runs one routing replicate for the paper's step count — under the
 /// standard invariant set when `check` is on (see
 /// [`run_mapping_replicate`]).
-fn run_routing_replicate(sim: &mut RoutingSim, check: bool) -> RoutingOutcome {
-    if check {
+fn run_routing_replicate(sim: &mut RoutingSim, ctx: &Ctx) -> RoutingOutcome {
+    if ctx.check() {
+        let _span = ctx.span("routing_checked_replicate_micros");
         let mut checks = routing_invariants();
         sim.run_checked(ROUTING_STEPS, &mut checks)
             .unwrap_or_else(|v| panic!("routing replicate failed validation: {v}"))
     } else {
+        let _span = ctx.span("routing_replicate_micros");
         sim.run(ROUTING_STEPS)
     }
 }
@@ -250,11 +346,14 @@ pub fn mapping_finishing_times(
     config: &MappingConfig,
     stream: u64,
 ) -> Summary {
+    let mut config = config.clone();
+    config.trace_capacity = config.trace_capacity.max(ctx.trace_capacity());
     let params = (graph_fingerprint(graph), config.clone());
-    let samples: Vec<f64> = ctx.replicated("mapping-finish", &params, stream, |_, s| {
+    let samples: Vec<f64> = ctx.replicated("mapping-finish", &params, stream, |i, s| {
         let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
             .expect("mapping config must be valid");
-        let out = run_mapping_replicate(&mut sim, ctx.check());
+        let out = run_mapping_replicate(&mut sim, ctx);
+        ctx.observe_mapping(&sim, "mapping-finish", stream, i);
         assert!(out.finished, "mapping run exhausted its step budget");
         out.finishing_time.as_f64()
     });
@@ -268,11 +367,14 @@ pub fn mapping_knowledge_curve(
     config: &MappingConfig,
     stream: u64,
 ) -> TimeSeries {
+    let mut config = config.clone();
+    config.trace_capacity = config.trace_capacity.max(ctx.trace_capacity());
     let params = (graph_fingerprint(graph), config.clone());
-    let curves: Vec<TimeSeries> = ctx.replicated("mapping-curve", &params, stream, |_, s| {
+    let curves: Vec<TimeSeries> = ctx.replicated("mapping-curve", &params, stream, |i, s| {
         let mut sim = MappingSim::new(graph.clone(), config.clone(), s.seed())
             .expect("mapping config must be valid");
-        let out = run_mapping_replicate(&mut sim, ctx.check());
+        let out = run_mapping_replicate(&mut sim, ctx);
+        ctx.observe_mapping(&sim, "mapping-curve", stream, i);
         assert!(out.finished, "mapping run exhausted its step budget");
         out.knowledge
     });
@@ -282,12 +384,15 @@ pub fn mapping_knowledge_curve(
 /// Replicated routing connectivity (mean over the paper's 150–300
 /// window).
 pub fn routing_connectivity(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> Summary {
-    let samples: Vec<f64> = ctx.replicated("routing-conn", config, stream, |_, s| {
+    let mut config = config.clone();
+    config.trace_capacity = config.trace_capacity.max(ctx.trace_capacity());
+    let samples: Vec<f64> = ctx.replicated("routing-conn", &config, stream, |i, s| {
         let net =
             paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
-        let out = run_routing_replicate(&mut sim, ctx.check());
+        let out = run_routing_replicate(&mut sim, ctx);
+        ctx.observe_routing(&sim, "routing-conn", stream, i);
         out.mean_connectivity(ROUTING_WINDOW).expect("window inside run")
     });
     Summary::from_samples(samples).expect("at least one replicate")
@@ -299,12 +404,15 @@ pub fn routing_connectivity(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> S
 /// it must be measured per run, not on the replicate-averaged curve
 /// (averaging smooths fluctuations away).
 pub fn routing_temporal_wobble(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> Summary {
-    let samples: Vec<f64> = ctx.replicated("routing-wobble", config, stream, |_, s| {
+    let mut config = config.clone();
+    config.trace_capacity = config.trace_capacity.max(ctx.trace_capacity());
+    let samples: Vec<f64> = ctx.replicated("routing-wobble", &config, stream, |i, s| {
         let net =
             paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
-        let out = run_routing_replicate(&mut sim, ctx.check());
+        let out = run_routing_replicate(&mut sim, ctx);
+        ctx.observe_routing(&sim, "routing-wobble", stream, i);
         out.connectivity.window_std(ROUTING_WINDOW).expect("window inside run")
     });
     Summary::from_samples(samples).expect("at least one replicate")
@@ -312,12 +420,16 @@ pub fn routing_temporal_wobble(ctx: &Ctx, config: &RoutingConfig, stream: u64) -
 
 /// Replicated mean connectivity-over-time curve for a routing config.
 pub fn routing_connectivity_curve(ctx: &Ctx, config: &RoutingConfig, stream: u64) -> TimeSeries {
-    let curves: Vec<TimeSeries> = ctx.replicated("routing-curve", config, stream, |_, s| {
+    let mut config = config.clone();
+    config.trace_capacity = config.trace_capacity.max(ctx.trace_capacity());
+    let curves: Vec<TimeSeries> = ctx.replicated("routing-curve", &config, stream, |i, s| {
         let net =
             paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build");
         let mut sim =
             RoutingSim::new(net, config.clone(), s.seed()).expect("routing config must be valid");
-        run_routing_replicate(&mut sim, ctx.check()).connectivity
+        let out = run_routing_replicate(&mut sim, ctx);
+        ctx.observe_routing(&sim, "routing-curve", stream, i);
+        out.connectivity
     });
     TimeSeries::mean_of(&curves)
 }
@@ -399,6 +511,31 @@ mod tests {
         assert_eq!(plain, checked);
         assert!(Ctx::new(&exec, "t", Mode::Smoke).checked(true).check());
         assert!(!Ctx::new(&exec, "t", Mode::Smoke).check());
+    }
+
+    #[test]
+    fn observability_is_a_pure_side_channel() {
+        // Metrics and tracing attached must not change a single sample,
+        // while the registry and sink fill with replicate activity.
+        let g = agentnet_graph::generators::grid(5, 5);
+        let cfg = MappingConfig::new(MappingPolicy::Conscientious, 3);
+        let exec = Executor::serial();
+        let plain = mapping_finishing_times(&Ctx::new(&exec, "t", Mode::Smoke), &g, &cfg, 5);
+
+        let metrics = Metrics::enabled();
+        let sink = TraceSink::new(64);
+        let ctx = Ctx::new(&exec, "t", Mode::Smoke).with_metrics(&metrics).with_trace_sink(&sink);
+        let observed = mapping_finishing_times(&ctx, &g, &cfg, 5);
+        assert_eq!(plain, observed);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["mapping_replicates_total"], 2);
+        assert!(snap.counters["mapping_migrations_total"] > 0, "agents must have migrated");
+        assert_eq!(snap.histograms["mapping_replicate_micros"].count(), 2);
+        let export = sink.export();
+        assert_eq!(export.cells, 2);
+        assert!(export.events > 0, "migrations must have been traced");
+        assert_eq!(export.dropped, 0);
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Run-level observability artifacts behind the `repro` flags:
+//!
+//! * [`RunManifest`] — the versioned JSON document `--metrics-out`
+//!   writes: run configuration, per-experiment cell statistics, cache
+//!   statistics, wall clock, and the full metrics snapshot (counters,
+//!   gauges, histograms). Machine-readable ground truth for what a run
+//!   did, schema-checked on load.
+//! * [`TraceSink`] — the cross-experiment collector behind
+//!   `--trace-out`: simulation replicates deposit their [`TraceLog`]s
+//!   here and the sink exports one deterministic JSON-lines file, each
+//!   line a simulation event tagged with the cell it came from.
+//! * Table-cell formatters ([`percent_or_dash`], [`rate_or_dash`]) for
+//!   the stderr run-metrics table — ratios over an empty denominator
+//!   render as `-`, never `NaN` or `inf`.
+//!
+//! Everything here is a side channel: attaching a manifest, Prometheus
+//! file or trace sink must never change report bytes on stdout.
+
+use agentnet_core::trace::TraceLog;
+use agentnet_engine::obs::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// Schema version of [`RunManifest`]; bump on any breaking change to
+/// the manifest layout so consumers can detect files they cannot read.
+pub const MANIFEST_SCHEMA: u32 = 1;
+
+/// Result-cache configuration and outcome for one run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Whether a cache was attached at all (`--no-cache` disables it).
+    pub enabled: bool,
+    /// Whether cached cells were *read* (`--resume`), not just written.
+    pub resume: bool,
+    /// Cache directory, when enabled.
+    pub dir: Option<String>,
+    /// Cells served from the cache.
+    pub hits: u64,
+    /// Cells computed fresh.
+    pub misses: u64,
+}
+
+/// One experiment's row in the manifest: identity, verdict, and the
+/// cell counters aggregated from the executor's run events.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentCellStats {
+    /// Experiment id (e.g. `fig7`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Whether every shape claim passed.
+    pub passed: bool,
+    /// Replicate cells finished (computed + cached).
+    pub cells: u64,
+    /// Of those, cells served from the result cache.
+    pub cache_hits: u64,
+    /// Wall-clock seconds the experiment took.
+    pub wall_secs: f64,
+}
+
+/// The versioned machine-readable run record `--metrics-out` writes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Layout version; always [`MANIFEST_SCHEMA`] for files this build
+    /// writes.
+    pub schema: u32,
+    /// Compute budget the run used (`smoke` / `quick` / `full`).
+    pub mode: String,
+    /// Worker permits the executor ran with.
+    pub jobs: usize,
+    /// Whether replicates ran under per-step invariant checking.
+    pub invariant_checks: bool,
+    /// Total wall-clock seconds for the experiment phase.
+    pub wall_secs: f64,
+    /// Result-cache configuration and hit/miss outcome.
+    pub cache: CacheStats,
+    /// Per-experiment rows, in report (registry) order.
+    pub experiments: Vec<ExperimentCellStats>,
+    /// Full metrics registry snapshot (counters, gauges, histograms).
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Pretty-printed, newline-terminated JSON.
+    pub fn to_json_pretty(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| panic!("manifest serializes: {e}"));
+        json.push('\n');
+        json
+    }
+
+    /// Parses a manifest, rejecting both malformed JSON and any schema
+    /// version this build does not understand.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let manifest: RunManifest =
+            serde_json::from_str(text).map_err(|e| format!("manifest does not parse: {e}"))?;
+        if manifest.schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "manifest schema {} unsupported (this build reads {MANIFEST_SCHEMA})",
+                manifest.schema
+            ));
+        }
+        Ok(manifest)
+    }
+}
+
+/// A ratio as a whole percentage, or `-` when the denominator is zero.
+/// Keeps the run-metrics table free of `NaN`.
+pub fn percent_or_dash(num: u64, den: u64) -> String {
+    if den == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.0}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+/// An events-per-second rate, or `-` when nothing happened or no time
+/// elapsed. A zero-cell experiment renders `-`, not `0.0` (it has no
+/// rate, it just never ran).
+pub fn rate_or_dash(count: u64, secs: f64) -> String {
+    if count == 0 || secs <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", count as f64 / secs)
+    }
+}
+
+/// One replicate's trace deposit: which cell it came from plus the
+/// exported JSONL and its dropped-event count.
+#[derive(Clone, Debug)]
+struct TraceCell {
+    experiment: String,
+    kind: String,
+    stream: u64,
+    replicate: usize,
+    jsonl: String,
+    dropped: u64,
+}
+
+/// The assembled `--trace-out` file plus its accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceExport {
+    /// One JSON object per line (newline-terminated): the cell identity
+    /// fields plus the simulation event under `"event"`.
+    pub text: String,
+    /// Number of replicate cells that deposited a trace.
+    pub cells: u64,
+    /// Event lines in `text`.
+    pub events: u64,
+    /// Events lost to serialization failures across all deposits — must
+    /// be surfaced (the `repro` binary counts them in the metrics
+    /// registry as `trace_dropped_events_total`).
+    pub dropped: u64,
+}
+
+/// Thread-safe collector of simulation traces across every experiment
+/// and replicate of a run.
+///
+/// Replicates record concurrently from executor workers; [`export`]
+/// sorts deposits by (experiment, kind, stream, replicate), so the
+/// emitted file is deterministic no matter how cells were scheduled.
+///
+/// [`export`]: TraceSink::export
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    capacity: usize,
+    cells: Mutex<Vec<TraceCell>>,
+}
+
+impl TraceSink {
+    /// A sink asking simulations to retain up to `capacity` events per
+    /// replicate (the [`TraceLog`] ring size).
+    pub fn new(capacity: usize) -> Self {
+        TraceSink { capacity, cells: Mutex::new(Vec::new()) }
+    }
+
+    /// Per-replicate event retention the sink asks simulations for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deposits one replicate's trace, tagged with the cell it came
+    /// from. `kind` and `stream` are the replicate group's metric name
+    /// and seed stream (its cache identity components).
+    pub fn record(
+        &self,
+        experiment: &str,
+        kind: &str,
+        stream: u64,
+        replicate: usize,
+        trace: &TraceLog,
+    ) {
+        let export = trace.to_jsonl();
+        let mut cells = self.cells.lock().expect("trace sink mutex poisoned");
+        cells.push(TraceCell {
+            experiment: experiment.to_string(),
+            kind: kind.to_string(),
+            stream,
+            replicate,
+            jsonl: export.text,
+            dropped: export.dropped,
+        });
+    }
+
+    /// Assembles the deterministic JSON-lines export: every deposited
+    /// event, each line tagged with its cell. Idempotent; deposits stay
+    /// in the sink.
+    pub fn export(&self) -> TraceExport {
+        let mut cells = self.cells.lock().expect("trace sink mutex poisoned").clone();
+        cells.sort_by(|a, b| {
+            (&a.experiment, &a.kind, a.stream, a.replicate).cmp(&(
+                &b.experiment,
+                &b.kind,
+                b.stream,
+                b.replicate,
+            ))
+        });
+        let mut out = TraceExport::default();
+        for cell in &cells {
+            out.cells += 1;
+            out.dropped += cell.dropped;
+            let experiment =
+                serde_json::to_string(&cell.experiment).unwrap_or_else(|_| "\"?\"".to_string());
+            let kind = serde_json::to_string(&cell.kind).unwrap_or_else(|_| "\"?\"".to_string());
+            for line in cell.jsonl.lines() {
+                out.events += 1;
+                out.text.push_str(&format!(
+                    "{{\"experiment\":{experiment},\"kind\":{kind},\"stream\":{},\"replicate\":{},\"event\":{line}}}\n",
+                    cell.stream, cell.replicate
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentnet_core::trace::TraceEvent;
+    use agentnet_core::AgentId;
+    use agentnet_engine::obs::Metrics;
+    use agentnet_engine::Step;
+    use agentnet_graph::NodeId;
+
+    fn sample_manifest() -> RunManifest {
+        let metrics = Metrics::enabled();
+        metrics.counter_add("exec_cells_total", 4);
+        metrics.observe("cell_micros", 120.0, agentnet_engine::obs::DURATION_MICROS_BUCKETS);
+        RunManifest {
+            schema: MANIFEST_SCHEMA,
+            mode: "smoke".to_string(),
+            jobs: 2,
+            invariant_checks: false,
+            wall_secs: 1.25,
+            cache: CacheStats {
+                enabled: true,
+                resume: false,
+                dir: Some("results_cache".to_string()),
+                hits: 1,
+                misses: 3,
+            },
+            experiments: vec![ExperimentCellStats {
+                id: "fig1".to_string(),
+                title: "single agent".to_string(),
+                passed: true,
+                cells: 4,
+                cache_hits: 1,
+                wall_secs: 1.0,
+            }],
+            metrics: metrics.snapshot(),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let manifest = sample_manifest();
+        let json = manifest.to_json_pretty();
+        assert!(json.ends_with('\n'));
+        let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn manifest_rejects_unknown_schema_and_garbage() {
+        let mut manifest = sample_manifest();
+        manifest.schema = MANIFEST_SCHEMA + 1;
+        let err = RunManifest::from_json(&manifest.to_json_pretty()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        assert!(RunManifest::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn zero_cell_rows_render_dashes_not_nan() {
+        // The regression: an experiment selected but with zero finished
+        // cells must not divide by zero in the run-metrics table.
+        assert_eq!(percent_or_dash(0, 0), "-");
+        assert_eq!(rate_or_dash(0, 1.5), "-");
+        assert_eq!(rate_or_dash(3, 0.0), "-");
+        // Normal rows are unchanged.
+        assert_eq!(percent_or_dash(1, 4), "25%");
+        assert_eq!(rate_or_dash(3, 2.0), "1.5");
+    }
+
+    fn trace_with(events: u64) -> TraceLog {
+        let mut log = TraceLog::new(16);
+        for i in 0..events {
+            log.record(TraceEvent::Moved {
+                agent: AgentId::new(0),
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                at: Step::new(i),
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn trace_sink_exports_deterministically_tagged_lines() {
+        let sink = TraceSink::new(16);
+        // Deposited out of order; export must sort by cell identity.
+        sink.record("fig7", "routing-conn", 3, 1, &trace_with(2));
+        sink.record("fig1", "mapping-finish", 1, 0, &trace_with(1));
+        let export = sink.export();
+        assert_eq!(export.cells, 2);
+        assert_eq!(export.events, 3);
+        assert_eq!(export.dropped, 0);
+        assert!(export.text.ends_with('\n'));
+        let lines: Vec<&str> = export.text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // fig1 sorts before fig7.
+        let first = serde_json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("experiment").and_then(|v| v.as_str()), Some("fig1"));
+        assert_eq!(first.get("kind").and_then(|v| v.as_str()), Some("mapping-finish"));
+        // Every line's embedded event round-trips as a TraceEvent.
+        for line in &lines {
+            let value = serde_json::parse(line).unwrap();
+            let event: TraceEvent = serde_json::from_value(value.get("event").unwrap()).unwrap();
+            assert!(matches!(event, TraceEvent::Moved { .. }));
+        }
+        // Idempotent.
+        assert_eq!(sink.export(), export);
+    }
+}

@@ -150,12 +150,16 @@ fn bench_regression_gate_fails_against_a_doctored_baseline() {
     stdout(&repro(&["bench", "--warmup", "0", "--iters", "1", "--out", out.to_str().unwrap()]));
 
     // Doctor the baseline so every simulation kernel looks 100x faster
-    // than what the gated run will measure.
+    // than what the gated run will measure. `min_ns` is the value the
+    // gate normalizes and compares; the others are doctored alongside
+    // so the file stays self-consistent.
     let mut report: agentnet_engine::perf::BenchReport =
         serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
     for kernel in &mut report.kernels {
         if kernel.kernel != agentnet_engine::perf::CALIBRATION_KERNEL {
             kernel.ns_per_iter /= 100.0;
+            kernel.mean_ns /= 100.0;
+            kernel.min_ns /= 100.0;
         }
     }
     let doctored = dir.join("BENCH_doctored.json");
@@ -175,6 +179,145 @@ fn bench_regression_gate_fails_against_a_doctored_baseline() {
     assert!(!gated.status.success(), "doctored baseline must trip the gate");
     let text = String::from_utf8_lossy(&gated.stdout);
     assert!(text.contains("regressed more than"), "gate output:\n{text}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn observability_flags_do_not_change_stdout_bytes() {
+    let dir = tmpdir("obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest_path = dir.join("manifest.json");
+    let prom_path = dir.join("metrics.prom");
+    let trace_path = dir.join("trace.jsonl");
+
+    for fig in ["fig1", "fig7"] {
+        let plain = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "2", fig]));
+        let observed = stdout(&repro(&[
+            "--smoke",
+            "--no-cache",
+            "--jobs",
+            "2",
+            "--metrics-out",
+            manifest_path.to_str().unwrap(),
+            "--metrics-prom",
+            prom_path.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            fig,
+        ]));
+        assert_eq!(plain, observed, "{fig}: observability flags must not change stdout");
+    }
+
+    // The last iteration's files (fig7) must be well-formed.
+    let manifest_text = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let manifest = agentnet_experiments::RunManifest::from_json(&manifest_text)
+        .expect("manifest parses under the committed schema");
+    assert_eq!(manifest.schema, agentnet_experiments::MANIFEST_SCHEMA);
+    assert_eq!(manifest.mode, "smoke");
+    assert!(!manifest.cache.enabled, "--no-cache run must record a disabled cache");
+    assert_eq!(manifest.experiments.len(), 1);
+    assert_eq!(manifest.experiments[0].id, "fig7");
+    assert!(manifest.experiments[0].cells > 0, "manifest:\n{manifest_text}");
+    let cells: u64 = manifest
+        .metrics
+        .counters
+        .get("exec_cells_total")
+        .copied()
+        .expect("executor cell counter present");
+    assert_eq!(cells, manifest.experiments[0].cells);
+    assert!(
+        manifest.metrics.counters.contains_key("routing_replicates_total"),
+        "simulation counters missing:\n{manifest_text}"
+    );
+    assert!(
+        manifest.metrics.histograms.contains_key("exec_cell_micros"),
+        "cell-time histogram missing:\n{manifest_text}"
+    );
+
+    let prom = std::fs::read_to_string(&prom_path).expect("prom file written");
+    assert!(prom.contains("# TYPE agentnet_exec_cells_total counter"), "prom:\n{prom}");
+    assert!(prom.contains("agentnet_exec_cell_micros_bucket{le=\"+Inf\"}"), "prom:\n{prom}");
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    assert!(trace.ends_with('\n'), "trace export must be newline-terminated");
+    let mut events = 0usize;
+    for line in trace.lines() {
+        let value = serde_json::parse(line).expect("every trace line is JSON");
+        assert_eq!(value.get("experiment").and_then(|v| v.as_str()), Some("fig7"), "{line}");
+        let event = value.get("event").expect("tagged simulation event");
+        let _: agentnet_core::trace::TraceEvent =
+            serde_json::from_value(event).expect("event deserializes");
+        events += 1;
+    }
+    assert!(events > 0, "fig7 replicates should trace at least one event");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_gate_refuses_a_baseline_without_a_calibration_kernel() {
+    let dir = tmpdir("bench-nocal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_current.json");
+    stdout(&repro(&["bench", "--warmup", "0", "--iters", "1", "--out", out.to_str().unwrap()]));
+
+    let mut report: agentnet_engine::perf::BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    report.kernels.retain(|k| k.kernel != agentnet_engine::perf::CALIBRATION_KERNEL);
+    let doctored = dir.join("BENCH_nocal.json");
+    std::fs::write(&doctored, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+
+    let gated = repro(&[
+        "bench",
+        "--warmup",
+        "0",
+        "--iters",
+        "1",
+        "--out",
+        dir.join("BENCH_gated.json").to_str().unwrap(),
+        "--baseline",
+        doctored.to_str().unwrap(),
+    ]);
+    assert!(!gated.status.success(), "a calibration-less baseline must not gate anything");
+    let err = String::from_utf8_lossy(&gated.stderr);
+    assert!(err.contains("calibration"), "stderr should name the missing kernel:\n{err}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_gate_fails_on_kernels_absent_from_the_baseline() {
+    let dir = tmpdir("bench-ungated");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_current.json");
+    stdout(&repro(&["bench", "--warmup", "0", "--iters", "1", "--out", out.to_str().unwrap()]));
+
+    // Drop one simulation kernel from the baseline, as if it was added
+    // to the suite after the baseline was committed.
+    let mut report: agentnet_engine::perf::BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    report.kernels.retain(|k| k.kernel != "route_revalidation");
+    let doctored = dir.join("BENCH_missing.json");
+    std::fs::write(&doctored, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+
+    let gated = repro(&[
+        "bench",
+        "--warmup",
+        "0",
+        "--iters",
+        "1",
+        "--max-regression",
+        "100000",
+        "--out",
+        dir.join("BENCH_gated.json").to_str().unwrap(),
+        "--baseline",
+        doctored.to_str().unwrap(),
+    ]);
+    assert!(!gated.status.success(), "an ungated kernel must fail the gate");
+    let text = String::from_utf8_lossy(&gated.stdout);
+    assert!(text.contains("NOT gated"), "gate output:\n{text}");
+    assert!(text.contains("route_revalidation"), "gate output should list the kernel:\n{text}");
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

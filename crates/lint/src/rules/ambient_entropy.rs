@@ -1,9 +1,11 @@
 //! `no-ambient-entropy`: all randomness and time must flow through
 //! `engine::rng` seeds so every run is replayable.
 //!
-//! Scope: the whole workspace except the two sanctioned timing modules
-//! (`engine::perf` and the experiments bench kit), which exist precisely
-//! to own wall-clock measurement. Flags `thread_rng`, `SystemTime::now`,
+//! Scope: the whole workspace except the sanctioned timing modules
+//! (`engine::perf`, `engine::obs` and the experiments bench kit), which
+//! exist precisely to own wall-clock measurement — bench timing and
+//! span-timer durations flow out of the simulation only, never into
+//! report bytes. Flags `thread_rng`, `SystemTime::now`,
 //! `Instant::now`, and `rand::random` (argless or turbofish) outside
 //! them. CLI-status and diagnostic timing that provably cannot affect
 //! report bytes carries `agentlint::allow` with a justification instead.
@@ -14,8 +16,12 @@ use crate::rules::{ident_at, path_sep_at, Finding, Rule};
 pub struct AmbientEntropy;
 
 /// Files allowed to read the wall clock: the calibration-normalized
-/// bench layer.
-const TIMING_FILES: &[&str] = &["crates/engine/src/perf.rs", "crates/experiments/src/benchkit.rs"];
+/// bench layer and the span timers of the metrics registry.
+const TIMING_FILES: &[&str] = &[
+    "crates/engine/src/perf.rs",
+    "crates/engine/src/obs.rs",
+    "crates/experiments/src/benchkit.rs",
+];
 
 impl Rule for AmbientEntropy {
     fn name(&self) -> &'static str {
@@ -23,7 +29,7 @@ impl Rule for AmbientEntropy {
     }
 
     fn description(&self) -> &'static str {
-        "thread_rng / SystemTime::now / Instant::now / rand::random outside engine::perf and benchkit"
+        "thread_rng / SystemTime::now / Instant::now / rand::random outside engine::{perf,obs} and benchkit"
     }
 
     fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>) {
@@ -99,6 +105,7 @@ mod tests {
     fn timing_modules_are_exempt() {
         let src = "fn t() { let s = std::time::Instant::now(); let _ = s; }\n";
         assert!(run("crates/engine/src/perf.rs", src).is_empty());
+        assert!(run("crates/engine/src/obs.rs", src).is_empty());
         assert!(run("crates/experiments/src/benchkit.rs", src).is_empty());
         assert!(!run("crates/engine/src/exec.rs", src).is_empty());
     }

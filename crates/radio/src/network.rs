@@ -9,6 +9,33 @@ use agentnet_graph::geometry::{Point2, Rect};
 use agentnet_graph::{DiGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counters of substrate-level events since construction —
+/// the radio layer's contribution to the run's metrics registry.
+///
+/// Counting happens inline in [`WirelessNetwork::advance`] (cheap
+/// integer bumps; no allocation, no clock), so the counters are always
+/// current and cost nothing to higher layers that never read them. The
+/// initial link derivation at construction is setup, not an event:
+/// a freshly built network reports all-zero stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Simulation steps taken ([`WirelessNetwork::advance`] calls).
+    pub advances: u64,
+    /// Link-table recomputations (node state drifted since the last).
+    pub link_rebuilds: u64,
+    /// Rebuilds whose edge set actually changed — exactly the number of
+    /// [`WirelessNetwork::topology_version`] bumps.
+    pub topology_bumps: u64,
+    /// Directed links that appeared across topology changes.
+    pub links_formed: u64,
+    /// Directed links that disappeared across topology changes.
+    pub links_broken: u64,
+    /// Node-steps on which battery charge actually decayed (mains and
+    /// floored batteries contribute nothing).
+    pub battery_decay_steps: u64,
+}
 
 /// A wireless ad-hoc network whose topology is re-derived from node
 /// positions, battery charge and radio ranges every step.
@@ -40,6 +67,8 @@ pub struct WirelessNetwork {
     /// Double buffer: links are rebuilt into this graph (reusing its edge
     /// storage) and swapped in only when the topology actually changed.
     scratch_links: DiGraph,
+    /// Cumulative substrate event counters since construction.
+    stats: NetStats,
 }
 
 impl WirelessNetwork {
@@ -70,10 +99,14 @@ impl WirelessNetwork {
             snap_positions: Vec::new(),
             snap_ranges: Vec::new(),
             scratch_links: DiGraph::new(n),
+            stats: NetStats::default(),
         };
         if n > 0 {
             net.rebuild_links();
         }
+        // The initial link derivation is construction, not a simulated
+        // event: stats start from zero.
+        net.stats = NetStats::default();
         net
     }
 
@@ -144,6 +177,12 @@ impl WirelessNetwork {
         self.topology_version
     }
 
+    /// Cumulative substrate event counters since construction (steps,
+    /// rebuilds, link flips, battery decay) — see [`NetStats`].
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
     /// Advances the network one time step: batteries decay, mobile nodes
     /// move, and the link table is refreshed.
     ///
@@ -155,8 +194,13 @@ impl WirelessNetwork {
     /// the edge set actually differs.
     #[agentnet::hot_path]
     pub fn advance(&mut self) {
+        self.stats.advances += 1;
         for node in &mut self.nodes {
+            let charge_before = node.battery.charge();
             node.battery.step();
+            if node.battery.charge() < charge_before {
+                self.stats.battery_decay_steps += 1;
+            }
             node.position = node.motion.advance(node.position, self.arena, &mut self.mobility_rng);
         }
         if !self.nodes.is_empty() && self.state_drifted() {
@@ -204,10 +248,34 @@ impl WirelessNetwork {
                 }
             }
         }
+        self.stats.link_rebuilds += 1;
         if self.scratch_links != self.links {
+            // Per-link churn accounting happens only on the (already
+            // O(E)-compared) changed topologies, never on quiescent steps.
+            let (formed, broken) = Self::edge_diff(&self.scratch_links, &self.links);
+            self.stats.links_formed += formed;
+            self.stats.links_broken += broken;
             std::mem::swap(&mut self.scratch_links, &mut self.links);
             self.topology_version += 1;
+            self.stats.topology_bumps += 1;
         }
+    }
+
+    /// Directed edges present in `new` but not `old`, and vice versa.
+    /// Neighbor lists are short (a node covers a handful of peers), so
+    /// the per-node quadratic membership scan beats sorting or hashing —
+    /// and allocates nothing.
+    fn edge_diff(new: &DiGraph, old: &DiGraph) -> (u64, u64) {
+        let mut formed = 0u64;
+        let mut broken = 0u64;
+        for i in 0..new.node_count() {
+            let v = NodeId::new(i);
+            let after = new.out_neighbors(v);
+            let before = old.out_neighbors(v);
+            formed += after.iter().filter(|n| !before.contains(n)).count() as u64;
+            broken += before.iter().filter(|n| !after.contains(n)).count() as u64;
+        }
+        (formed, broken)
     }
 
     /// Fraction of non-gateway nodes with *instantaneous graph* reachability
@@ -375,6 +443,77 @@ mod tests {
         net.advance();
         let scratch = WirelessNetwork::from_nodes(net.arena(), net.nodes().to_vec(), 99);
         assert_eq!(net.links(), scratch.links());
+    }
+
+    #[test]
+    fn fresh_network_reports_zero_stats() {
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
+        let net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        // Construction derives the initial links but counts no events.
+        assert_eq!(net.stats(), NetStats::default());
+    }
+
+    #[test]
+    fn quiescent_network_counts_only_advances() {
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        for _ in 0..10 {
+            net.advance();
+        }
+        let stats = net.stats();
+        assert_eq!(stats.advances, 10);
+        assert_eq!(stats.link_rebuilds, 0, "stationary mains state never drifts");
+        assert_eq!(stats.topology_bumps, 0);
+        assert_eq!(stats.links_formed + stats.links_broken, 0);
+        assert_eq!(stats.battery_decay_steps, 0);
+    }
+
+    #[test]
+    fn stats_count_decay_and_link_flips() {
+        let mut low = still_node(0, 0.0, 0.0, 10.0);
+        low.battery = BatteryState::new(BatteryModel::Linear { per_step: 0.2, floor: 0.1 });
+        let nodes = vec![low, still_node(1, 9.0, 0.0, 20.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        for _ in 0..10 {
+            net.advance();
+        }
+        let stats = net.stats();
+        assert_eq!(stats.advances, 10);
+        // Linear 0.2/step from 1.0 floors at 0.1 after five decaying steps.
+        assert_eq!(stats.battery_decay_steps, 5);
+        // Every decay step drifts state and rebuilds; only some rebuilds
+        // change the edge set.
+        assert_eq!(stats.link_rebuilds, 5);
+        // The initial link derivation at construction bumped the version
+        // to 1 without counting as an event; only the decay-driven
+        // change afterwards registers in the stats.
+        assert_eq!(stats.topology_bumps, 1);
+        assert_eq!(net.topology_version(), 2);
+        // The weak node lost its one outgoing link and formed none.
+        assert_eq!(stats.links_broken, 1);
+        assert_eq!(stats.links_formed, 0);
+    }
+
+    #[test]
+    fn mobility_forms_and_breaks_links_in_stats() {
+        let mut net = NetworkBuilder::new(30)
+            .gateways(2)
+            .target_edges(240)
+            .mobile_fraction(0.5)
+            .min_initial_reachability(0.0)
+            .build(7)
+            .unwrap();
+        let initial_edges = net.links().edge_count() as i64;
+        for _ in 0..30 {
+            net.advance();
+        }
+        let stats = net.stats();
+        assert_eq!(stats.advances, 30);
+        assert!(stats.links_formed > 0, "mobile nodes must have formed links: {stats:?}");
+        assert!(stats.links_broken > 0, "mobile nodes must have broken links: {stats:?}");
+        // Net churn is consistent with the observed edge-count change.
+        let delta = net.links().edge_count() as i64 - initial_edges;
+        assert_eq!(stats.links_formed as i64 - stats.links_broken as i64, delta);
     }
 
     #[test]
