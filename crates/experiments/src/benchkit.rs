@@ -15,6 +15,7 @@ use agentnet_engine::perf::{
     calibration_kernel, time_kernel, utc_date_string, BenchOptions, BenchReport, CALIBRATION_KERNEL,
 };
 use agentnet_engine::sim::{Step, TimeStepSim};
+use agentnet_radio::NetworkBuilder;
 use std::hint::black_box;
 
 /// Network advances timed per bench iteration.
@@ -23,7 +24,23 @@ const ADVANCES_PER_ITER: u64 = 64;
 /// Simulation steps timed per bench iteration.
 const STEPS_PER_ITER: u64 = 16;
 
+/// Scaling-preset kernels: name, node count, advances per iteration
+/// (scaled down with population so one iteration stays OS-timeable
+/// without taking seconds at 100k).
+const SCALED_KERNELS: &[(&str, usize, u64)] = &[
+    ("sharded_advance_1k", 1_000, 8),
+    ("sharded_advance_10k", 10_000, 2),
+    ("sharded_advance_100k", 100_000, 1),
+];
+
 /// Runs the full kernel suite and returns the stamped report.
+pub fn run_kernels(opts: BenchOptions, unix_seconds: u64) -> BenchReport {
+    run_kernels_matching(opts, unix_seconds, &|_| true)
+}
+
+/// Runs the kernels whose names pass `keep` (the calibration kernel is
+/// always timed — without it nothing normalizes), skipping the setup of
+/// filtered-out kernels entirely, and returns the stamped report.
 ///
 /// The kernels:
 ///
@@ -39,94 +56,162 @@ const STEPS_PER_ITER: u64 = 16;
 /// * `mapping_step` — full [`MappingSim`] steps on the paper graph.
 /// * `route_revalidation` — a forced full [`RouteIndex`] resync plus
 ///   reverse-BFS connectivity on a warmed routing state.
+/// * `shard_rebuild` — a forced full link rebuild (grid + out-rows +
+///   ordered commit) on the 1k scaling preset, sharded across the
+///   machine's cores.
+/// * `sharded_advance_{1k,10k,100k}` — [`WirelessNetwork::advance`] on
+///   the scaling presets with sharding at the machine's core count:
+///   the deterministic parallel step this crate's scaling work targets.
 ///
 /// [`WirelessNetwork::advance`]: agentnet_radio::WirelessNetwork::advance
-pub fn run_kernels(opts: BenchOptions, unix_seconds: u64) -> BenchReport {
+pub fn run_kernels_matching(
+    opts: BenchOptions,
+    unix_seconds: u64,
+    keep: &dyn Fn(&str) -> bool,
+) -> BenchReport {
     let mut report = BenchReport::new(utc_date_string(unix_seconds), opts);
 
     report.kernels.push(time_kernel(CALIBRATION_KERNEL, opts, || {
         black_box(calibration_kernel());
     }));
 
-    let mut stationary = paper_routing_network()
-        .mobile_fraction(0.0)
-        .build(TOPOLOGY_SEED)
-        .expect("paper routing topology must build");
-    stationary.advance(); // settle: first advance builds the caches
-    report.kernels.push(time_kernel("wireless_advance_static", opts, || {
-        for _ in 0..ADVANCES_PER_ITER {
-            stationary.advance();
-        }
-        black_box(stationary.topology_version());
-    }));
-
-    let mut mobile =
-        paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing topology must build");
-    report.kernels.push(time_kernel("wireless_advance_mobile", opts, || {
-        for _ in 0..ADVANCES_PER_ITER {
-            mobile.advance();
-        }
-        black_box(mobile.topology_version());
-    }));
-
-    let net = paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing topology");
-    let config = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
-    let mut routing = RoutingSim::new(net, config, TOPOLOGY_SEED).expect("valid routing config");
-    let mut now = 0u64;
-    report.kernels.push(time_kernel("routing_step", opts, || {
-        for _ in 0..STEPS_PER_ITER {
-            routing.step(Step::new(now));
-            now += 1;
-        }
-        black_box(routing.connectivity_series().values().last().copied());
-    }));
-
-    let graph = paper_mapping_graph();
-    let config = MappingConfig::new(MappingPolicy::Conscientious, 15);
-    let mut mapping = MappingSim::new(graph, config, TOPOLOGY_SEED).expect("valid mapping config");
-    let mut now = 0u64;
-    report.kernels.push(time_kernel("mapping_step", opts, || {
-        for _ in 0..STEPS_PER_ITER {
-            mapping.step(Step::new(now));
-            now += 1;
-        }
-        black_box(mapping.is_done());
-    }));
-
-    // Route revalidation in isolation: clone the warmed routing state's
-    // tables and force a from-scratch index resync every iteration by
-    // alternating the version stamp.
-    let n = routing.network().node_count();
-    let tables: Vec<_> =
-        (0..n).map(|v| routing.table(agentnet_graph::NodeId::new(v)).clone()).collect();
-    let mut is_gateway = vec![false; n];
-    for &g in routing.network().gateways() {
-        is_gateway[g.index()] = true;
+    if keep("wireless_advance_static") {
+        let mut stationary = paper_routing_network()
+            .mobile_fraction(0.0)
+            .build(TOPOLOGY_SEED)
+            .expect("paper routing topology must build");
+        stationary.advance(); // settle: first advance builds the caches
+        report.kernels.push(time_kernel("wireless_advance_static", opts, || {
+            for _ in 0..ADVANCES_PER_ITER {
+                stationary.advance();
+            }
+            black_box(stationary.topology_version());
+        }));
     }
-    let live = routing.live_gateways().to_vec();
-    let mut index = RouteIndex::new(n);
-    let mut version = 0u64;
-    report.kernels.push(time_kernel("route_revalidation", opts, || {
-        // A single resync is ~10µs — too short to time against OS
-        // noise, so batch like the step kernels.
-        for _ in 0..STEPS_PER_ITER {
-            index.refresh(&tables, routing.network().links(), &is_gateway, version);
-            version = version.wrapping_add(1);
-            black_box(index.connected_fraction(&live));
+
+    if keep("wireless_advance_mobile") {
+        let mut mobile = paper_routing_network()
+            .build(TOPOLOGY_SEED)
+            .expect("paper routing topology must build");
+        report.kernels.push(time_kernel("wireless_advance_mobile", opts, || {
+            for _ in 0..ADVANCES_PER_ITER {
+                mobile.advance();
+            }
+            black_box(mobile.topology_version());
+        }));
+    }
+
+    if keep("routing_step") || keep("route_revalidation") {
+        let net = paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing topology");
+        let config = RoutingConfig::new(RoutingPolicy::OldestNode, 100);
+        let mut routing =
+            RoutingSim::new(net, config, TOPOLOGY_SEED).expect("valid routing config");
+        let mut now = 0u64;
+        if keep("routing_step") {
+            report.kernels.push(time_kernel("routing_step", opts, || {
+                for _ in 0..STEPS_PER_ITER {
+                    routing.step(Step::new(now));
+                    now += 1;
+                }
+                black_box(routing.connectivity_series().values().last().copied());
+            }));
         }
-    }));
+        if keep("route_revalidation") {
+            // Route revalidation in isolation: clone the warmed routing
+            // state's tables and force a from-scratch index resync every
+            // iteration by alternating the version stamp.
+            let n = routing.network().node_count();
+            let tables: Vec<_> =
+                (0..n).map(|v| routing.table(agentnet_graph::NodeId::new(v)).clone()).collect();
+            let mut is_gateway = vec![false; n];
+            for &g in routing.network().gateways() {
+                is_gateway[g.index()] = true;
+            }
+            let live = routing.live_gateways().to_vec();
+            let mut index = RouteIndex::new(n);
+            let mut version = 0u64;
+            report.kernels.push(time_kernel("route_revalidation", opts, || {
+                // A single resync is ~10µs — too short to time against OS
+                // noise, so batch like the step kernels.
+                for _ in 0..STEPS_PER_ITER {
+                    index.refresh(&tables, routing.network().links(), &is_gateway, version);
+                    version = version.wrapping_add(1);
+                    black_box(index.connected_fraction(&live));
+                }
+            }));
+        }
+    }
+
+    if keep("mapping_step") {
+        let graph = paper_mapping_graph();
+        let config = MappingConfig::new(MappingPolicy::Conscientious, 15);
+        let mut mapping =
+            MappingSim::new(graph, config, TOPOLOGY_SEED).expect("valid mapping config");
+        let mut now = 0u64;
+        report.kernels.push(time_kernel("mapping_step", opts, || {
+            for _ in 0..STEPS_PER_ITER {
+                mapping.step(Step::new(now));
+                now += 1;
+            }
+            black_box(mapping.is_done());
+        }));
+    }
+
+    let shards = machine_shards();
+
+    if keep("shard_rebuild") {
+        let mut net = NetworkBuilder::preset_1k()
+            .advance_shards(shards)
+            .build(TOPOLOGY_SEED)
+            .expect("1k scaling preset must build");
+        report.kernels.push(time_kernel("shard_rebuild", opts, || {
+            net.refresh_links();
+            black_box(net.topology_version());
+        }));
+    }
+
+    for &(name, nodes, advances) in SCALED_KERNELS {
+        if !keep(name) {
+            continue;
+        }
+        let mut net = NetworkBuilder::scaled_preset(nodes)
+            .advance_shards(shards)
+            .build(TOPOLOGY_SEED)
+            .expect("scaling preset must build");
+        net.advance(); // settle: first advance warms grid and row scratch
+        report.kernels.push(time_kernel(name, opts, || {
+            for _ in 0..advances {
+                net.advance();
+            }
+            black_box(net.topology_version());
+        }));
+    }
 
     report
+}
+
+/// Shard count for the scaling kernels: one per available core, so the
+/// bench reflects what the machine can actually do. Determinism is not
+/// at stake — results are bitwise identical at any shard count.
+fn machine_shards() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The two largest presets are excluded here: building them in a
+    /// debug-profile unit test costs tens of seconds without exercising
+    /// any wiring the 1k kernel doesn't.
+    fn debug_sized(name: &str) -> bool {
+        name != "sharded_advance_10k" && name != "sharded_advance_100k"
+    }
+
     #[test]
     fn kernel_suite_is_complete_and_timed() {
         let opts = BenchOptions { warmup: 0, iters: 1 };
-        let report = run_kernels(opts, 1_785_931_200);
+        let report = run_kernels_matching(opts, 1_785_931_200, &debug_sized);
         assert_eq!(report.date, "2026-08-05");
         let names: Vec<&str> = report.kernels.iter().map(|k| k.kernel.as_str()).collect();
         assert_eq!(
@@ -136,13 +221,24 @@ mod tests {
                 "wireless_advance_static",
                 "wireless_advance_mobile",
                 "routing_step",
-                "mapping_step",
                 "route_revalidation",
+                "mapping_step",
+                "shard_rebuild",
+                "sharded_advance_1k",
             ]
         );
         for k in &report.kernels {
             assert!(k.ns_per_iter > 0.0, "{} not timed", k.kernel);
             assert!(report.normalized(&k.kernel).is_some(), "{} not normalizable", k.kernel);
         }
+    }
+
+    #[test]
+    fn filtered_run_always_keeps_calibration() {
+        let opts = BenchOptions { warmup: 0, iters: 1 };
+        let report = run_kernels_matching(opts, 1_785_931_200, &|n| n == "shard_rebuild");
+        let names: Vec<&str> = report.kernels.iter().map(|k| k.kernel.as_str()).collect();
+        assert_eq!(names, [CALIBRATION_KERNEL, "shard_rebuild"]);
+        assert!(report.normalized("shard_rebuild").is_some());
     }
 }

@@ -99,7 +99,7 @@ fn usage() -> ! {
          \x20            [--trace-out FILE] [--trace] [--check] [--list] [EXPERIMENT_ID ...]\n\
          \x20      repro validate [--seed N] [--inject-failure]\n\
          \x20      repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
-         \x20            [--warmup N] [--iters N]\n\
+         \x20            [--warmup N] [--iters N] [--filter SUBSTRING]...\n\
          \x20      repro lint [--baseline] [--root DIR] [--rules]"
     );
     eprintln!("experiments:");
@@ -173,11 +173,16 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut max_regression_pct = 25.0f64;
+    let mut filters: Vec<String> = Vec::new();
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => match args.next() {
                 Some(path) => out_path = Some(path),
+                None => usage(),
+            },
+            "--filter" => match args.next() {
+                Some(f) => filters.push(f),
                 None => usage(),
             },
             "--baseline" => match args.next() {
@@ -243,9 +248,14 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
         }
     }
 
+    // Kernel selection: with no --filter everything runs; otherwise a
+    // kernel runs when any filter substring matches its name. The
+    // calibration kernel always runs so the report stays normalizable.
+    let keep = |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
+
     // agentlint::allow(no-ambient-entropy) — stderr progress timing only.
     let started = Instant::now();
-    let mut report = benchkit::run_kernels(opts, unix_seconds);
+    let mut report = benchkit::run_kernels_matching(opts, unix_seconds, &keep);
     eprintln!("timed {} kernels in {:.1}s", report.kernels.len(), started.elapsed().as_secs_f64());
     if let Some(err) = report.calibration_error() {
         eprintln!("repro bench: this run's report is unusable: {err}");
@@ -258,7 +268,7 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
     if let Some(baseline) = &baseline {
         if !report.regressions(baseline, max_regression_pct).is_empty() {
             eprintln!("apparent regression; re-measuring to confirm");
-            let second = benchkit::run_kernels(opts, unix_seconds);
+            let second = benchkit::run_kernels_matching(opts, unix_seconds, &keep);
             for k in &mut report.kernels {
                 if let Some(s) = second.kernel(&k.kernel) {
                     k.ns_per_iter = k.ns_per_iter.min(s.ns_per_iter);

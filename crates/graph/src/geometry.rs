@@ -95,8 +95,10 @@ impl fmt::Display for Point2 {
     }
 }
 
-/// An axis-aligned rectangle `[0, width] x [0, height]` — the simulation
-/// arena nodes live in.
+/// An axis-aligned rectangle `[min_x, min_x + width] x [min_y, min_y +
+/// height]` — the simulation arena nodes live in. [`Rect::new`] anchors
+/// the arena at the origin; [`Rect::anchored`] places its min corner
+/// anywhere in the plane.
 ///
 /// ```
 /// use agentnet_graph::geometry::Rect;
@@ -104,6 +106,10 @@ impl fmt::Display for Point2 {
 /// let arena = Rect::new(1000.0, 600.0);
 /// assert!(arena.contains(Point2::new(500.0, 300.0)));
 /// assert!(!arena.contains(Point2::new(-1.0, 0.0)));
+///
+/// let shifted = Rect::anchored(Point2::new(500.0, -200.0), 1000.0, 600.0);
+/// assert!(shifted.contains(Point2::new(1200.0, -100.0)));
+/// assert!(!shifted.contains(Point2::new(100.0, 100.0)));
 /// ```
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Rect {
@@ -111,30 +117,80 @@ pub struct Rect {
     pub width: f64,
     /// Arena height in metres.
     pub height: f64,
+    /// Min corner of the arena; `(0, 0)` for [`Rect::new`] arenas.
+    #[serde(default)]
+    origin: Point2,
 }
 
 impl Rect {
-    /// Creates an arena of the given dimensions.
+    /// Creates an arena of the given dimensions anchored at the origin.
     ///
     /// # Panics
     ///
     /// Panics if either dimension is not strictly positive and finite.
     pub fn new(width: f64, height: f64) -> Self {
+        Rect::anchored(Point2::ORIGIN, width, height)
+    }
+
+    /// Creates an arena of the given dimensions whose min (bottom-left)
+    /// corner sits at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite,
+    /// or if `origin` is not finite.
+    pub fn anchored(origin: Point2, width: f64, height: f64) -> Self {
         assert!(
             width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
             "arena dimensions must be positive and finite"
         );
-        Rect { width, height }
+        assert!(origin.x.is_finite() && origin.y.is_finite(), "arena origin must be finite");
+        Rect { width, height, origin }
     }
 
-    /// A square arena with the given side length.
+    /// A square arena with the given side length, anchored at the origin.
     pub fn square(side: f64) -> Self {
         Rect::new(side, side)
     }
 
+    /// The min (bottom-left) corner of the arena.
+    #[inline]
+    pub fn origin(&self) -> Point2 {
+        self.origin
+    }
+
+    /// Smallest contained x coordinate.
+    #[inline]
+    pub fn min_x(&self) -> f64 {
+        self.origin.x
+    }
+
+    /// Smallest contained y coordinate.
+    #[inline]
+    pub fn min_y(&self) -> f64 {
+        self.origin.y
+    }
+
+    /// Largest contained x coordinate.
+    #[inline]
+    pub fn max_x(&self) -> f64 {
+        self.origin.x + self.width
+    }
+
+    /// Largest contained y coordinate.
+    #[inline]
+    pub fn max_y(&self) -> f64 {
+        self.origin.y + self.height
+    }
+
     /// Returns `true` if `p` lies inside (or on the boundary of) the arena.
     pub fn contains(&self, p: Point2) -> bool {
-        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+        (self.min_x()..=self.max_x()).contains(&p.x) && (self.min_y()..=self.max_y()).contains(&p.y)
+    }
+
+    /// Clamps both coordinates of `p` into the arena.
+    pub fn clamp_point(&self, p: Point2) -> Point2 {
+        Point2::new(p.x.clamp(self.min_x(), self.max_x()), p.y.clamp(self.min_y(), self.max_y()))
     }
 
     /// Area in square metres.
@@ -207,5 +263,35 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rect_rejects_zero_width() {
         let _ = Rect::new(0.0, 5.0);
+    }
+
+    #[test]
+    fn anchored_rect_contains_and_clamps_relative_to_origin() {
+        let r = Rect::anchored(Point2::new(500.0, -200.0), 100.0, 50.0);
+        assert_eq!(r.min_x(), 500.0);
+        assert_eq!(r.max_x(), 600.0);
+        assert_eq!(r.min_y(), -200.0);
+        assert_eq!(r.max_y(), -150.0);
+        assert!(r.contains(Point2::new(500.0, -200.0)));
+        assert!(r.contains(Point2::new(600.0, -150.0)));
+        assert!(!r.contains(Point2::new(499.9, -175.0)));
+        assert!(!r.contains(Point2::new(0.0, 0.0)));
+        assert_eq!(r.clamp_point(Point2::new(0.0, 0.0)), Point2::new(500.0, -150.0));
+        assert_eq!(r.clamp_point(Point2::new(550.0, -175.0)), Point2::new(550.0, -175.0));
+    }
+
+    #[test]
+    fn origin_anchored_rect_matches_new() {
+        let a = Rect::new(10.0, 20.0);
+        let b = Rect::anchored(Point2::ORIGIN, 10.0, 20.0);
+        assert_eq!(a, b);
+        assert_eq!(a.origin(), Point2::ORIGIN);
+        assert_eq!(a.clamp_point(Point2::new(-5.0, 99.0)), Point2::new(0.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "origin")]
+    fn anchored_rejects_nan_origin() {
+        let _ = Rect::anchored(Point2::new(f64::NAN, 0.0), 1.0, 1.0);
     }
 }

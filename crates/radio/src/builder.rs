@@ -70,6 +70,8 @@ pub struct NetworkBuilder {
     gateway_range_boost: f64,
     min_initial_reachability: f64,
     max_retries: usize,
+    base_range: Option<f64>,
+    advance_shards: usize,
 }
 
 impl NetworkBuilder {
@@ -90,12 +92,46 @@ impl NetworkBuilder {
             gateway_range_boost: 1.5,
             min_initial_reachability: 0.9,
             max_retries: 64,
+            base_range: None,
+            advance_shards: 1,
         }
     }
 
     /// The paper's routing network: 250 nodes, 12 gateways, half mobile.
     pub fn paper_routing() -> Self {
         NetworkBuilder::new(250).gateways(12).target_edges(2000)
+    }
+
+    /// A scaling preset of `nodes` nodes at the paper's node density
+    /// (250 per km²) and mean degree (~8): arena side grows with
+    /// `sqrt(nodes)`, the base radio range is pinned instead of
+    /// calibrated (the `O(n²)` edge-count bisection is intractable at
+    /// 100k nodes), one gateway per 25 nodes, and no initial
+    /// reachability constraint (a single placement, no retries).
+    pub fn scaled_preset(nodes: usize) -> Self {
+        let side = 1000.0 * (nodes as f64 / 250.0).sqrt();
+        // 2.5e-4 nodes/m² * π * 101² m² ≈ 8 expected in-range peers —
+        // the same mean degree target_edges defaults to.
+        NetworkBuilder::new(nodes)
+            .gateways((nodes / 25).max(1))
+            .arena(Rect::square(side))
+            .base_range(101.0)
+            .min_initial_reachability(0.0)
+    }
+
+    /// [`Self::scaled_preset`] at 1 000 nodes.
+    pub fn preset_1k() -> Self {
+        NetworkBuilder::scaled_preset(1_000)
+    }
+
+    /// [`Self::scaled_preset`] at 10 000 nodes.
+    pub fn preset_10k() -> Self {
+        NetworkBuilder::scaled_preset(10_000)
+    }
+
+    /// [`Self::scaled_preset`] at 100 000 nodes.
+    pub fn preset_100k() -> Self {
+        NetworkBuilder::scaled_preset(100_000)
     }
 
     /// Number of gateway nodes.
@@ -165,6 +201,24 @@ impl NetworkBuilder {
         self
     }
 
+    /// Pins the base radio range in metres instead of calibrating it
+    /// against [`Self::target_edges`] — the only tractable option for
+    /// the large scaling presets, where the calibration's `O(n²)`
+    /// pairwise edge count dominates construction.
+    pub fn base_range(mut self, metres: f64) -> Self {
+        self.base_range = Some(metres);
+        self
+    }
+
+    /// Number of contiguous column shards the built network steps in
+    /// parallel per [`WirelessNetwork::advance`] (default 1 =
+    /// sequential). Results are bitwise identical for every value; see
+    /// [`WirelessNetwork::set_advance_shards`].
+    pub fn advance_shards(mut self, shards: usize) -> Self {
+        self.advance_shards = shards;
+        self
+    }
+
     /// Builds the network.
     ///
     /// # Errors
@@ -179,7 +233,9 @@ impl NetworkBuilder {
             let attempt_seed = seed ^ (attempt as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
             let mut rng = StdRng::seed_from_u64(attempt_seed);
             let net = self.build_once(target_edges, attempt_seed, &mut rng);
-            if self.gateways == 0 || net.reachability_upper_bound() >= self.min_initial_reachability
+            if self.gateways == 0
+                || self.min_initial_reachability <= 0.0
+                || net.reachability_upper_bound() >= self.min_initial_reachability
             {
                 return Ok(net);
             }
@@ -221,6 +277,14 @@ impl NetworkBuilder {
                 return fail(format!("target edges {t} outside (0, {max_edges}]"));
             }
         }
+        if let Some(r) = self.base_range {
+            if !(r.is_finite() && r > 0.0) {
+                return fail(format!("base range {r} must be positive and finite"));
+            }
+        }
+        if self.advance_shards == 0 {
+            return fail("advance shards must be at least 1".into());
+        }
         Ok(())
     }
 
@@ -234,8 +298,8 @@ impl NetworkBuilder {
         let positions: Vec<Point2> = (0..n)
             .map(|_| {
                 Point2::new(
-                    rng.random_range(0.0..self.arena.width),
-                    rng.random_range(0.0..self.arena.height),
+                    rng.random_range(self.arena.min_x()..self.arena.max_x()),
+                    rng.random_range(self.arena.min_y()..self.arena.max_y()),
                 )
             })
             .collect();
@@ -257,7 +321,9 @@ impl NetworkBuilder {
 
         let boost =
             |i: usize| if gateway_set.contains(&i) { self.gateway_range_boost } else { 1.0 };
-        let base = if n > 1 {
+        let base = if let Some(pinned) = self.base_range {
+            pinned
+        } else if n > 1 {
             calibrate_base_range(&positions, &factors, target_edges, self.arena, &boost)
         } else {
             1.0
@@ -308,7 +374,9 @@ impl NetworkBuilder {
                 }
             })
             .collect();
-        WirelessNetwork::from_nodes(self.arena, nodes, mobility_seed)
+        let mut net = WirelessNetwork::from_nodes(self.arena, nodes, mobility_seed);
+        net.set_advance_shards(self.advance_shards);
+        net
     }
 }
 
@@ -427,6 +495,77 @@ mod tests {
             NetworkBuilder::new(5).target_edges(10_000).build(0),
             Err(BuildError::InvalidParameter { .. })
         ));
+    }
+
+    #[test]
+    fn mobile_fraction_rejects_nan_and_edges_of_range() {
+        // NaN fails RangeInclusive::contains, so it must be rejected,
+        // not silently rounded into a mobile count.
+        assert!(matches!(
+            NetworkBuilder::new(5).mobile_fraction(f64::NAN).build(0),
+            Err(BuildError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            NetworkBuilder::new(5).mobile_fraction(-0.01).build(0),
+            Err(BuildError::InvalidParameter { .. })
+        ));
+        // The closed endpoints stay legal.
+        let none = NetworkBuilder::new(10).mobile_fraction(0.0).build(1).unwrap();
+        assert_eq!(none.nodes().iter().filter(|n| n.kind.is_mobile()).count(), 0);
+        let all = NetworkBuilder::new(10).mobile_fraction(1.0).build(1).unwrap();
+        assert_eq!(all.nodes().iter().filter(|n| n.kind.is_mobile()).count(), 10);
+    }
+
+    #[test]
+    fn base_range_and_shards_are_validated() {
+        assert!(matches!(
+            NetworkBuilder::new(5).base_range(0.0).build(0),
+            Err(BuildError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            NetworkBuilder::new(5).base_range(f64::INFINITY).build(0),
+            Err(BuildError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            NetworkBuilder::new(5).advance_shards(0).build(0),
+            Err(BuildError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_base_range_skips_calibration_but_keeps_shape() {
+        let net = NetworkBuilder::new(40)
+            .gateways(2)
+            .range_heterogeneity(0.0)
+            .base_range(120.0)
+            .min_initial_reachability(0.0)
+            .build(4)
+            .unwrap();
+        for node in net.nodes().iter().filter(|n| !n.kind.is_gateway()) {
+            assert_eq!(node.nominal_range, 120.0);
+        }
+    }
+
+    #[test]
+    fn scaled_preset_keeps_paper_density_and_degree() {
+        // The 250-node preset is exactly the paper's arena; the mean
+        // out-degree should land near the default target of 8.
+        let b = NetworkBuilder::scaled_preset(250);
+        let net = b.build(3).unwrap();
+        assert_eq!(net.node_count(), 250);
+        assert_eq!(net.gateways().len(), 10);
+        assert!((net.arena().width - 1000.0).abs() < 1e-9);
+        let mean_degree = net.links().edge_count() as f64 / 250.0;
+        assert!((4.0..14.0).contains(&mean_degree), "mean degree {mean_degree} implausible");
+    }
+
+    #[test]
+    fn preset_1k_builds_and_scales_arena() {
+        let net = NetworkBuilder::preset_1k().advance_shards(4).build(5).unwrap();
+        assert_eq!(net.node_count(), 1_000);
+        assert_eq!(net.advance_shards(), 4);
+        assert_eq!(net.gateways().len(), 40);
+        assert!((net.arena().width - 2000.0).abs() < 1e-9);
     }
 
     #[test]

@@ -108,7 +108,8 @@ impl Invariant<WirelessNetwork> for SymmetricWhenHomogeneous {
     }
 
     fn check(&mut self, net: &WirelessNetwork, _now: Step) -> Result<(), String> {
-        let mut ranges = net.nodes().iter().map(|n| n.effective_range());
+        let nodes = net.nodes();
+        let mut ranges = nodes.iter().map(|n| n.effective_range());
         let Some(first) = ranges.next() else { return Ok(()) };
         let homogeneous = ranges.all(|r| (r - first).abs() <= EPS * first.max(1.0));
         if homogeneous && !net.links().is_symmetric() {

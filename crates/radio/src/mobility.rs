@@ -99,8 +99,10 @@ impl Motion {
         } else {
             rng.random_range(speed_range.0..=speed_range.1)
         };
-        let target =
-            Point2::new(rng.random_range(0.0..arena.width), rng.random_range(0.0..arena.height));
+        let target = Point2::new(
+            rng.random_range(arena.min_x()..arena.max_x()),
+            rng.random_range(arena.min_y()..arena.max_y()),
+        );
         Motion::RandomWaypoint { speed, target, pause_left: 0, pause }
     }
 
@@ -141,21 +143,21 @@ impl Motion {
                 let mut p = position + *velocity;
                 // Reflect off each wall; the velocity component flips so
                 // the node keeps a straight path between bounces.
-                if p.x < 0.0 {
-                    p.x = -p.x;
+                if p.x < arena.min_x() {
+                    p.x = 2.0 * arena.min_x() - p.x;
                     velocity.x = -velocity.x;
-                } else if p.x > arena.width {
-                    p.x = 2.0 * arena.width - p.x;
+                } else if p.x > arena.max_x() {
+                    p.x = 2.0 * arena.max_x() - p.x;
                     velocity.x = -velocity.x;
                 }
-                if p.y < 0.0 {
-                    p.y = -p.y;
+                if p.y < arena.min_y() {
+                    p.y = 2.0 * arena.min_y() - p.y;
                     velocity.y = -velocity.y;
-                } else if p.y > arena.height {
-                    p.y = 2.0 * arena.height - p.y;
+                } else if p.y > arena.max_y() {
+                    p.y = 2.0 * arena.max_y() - p.y;
                     velocity.y = -velocity.y;
                 }
-                p.clamped(arena.width, arena.height)
+                arena.clamp_point(p)
             }
             Motion::GaussMarkov { velocity, mean_velocity, alpha, sigma } => {
                 let a = *alpha;
@@ -163,25 +165,25 @@ impl Motion {
                 velocity.x = a * velocity.x + (1.0 - a) * mean_velocity.x + noise * gaussian(rng);
                 velocity.y = a * velocity.y + (1.0 - a) * mean_velocity.y + noise * gaussian(rng);
                 let mut p = position + *velocity;
-                if p.x < 0.0 {
-                    p.x = -p.x;
+                if p.x < arena.min_x() {
+                    p.x = 2.0 * arena.min_x() - p.x;
                     velocity.x = -velocity.x;
                     mean_velocity.x = -mean_velocity.x;
-                } else if p.x > arena.width {
-                    p.x = 2.0 * arena.width - p.x;
+                } else if p.x > arena.max_x() {
+                    p.x = 2.0 * arena.max_x() - p.x;
                     velocity.x = -velocity.x;
                     mean_velocity.x = -mean_velocity.x;
                 }
-                if p.y < 0.0 {
-                    p.y = -p.y;
+                if p.y < arena.min_y() {
+                    p.y = 2.0 * arena.min_y() - p.y;
                     velocity.y = -velocity.y;
                     mean_velocity.y = -mean_velocity.y;
-                } else if p.y > arena.height {
-                    p.y = 2.0 * arena.height - p.y;
+                } else if p.y > arena.max_y() {
+                    p.y = 2.0 * arena.max_y() - p.y;
                     velocity.y = -velocity.y;
                     mean_velocity.y = -mean_velocity.y;
                 }
-                p.clamped(arena.width, arena.height)
+                arena.clamp_point(p)
             }
             Motion::RandomWaypoint { speed, target, pause_left, pause } => {
                 if *pause_left > 0 {
@@ -195,8 +197,8 @@ impl Motion {
                     *pause_left = *pause;
                     let arrived = *target;
                     *target = Point2::new(
-                        rng.random_range(0.0..arena.width),
-                        rng.random_range(0.0..arena.height),
+                        rng.random_range(arena.min_x()..arena.max_x()),
+                        rng.random_range(arena.min_y()..arena.max_y()),
                     );
                     arrived
                 } else {
@@ -345,6 +347,25 @@ mod tests {
     fn gauss_markov_rejects_bad_alpha() {
         let mut r = rng();
         let _ = Motion::sample_gauss_markov((1.0, 2.0), 1.5, 0.1, &mut r);
+    }
+
+    #[test]
+    fn all_models_stay_inside_a_shifted_arena() {
+        let shifted = Rect::anchored(Point2::new(500.0, -200.0), 60.0, 40.0);
+        let start = Point2::new(530.0, -180.0);
+        let mut r = rng();
+        let mut models = [
+            Motion::sample_random_velocity((1.0, 5.0), &mut r),
+            Motion::sample_random_waypoint((1.0, 5.0), 1, shifted, &mut r),
+            Motion::sample_gauss_markov((1.0, 4.0), 0.8, 0.5, &mut r),
+        ];
+        for m in &mut models {
+            let mut p = start;
+            for _ in 0..5_000 {
+                p = m.advance(p, shifted, &mut r);
+                assert!(shifted.contains(p), "{m:?} escaped shifted arena at {p}");
+            }
+        }
     }
 
     #[test]

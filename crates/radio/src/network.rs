@@ -2,14 +2,18 @@
 
 #![cfg_attr(not(test), warn(clippy::indexing_slicing))]
 
-use crate::node::WirelessNode;
+use crate::battery::BatteryState;
+use crate::mobility::Motion;
+use crate::node::{NodeKind, WirelessNode};
 use crate::spatial::SpatialGrid;
+use agentnet_engine::rng::SeedSequence;
 use agentnet_engine::Step;
 use agentnet_graph::geometry::{Point2, Rect};
 use agentnet_graph::{DiGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::ops::{Deref, DerefMut};
 
 /// Cumulative counters of substrate-level events since construction —
 /// the radio layer's contribution to the run's metrics registry.
@@ -35,6 +39,11 @@ pub struct NetStats {
     /// Node-steps on which battery charge actually decayed (mains and
     /// floored batteries contribute nothing).
     pub battery_decay_steps: u64,
+    /// Rebuilds on which the spatial grid coarsened its cell size to
+    /// keep the bucket table allocatable (see
+    /// [`SpatialGrid::clamp_events`]) — nonzero means queries are
+    /// paying for an extent/range ratio the grid couldn't honour.
+    pub grid_cell_clamps: u64,
 }
 
 /// A wireless ad-hoc network whose topology is re-derived from node
@@ -46,15 +55,34 @@ pub struct NetStats {
 /// routing study. A network whose nodes are all stationary and
 /// mains-powered keeps a constant topology — the mapping study's setting.
 ///
+/// Node state is stored in columnar (structure-of-arrays) form: column
+/// `i` across the parallel vectors is node `i`. The columns are what the
+/// per-step kernels actually touch, so they stay cache-dense and can be
+/// split into disjoint contiguous shards for parallel stepping; the
+/// [`WirelessNode`] view is assembled on demand for inspection.
+///
 /// Created through [`crate::NetworkBuilder`].
 #[derive(Clone, Debug)]
 pub struct WirelessNetwork {
     arena: Rect,
-    nodes: Vec<WirelessNode>,
+    /// Node positions (column `i` = node `i`, like every column below).
+    positions: Vec<Point2>,
+    /// Nominal (full-charge) radio ranges.
+    nominal_ranges: Vec<f64>,
+    /// Node roles.
+    kinds: Vec<NodeKind>,
+    /// Battery charge and decay models.
+    batteries: Vec<BatteryState>,
+    /// Motion state.
+    motions: Vec<Motion>,
+    /// Per-node mobility RNG streams, derived from the mobility seed by
+    /// node index. Each stream travels with its column, so stepping the
+    /// columns in any shard partition draws exactly the same values as
+    /// the sequential path — the foundation of sharded determinism.
+    node_rngs: Vec<SmallRng>,
     links: DiGraph,
     gateways: Vec<NodeId>,
     now: Step,
-    mobility_rng: SmallRng,
     /// Bumped every time `links` actually changes; lets higher layers
     /// (e.g. the routing index) skip revalidation on frozen topologies.
     topology_version: u64,
@@ -67,6 +95,13 @@ pub struct WirelessNetwork {
     /// Double buffer: links are rebuilt into this graph (reusing its edge
     /// storage) and swapped in only when the topology actually changed.
     scratch_links: DiGraph,
+    /// Per-node out-neighbour rows the rebuild derives (possibly across
+    /// shards in parallel) before the single ordered commit into
+    /// `scratch_links`; reused across rebuilds.
+    out_rows: Vec<Vec<NodeId>>,
+    /// Number of contiguous column shards [`Self::advance`] steps in
+    /// parallel; 1 (the default) runs the sequential in-place path.
+    advance_shards: usize,
     /// Cumulative substrate event counters since construction.
     stats: NetStats,
 }
@@ -75,8 +110,9 @@ impl WirelessNetwork {
     /// Assembles a network from parts; link table is computed immediately.
     ///
     /// Most callers should use [`crate::NetworkBuilder`] instead. The
-    /// `mobility_seed` feeds the stream used by random-waypoint target
-    /// selection so runs are reproducible.
+    /// `mobility_seed` roots the per-node RNG streams that drive motion
+    /// models drawing at step time (waypoint re-targets, Gauss-Markov
+    /// noise), so runs are reproducible at any shard count.
     ///
     /// # Panics
     ///
@@ -87,18 +123,27 @@ impl WirelessNetwork {
         }
         let gateways = nodes.iter().filter(|n| n.kind.is_gateway()).map(|n| n.id).collect();
         let n = nodes.len();
+        let seeds = SeedSequence::new(mobility_seed);
         let mut net = WirelessNetwork {
             arena,
-            nodes,
+            positions: nodes.iter().map(|nd| nd.position).collect(),
+            nominal_ranges: nodes.iter().map(|nd| nd.nominal_range).collect(),
+            kinds: nodes.iter().map(|nd| nd.kind).collect(),
+            batteries: nodes.iter().map(|nd| nd.battery).collect(),
+            motions: nodes.iter().map(|nd| nd.motion).collect(),
+            node_rngs: (0..n as u64)
+                .map(|i| SmallRng::seed_from_u64(seeds.child(i).seed()))
+                .collect(),
             links: DiGraph::new(n),
             gateways,
             now: Step::ZERO,
-            mobility_rng: SmallRng::seed_from_u64(mobility_seed),
             topology_version: 0,
             grid: SpatialGrid::build(arena, 1.0, &[]),
             snap_positions: Vec::new(),
             snap_ranges: Vec::new(),
             scratch_links: DiGraph::new(n),
+            out_rows: Vec::new(),
+            advance_shards: 1,
             stats: NetStats::default(),
         };
         if n > 0 {
@@ -117,40 +162,78 @@ impl WirelessNetwork {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.positions.len()
     }
 
-    /// All nodes, ordered by id.
-    pub fn nodes(&self) -> &[WirelessNode] {
-        &self.nodes
+    /// All nodes, ordered by id, assembled from the columnar state.
+    pub fn nodes(&self) -> Vec<WirelessNode> {
+        (0..self.positions.len()).filter_map(|i| self.assemble(i)).collect()
     }
 
-    /// The node with the given id.
+    /// Assembles the row view of node `i`, or `None` out of range.
+    fn assemble(&self, i: usize) -> Option<WirelessNode> {
+        Some(WirelessNode {
+            id: NodeId::new(i),
+            position: *self.positions.get(i)?,
+            nominal_range: *self.nominal_ranges.get(i)?,
+            kind: *self.kinds.get(i)?,
+            battery: *self.batteries.get(i)?,
+            motion: *self.motions.get(i)?,
+        })
+    }
+
+    /// The node with the given id, assembled from the columnar state.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    #[allow(clippy::indexing_slicing)] // the documented panic above
-    pub fn node(&self, id: NodeId) -> &WirelessNode {
-        // Documented panic on an out-of-range id; inspection accessor,
-        // not on the advance path.
-        // agentlint::allow(no-panic-in-kernel)
-        &self.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> WirelessNode {
+        let Some(node) = self.assemble(id.index()) else {
+            // Documented panic on an out-of-range id; inspection
+            // accessor, not on the advance path.
+            // agentlint::allow(no-panic-in-kernel)
+            panic!("node {id} out of range for {} nodes", self.positions.len());
+        };
+        node
     }
 
     /// Mutable access to a node, for fault-injection scenarios (drain a
-    /// battery, teleport a node, change its motion). The link table does
-    /// **not** refresh until the next [`Self::advance`].
+    /// battery, teleport a node, change its motion). The returned guard
+    /// writes the row back into the columns when dropped; the link table
+    /// does **not** refresh until the next [`Self::advance`].
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    #[allow(clippy::indexing_slicing)] // the documented panic above
-    pub fn node_mut(&mut self, id: NodeId) -> &mut WirelessNode {
-        // Documented panic on an out-of-range id; fault-injection
-        // accessor, not on the advance path.
-        // agentlint::allow(no-panic-in-kernel)
-        &mut self.nodes[id.index()]
+    pub fn node_mut(&mut self, id: NodeId) -> NodeMut<'_> {
+        let Some(node) = self.assemble(id.index()) else {
+            // Documented panic on an out-of-range id; fault-injection
+            // accessor, not on the advance path.
+            // agentlint::allow(no-panic-in-kernel)
+            panic!("node {id} out of range for {} nodes", self.positions.len());
+        };
+        NodeMut { net: self, node }
+    }
+
+    /// Writes a row view back into the columns (identity is positional:
+    /// the row's id picks the column).
+    fn store(&mut self, node: WirelessNode) {
+        let i = node.id.index();
+        if let Some(p) = self.positions.get_mut(i) {
+            *p = node.position;
+        }
+        if let Some(r) = self.nominal_ranges.get_mut(i) {
+            *r = node.nominal_range;
+        }
+        if let Some(k) = self.kinds.get_mut(i) {
+            *k = node.kind;
+        }
+        if let Some(b) = self.batteries.get_mut(i) {
+            *b = node.battery;
+        }
+        if let Some(m) = self.motions.get_mut(i) {
+            *m = node.motion;
+        }
     }
 
     /// Ids of gateway nodes.
@@ -183,6 +266,22 @@ impl WirelessNetwork {
         self.stats
     }
 
+    /// Number of contiguous column shards [`Self::advance`] steps in
+    /// parallel. 1 is the sequential path.
+    pub fn advance_shards(&self) -> usize {
+        self.advance_shards
+    }
+
+    /// Sets the shard count used by [`Self::advance`] (clamped to at
+    /// least 1). Results are bitwise identical for **every** value:
+    /// per-node RNG streams travel with their columns and the link
+    /// commit is a single ordered merge, so sharding changes wall-clock
+    /// time only — `topology_version`, [`NetStats`] and all reports
+    /// stay byte-for-byte equal to the sequential path.
+    pub fn set_advance_shards(&mut self, shards: usize) {
+        self.advance_shards = shards.max(1);
+    }
+
     /// Advances the network one time step: batteries decay, mobile nodes
     /// move, and the link table is refreshed.
     ///
@@ -191,22 +290,91 @@ impl WirelessNetwork {
     /// all-stationary mains networks, or any quiescent stretch), the link
     /// table is kept as-is without touching the heap; otherwise the graph
     /// is rebuilt into a reused double buffer and swapped in only when
-    /// the edge set actually differs.
+    /// the edge set actually differs. With [`Self::set_advance_shards`]
+    /// above 1 both the node step and the out-row derivation run on
+    /// contiguous column shards in parallel, followed by the same
+    /// ordered commit as the sequential path.
     #[agentnet::hot_path]
     pub fn advance(&mut self) {
         self.stats.advances += 1;
-        for node in &mut self.nodes {
-            let charge_before = node.battery.charge();
-            node.battery.step();
-            if node.battery.charge() < charge_before {
-                self.stats.battery_decay_steps += 1;
-            }
-            node.position = node.motion.advance(node.position, self.arena, &mut self.mobility_rng);
-        }
-        if !self.nodes.is_empty() && self.state_drifted() {
+        self.step_nodes();
+        if !self.positions.is_empty() && self.state_drifted() {
             self.rebuild_links();
         }
         self.now = self.now.next();
+    }
+
+    /// Recomputes the link table from the current node state even if
+    /// nothing drifted — the forced counterpart of the incremental
+    /// refresh inside [`Self::advance`], for callers that mutated state
+    /// out of band and want links current without stepping time (and
+    /// for benchmarking the rebuild in isolation).
+    pub fn refresh_links(&mut self) {
+        if !self.positions.is_empty() {
+            self.rebuild_links();
+        }
+    }
+
+    /// Steps batteries and motion for every node, splitting the columns
+    /// into contiguous shards when configured. Battery decay counting
+    /// merges in shard order, so the stats match the sequential path.
+    #[agentnet::hot_path]
+    fn step_nodes(&mut self) {
+        let shards = self.advance_shards.min(self.positions.len()).max(1);
+        if shards <= 1 {
+            let arena = self.arena;
+            let mut decayed = 0u64;
+            for (((p, b), m), rng) in self
+                .positions
+                .iter_mut()
+                .zip(&mut self.batteries)
+                .zip(&mut self.motions)
+                .zip(&mut self.node_rngs)
+            {
+                let charge_before = b.charge();
+                b.step();
+                if b.charge() < charge_before {
+                    decayed += 1;
+                }
+                *p = m.advance(*p, arena, rng);
+            }
+            self.stats.battery_decay_steps += decayed;
+        } else {
+            self.stats.battery_decay_steps += self.step_nodes_sharded(shards);
+        }
+    }
+
+    /// Parallel node step over disjoint contiguous column chunks; returns
+    /// the battery-decay count summed in shard order. Each shard owns its
+    /// slice of every column (including the RNG streams), so the values
+    /// drawn are exactly the sequential path's.
+    fn step_nodes_sharded(&mut self, shards: usize) -> u64 {
+        let n = self.positions.len();
+        let chunk = n.div_ceil(shards);
+        let arena = self.arena;
+        let mut decayed = vec![0u64; shards];
+        std::thread::scope(|scope| {
+            for ((((ps, bs), ms), rngs), d) in self
+                .positions
+                .chunks_mut(chunk)
+                .zip(self.batteries.chunks_mut(chunk))
+                .zip(self.motions.chunks_mut(chunk))
+                .zip(self.node_rngs.chunks_mut(chunk))
+                .zip(&mut decayed)
+            {
+                scope.spawn(move || {
+                    for (((p, b), m), rng) in ps.iter_mut().zip(bs).zip(ms).zip(rngs) {
+                        let charge_before = b.charge();
+                        b.step();
+                        if b.charge() < charge_before {
+                            *d += 1;
+                        }
+                        *p = m.advance(*p, arena, rng);
+                    }
+                });
+            }
+        });
+        decayed.iter().sum()
     }
 
     /// `true` if any node's position or effective range differs from the
@@ -216,38 +384,39 @@ impl WirelessNetwork {
     /// stable.
     #[agentnet::hot_path]
     fn state_drifted(&self) -> bool {
-        self.nodes.len() != self.snap_positions.len()
+        self.positions.len() != self.snap_positions.len()
+            || self.positions.iter().zip(&self.snap_positions).any(|(a, b)| a != b)
             || self
-                .nodes
+                .nominal_ranges
                 .iter()
-                .zip(self.snap_positions.iter().zip(&self.snap_ranges))
-                .any(|(node, (&p, &r))| node.position != p || node.effective_range() != r)
+                .zip(&self.batteries)
+                .zip(&self.snap_ranges)
+                .any(|((&nr, b), &r)| nr * b.range_factor() != r)
     }
 
     /// Recomputes the link graph from current node state into the scratch
-    /// buffer (reusing grid buckets and adjacency storage), refreshes the
-    /// drift snapshots, and swaps the result in if the topology changed.
+    /// buffer (reusing grid buckets, out-row scratch and adjacency
+    /// storage), refreshes the drift snapshots, and swaps the result in
+    /// if the topology changed. The out-row derivation may fan out over
+    /// shards; everything from the row commit on is a single ordered
+    /// sequential phase, which is what keeps `topology_version` and the
+    /// stats byte-identical across shard counts.
     #[agentnet::hot_path]
     fn rebuild_links(&mut self) {
         self.snap_positions.clear();
-        self.snap_positions.extend(self.nodes.iter().map(|nd| nd.position));
+        self.snap_positions.extend_from_slice(&self.positions);
         self.snap_ranges.clear();
-        self.snap_ranges.extend(self.nodes.iter().map(|nd| nd.effective_range()));
+        self.snap_ranges.extend(
+            self.nominal_ranges.iter().zip(&self.batteries).map(|(&nr, b)| nr * b.range_factor()),
+        );
         let max_range = self.snap_ranges.iter().fold(0.0f64, |a, &b| a.max(b)).max(1e-9);
         // Cell size of the max range keeps candidate sets tight while the
         // 3x3 cell neighbourhood of a query still covers the whole disc.
+        let clamps_before = self.grid.clamp_events();
         self.grid.rebuild(self.arena, max_range, &self.snap_positions);
-        self.scratch_links.clear_edges();
-        for (node, &r) in self.nodes.iter().zip(&self.snap_ranges) {
-            for j in self.grid.candidates_within(node.position, r) {
-                let to = NodeId::new(j);
-                let covered =
-                    to != node.id && self.snap_positions.get(j).is_some_and(|&p| node.covers(p));
-                if covered {
-                    self.scratch_links.add_edge(node.id, to);
-                }
-            }
-        }
+        self.stats.grid_cell_clamps += self.grid.clamp_events() - clamps_before;
+        self.derive_out_rows();
+        self.scratch_links.set_sorted_out_rows(&self.out_rows);
         self.stats.link_rebuilds += 1;
         if self.scratch_links != self.links {
             // Per-link churn accounting happens only on the (already
@@ -258,6 +427,79 @@ impl WirelessNetwork {
             std::mem::swap(&mut self.scratch_links, &mut self.links);
             self.topology_version += 1;
             self.stats.topology_bumps += 1;
+        }
+    }
+
+    /// Derives every node's sorted out-neighbour row into the reused
+    /// `out_rows` scratch, fanning out over contiguous shards when
+    /// configured. Row `i` depends only on the (frozen) snapshot and the
+    /// grid, so the partition cannot change any row's content.
+    #[agentnet::hot_path]
+    fn derive_out_rows(&mut self) {
+        let n = self.snap_positions.len();
+        if self.out_rows.len() != n {
+            // Warm-up only: rows are reused across rebuilds.
+            // agentlint::allow(no-alloc-in-hot-path)
+            self.out_rows.resize_with(n, Vec::new);
+        }
+        let shards = self.advance_shards.min(n).max(1);
+        if shards <= 1 {
+            Self::fill_rows(
+                &self.grid,
+                &self.snap_positions,
+                &self.snap_positions,
+                &self.snap_ranges,
+                0,
+                &mut self.out_rows,
+            );
+        } else {
+            self.derive_out_rows_sharded(shards);
+        }
+    }
+
+    /// Parallel out-row derivation over disjoint contiguous row chunks.
+    fn derive_out_rows_sharded(&mut self, shards: usize) {
+        let n = self.snap_positions.len();
+        let chunk = n.div_ceil(shards);
+        let grid = &self.grid;
+        let all = &self.snap_positions;
+        std::thread::scope(|scope| {
+            for (k, ((pos, ranges), rows)) in all
+                .chunks(chunk)
+                .zip(self.snap_ranges.chunks(chunk))
+                .zip(self.out_rows.chunks_mut(chunk))
+                .enumerate()
+            {
+                scope.spawn(move || Self::fill_rows(grid, all, pos, ranges, k * chunk, rows));
+            }
+        });
+    }
+
+    /// Fills the out-neighbour rows for nodes `offset..offset +
+    /// positions.len()`: grid candidates filtered by the exact
+    /// effective-range disc, sorted by id. Identical float math to the
+    /// sequential per-edge test, so rows are bitwise partition-invariant.
+    #[agentnet::hot_path]
+    fn fill_rows(
+        grid: &SpatialGrid,
+        all_positions: &[Point2],
+        positions: &[Point2],
+        ranges: &[f64],
+        offset: usize,
+        rows: &mut [Vec<NodeId>],
+    ) {
+        for (local, ((&p, &r), row)) in positions.iter().zip(ranges).zip(rows).enumerate() {
+            let i = offset + local;
+            let r_sq = r * r;
+            row.clear();
+            for j in grid.candidates_within(p, r) {
+                let covered =
+                    j != i && all_positions.get(j).is_some_and(|&q| p.distance_sq(q) <= r_sq);
+                if covered {
+                    row.push(NodeId::new(j));
+                }
+            }
+            row.sort_unstable();
         }
     }
 
@@ -283,6 +525,33 @@ impl WirelessNetwork {
     /// useful as a diagnostic for how connectable the topology is.
     pub fn reachability_upper_bound(&self) -> f64 {
         agentnet_graph::connectivity::fraction_reaching(&self.links, &self.gateways)
+    }
+}
+
+/// Write-back guard returned by [`WirelessNetwork::node_mut`]: derefs to
+/// a [`WirelessNode`] row view and stores any mutation back into the
+/// network's columns on drop.
+pub struct NodeMut<'a> {
+    net: &'a mut WirelessNetwork,
+    node: WirelessNode,
+}
+
+impl Deref for NodeMut<'_> {
+    type Target = WirelessNode;
+    fn deref(&self) -> &WirelessNode {
+        &self.node
+    }
+}
+
+impl DerefMut for NodeMut<'_> {
+    fn deref_mut(&mut self) -> &mut WirelessNode {
+        &mut self.node
+    }
+}
+
+impl Drop for NodeMut<'_> {
+    fn drop(&mut self) {
+        self.net.store(self.node);
     }
 }
 
@@ -387,6 +656,24 @@ mod tests {
     }
 
     #[test]
+    fn node_mut_guard_writes_every_field_back() {
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        {
+            let mut n = net.node_mut(NodeId::new(1));
+            n.position = Point2::new(7.0, 7.0);
+            n.nominal_range = 42.0;
+            n.kind = NodeKind::Mobile;
+            n.motion = Motion::RandomVelocity { velocity: Point2::new(1.0, 0.0) };
+        }
+        let n = net.node(NodeId::new(1));
+        assert_eq!(n.position, Point2::new(7.0, 7.0));
+        assert_eq!(n.nominal_range, 42.0);
+        assert_eq!(n.kind, NodeKind::Mobile);
+        assert_eq!(n.motion, Motion::RandomVelocity { velocity: Point2::new(1.0, 0.0) });
+    }
+
+    #[test]
     fn topology_version_tracks_actual_changes() {
         let mut low = still_node(0, 0.0, 0.0, 10.0);
         low.battery = BatteryState::new(BatteryModel::Linear { per_step: 0.2, floor: 0.1 });
@@ -446,6 +733,17 @@ mod tests {
     }
 
     #[test]
+    fn refresh_links_applies_out_of_band_mutations() {
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
+        net.node_mut(NodeId::new(1)).position = Point2::new(90.0, 90.0);
+        assert!(net.links().has_edge(NodeId::new(0), NodeId::new(1)), "stale until refreshed");
+        net.refresh_links();
+        assert!(!net.links().has_edge(NodeId::new(0), NodeId::new(1)));
+        assert_eq!(net.now(), Step::ZERO, "refresh must not advance time");
+    }
+
+    #[test]
     fn fresh_network_reports_zero_stats() {
         let nodes = vec![still_node(0, 0.0, 0.0, 10.0), still_node(1, 5.0, 0.0, 10.0)];
         let net = WirelessNetwork::from_nodes(Rect::square(100.0), nodes, 1);
@@ -466,6 +764,7 @@ mod tests {
         assert_eq!(stats.topology_bumps, 0);
         assert_eq!(stats.links_formed + stats.links_broken, 0);
         assert_eq!(stats.battery_decay_steps, 0);
+        assert_eq!(stats.grid_cell_clamps, 0);
     }
 
     #[test]
@@ -517,10 +816,65 @@ mod tests {
     }
 
     #[test]
+    fn sharded_advance_is_bitwise_identical_to_sequential() {
+        let build = || {
+            NetworkBuilder::new(60)
+                .gateways(3)
+                .target_edges(480)
+                .mobile_fraction(0.5)
+                .min_initial_reachability(0.0)
+                .build(11)
+                .unwrap()
+        };
+        let mut sequential = build();
+        for _ in 0..25 {
+            sequential.advance();
+        }
+        // Shard counts spanning 1 < k < n, k close to n, and k > n.
+        for shards in [2, 3, 7, 59, 61, 1000] {
+            let mut sharded = build();
+            sharded.set_advance_shards(shards);
+            assert_eq!(sharded.advance_shards(), shards);
+            for _ in 0..25 {
+                sharded.advance();
+            }
+            assert_eq!(sharded.links(), sequential.links(), "links differ at {shards} shards");
+            assert_eq!(
+                sharded.topology_version(),
+                sequential.topology_version(),
+                "topology_version differs at {shards} shards"
+            );
+            assert_eq!(sharded.stats(), sequential.stats(), "stats differ at {shards} shards");
+            assert_eq!(
+                sharded.nodes(),
+                sequential.nodes(),
+                "node state differs at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn set_advance_shards_clamps_zero_to_one() {
+        let nodes = vec![still_node(0, 0.0, 0.0, 10.0)];
+        let mut net = WirelessNetwork::from_nodes(Rect::square(10.0), nodes, 1);
+        net.set_advance_shards(0);
+        assert_eq!(net.advance_shards(), 1);
+        net.advance();
+        assert_eq!(net.stats().advances, 1);
+    }
+
+    #[test]
     #[should_panic(expected = "dense and ordered")]
     fn out_of_order_ids_panic() {
         let nodes = vec![still_node(1, 0.0, 0.0, 1.0)];
         let _ = WirelessNetwork::from_nodes(Rect::square(10.0), nodes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_accessor_panics_out_of_range() {
+        let net = WirelessNetwork::from_nodes(Rect::square(10.0), vec![], 1);
+        let _ = net.node(NodeId::new(3));
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl fmt::Display for NodeKind {
 /// The node's *effective* radio range at any instant is
 /// `nominal_range * battery.range_factor()` — battery decay shrinks
 /// coverage over time.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WirelessNode {
     /// Dense identifier (index into the network's node table).
     pub id: NodeId,

@@ -30,9 +30,19 @@ pub struct SpatialGrid {
     cols: usize,
     rows: usize,
     buckets: Vec<Vec<usize>>,
+    /// Rebuilds that had to coarsen the requested cell size to keep the
+    /// bucket table allocatable — see [`SpatialGrid::clamp_events`].
+    clamp_events: u64,
 }
 
 impl SpatialGrid {
+    /// Hard ceiling on the bucket-table size (~4M cells, ~100 MB of
+    /// `Vec` headers). Rebuilds whose extent/cell ratio would exceed it
+    /// coarsen the cell size instead of aborting on allocation;
+    /// correctness is unaffected because [`Self::candidates_within`]
+    /// derives its cell window from the same cell size.
+    pub const MAX_CELLS: usize = 1 << 22;
+
     /// Builds a grid with cells of side `cell_size` (clamped to a sane
     /// minimum) containing the given points.
     ///
@@ -40,8 +50,14 @@ impl SpatialGrid {
     ///
     /// Panics if `cell_size` is not finite and positive.
     pub fn build(arena: Rect, cell_size: f64, points: &[Point2]) -> Self {
-        let mut grid =
-            SpatialGrid { arena, cell: 1.0, cols: 1, rows: 1, buckets: vec![Vec::new()] };
+        let mut grid = SpatialGrid {
+            arena,
+            cell: 1.0,
+            cols: 1,
+            rows: 1,
+            buckets: vec![Vec::new()],
+            clamp_events: 0,
+        };
         grid.rebuild(arena, cell_size, points);
         grid
     }
@@ -51,23 +67,38 @@ impl SpatialGrid {
     /// [`crate::WirelessNetwork::advance`], which would otherwise
     /// reallocate every bucket every step.
     ///
+    /// An absurd extent/cell ratio (whose `cols * rows` bucket table
+    /// would overflow or exceed [`Self::MAX_CELLS`]) does not abort:
+    /// the cell size is doubled until the table fits and the event is
+    /// surfaced through [`Self::clamp_events`].
+    ///
     /// # Panics
     ///
     /// Panics if `cell_size` is not finite and positive.
     #[agentnet::hot_path]
     pub fn rebuild(&mut self, arena: Rect, cell_size: f64, points: &[Point2]) {
         assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive and finite");
-        let cols = Self::cell_span(arena.width, cell_size);
-        let rows = Self::cell_span(arena.height, cell_size);
+        let mut cell = cell_size;
+        let mut cols = Self::cell_span(arena.width, cell);
+        let mut rows = Self::cell_span(arena.height, cell);
+        if Self::bucket_table_oversized(cols, rows) {
+            while Self::bucket_table_oversized(cols, rows) {
+                cell *= 2.0;
+                cols = Self::cell_span(arena.width, cell);
+                rows = Self::cell_span(arena.height, cell);
+            }
+            self.clamp_events += 1;
+        }
         self.arena = arena;
-        self.cell = cell_size;
+        self.cell = cell;
         self.cols = cols;
         self.rows = rows;
         for bucket in &mut self.buckets {
             bucket.clear();
         }
         // Fills only newly grown cells; in steady state the grid shape
-        // is stable and none grow.
+        // is stable and none grow. `cols * rows` cannot overflow: the
+        // clamp loop above bounded it by MAX_CELLS.
         // agentlint::allow(no-alloc-in-hot-path)
         self.buckets.resize_with(cols * rows, Vec::new);
         for (i, &p) in points.iter().enumerate() {
@@ -76,6 +107,22 @@ impl SpatialGrid {
                 bucket.push(i);
             }
         }
+    }
+
+    /// `true` when a `cols x rows` bucket table would overflow `usize`
+    /// or exceed [`Self::MAX_CELLS`].
+    #[inline]
+    fn bucket_table_oversized(cols: usize, rows: usize) -> bool {
+        cols.checked_mul(rows).is_none_or(|cells| cells > Self::MAX_CELLS)
+    }
+
+    /// Number of rebuilds (since construction) that coarsened the
+    /// requested cell size to keep the bucket table within
+    /// [`Self::MAX_CELLS`] — a coarser grid degrades query tightness,
+    /// so callers surface this as a metric rather than silently paying
+    /// for near-full scans.
+    pub fn clamp_events(&self) -> u64 {
+        self.clamp_events
     }
 
     /// Number of cells covering `extent` at `cell` width, at least 1 —
@@ -90,7 +137,8 @@ impl SpatialGrid {
         cells as usize
     }
 
-    /// Maps a coordinate to a cell index, clamped into `0..limit`.
+    /// Maps an **arena-relative** coordinate (already offset by the
+    /// arena's min corner) to a cell index, clamped into `0..limit`.
     ///
     /// Positions are allowed to fall outside the arena (fault injection
     /// teleports, numerical drift at the walls): coordinates left of the
@@ -110,8 +158,12 @@ impl SpatialGrid {
     }
 
     fn bucket_of(&self, p: Point2) -> usize {
-        let cx = Self::cell_index(p.x, self.cell, self.cols);
-        let cy = Self::cell_index(p.y, self.cell, self.rows);
+        // Offset by the arena's min corner: a non-origin arena's cells
+        // start at `origin`, not `(0, 0)` — dividing the absolute
+        // coordinate would collapse every point into the clamped border
+        // cells and degrade queries to near-full scans.
+        let cx = Self::cell_index(p.x - self.arena.min_x(), self.cell, self.cols);
+        let cy = Self::cell_index(p.y - self.arena.min_y(), self.cell, self.rows);
         cy * self.cols + cx
     }
 
@@ -126,10 +178,12 @@ impl SpatialGrid {
         center: Point2,
         radius: f64,
     ) -> impl Iterator<Item = usize> + '_ {
-        let min_cx = Self::cell_index(center.x - radius, self.cell, self.cols);
-        let max_cx = Self::cell_index(center.x + radius, self.cell, self.cols);
-        let min_cy = Self::cell_index(center.y - radius, self.cell, self.rows);
-        let max_cy = Self::cell_index(center.y + radius, self.cell, self.rows);
+        let x = center.x - self.arena.min_x();
+        let y = center.y - self.arena.min_y();
+        let min_cx = Self::cell_index(x - radius, self.cell, self.cols);
+        let max_cx = Self::cell_index(x + radius, self.cell, self.cols);
+        let min_cy = Self::cell_index(y - radius, self.cell, self.rows);
+        let max_cy = Self::cell_index(y + radius, self.cell, self.rows);
         (min_cy..=max_cy).flat_map(move |cy| {
             (min_cx..=max_cx).flat_map(move |cx| {
                 let bucket =
@@ -202,6 +256,67 @@ mod tests {
         assert!(near.contains(&0));
         let far: Vec<usize> = g.candidates_within(Point2::new(14.0, 3.0), 2.0).collect();
         assert!(far.contains(&1));
+    }
+
+    #[test]
+    fn shifted_arena_buckets_points_by_relative_position() {
+        // Regression: cell_index used to divide the *absolute*
+        // coordinate by the cell size, so every point of a non-origin
+        // arena landed in the clamped border cells and distant points
+        // became candidates of each other.
+        let arena = Rect::anchored(Point2::new(500.0, -200.0), 100.0, 100.0);
+        let near = Point2::new(505.0, -195.0); // min corner area
+        let far = Point2::new(595.0, -105.0); // max corner area
+        let g = SpatialGrid::build(arena, 10.0, &[near, far]);
+        assert_eq!(g.cell_count(), 100);
+        let around_near: Vec<usize> = g.candidates_within(near, 5.0).collect();
+        assert!(around_near.contains(&0), "near point must be its own candidate");
+        assert!(
+            !around_near.contains(&1),
+            "far corner of a shifted arena must not be a candidate near the min corner"
+        );
+        let around_far: Vec<usize> = g.candidates_within(far, 5.0).collect();
+        assert!(around_far.contains(&1));
+        assert!(!around_far.contains(&0));
+    }
+
+    #[test]
+    fn shifted_arena_candidates_are_superset_of_in_range() {
+        let arena = Rect::anchored(Point2::new(-50.0, 30.0), 20.0, 12.0);
+        let pts: Vec<Point2> = (0..60)
+            .map(|i| Point2::new(-50.0 + (i % 10) as f64 * 2.0, 30.0 + (i / 10) as f64 * 2.0))
+            .collect();
+        let g = SpatialGrid::build(arena, 3.0, &pts);
+        let center = Point2::new(-41.0, 35.0);
+        let radius = 4.0;
+        let cands: std::collections::HashSet<usize> = g.candidates_within(center, radius).collect();
+        for (i, p) in pts.iter().enumerate() {
+            if center.distance(*p) <= radius {
+                assert!(cands.contains(&i), "missed in-range point {i} at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_extent_cell_ratio_clamps_instead_of_aborting() {
+        // 1e12-wide arena with 1e-3 cells: ~1e30 buckets would overflow
+        // the multiply (and any allocator). The rebuild must coarsen
+        // the cell size, stay within MAX_CELLS, and surface the event.
+        let arena = Rect::new(1e12, 1e12);
+        let pts = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0), Point2::new(9e11, 9e11)];
+        let g = SpatialGrid::build(arena, 1e-3, &pts);
+        assert!(g.cell_count() <= SpatialGrid::MAX_CELLS);
+        assert_eq!(g.clamp_events(), 1);
+        // Queries stay correct on the coarsened grid.
+        let near: Vec<usize> = g.candidates_within(Point2::new(1.5, 1.5), 2.0).collect();
+        assert!(near.contains(&0) && near.contains(&1));
+    }
+
+    #[test]
+    fn sane_rebuilds_never_clamp() {
+        let mut g = SpatialGrid::build(Rect::square(1000.0), 100.0, &[]);
+        g.rebuild(Rect::square(1000.0), 50.0, &[]);
+        assert_eq!(g.clamp_events(), 0);
     }
 
     #[test]

@@ -159,6 +159,41 @@ proptest! {
     }
 
     #[test]
+    fn sharded_step_is_byte_identical_to_sequential(
+        seed in 0u64..48,
+        nodes in 2usize..80,
+        shards_raw in 0usize..16,
+        mobile in 0.0f64..1.0,
+        steps in 1usize..20,
+    ) {
+        // Shard counts cover 1, mid-range, and far above the node count.
+        let shards = match shards_raw {
+            0 => 1,
+            15 => 200,
+            s => s + 1,
+        };
+        let build = |s: usize| {
+            NetworkBuilder::new(nodes)
+                .gateways((nodes / 10).min(3))
+                .mobile_fraction(mobile)
+                .min_initial_reachability(0.0)
+                .advance_shards(s)
+                .build(seed)
+                .unwrap()
+        };
+        let mut sequential = build(1);
+        let mut sharded = build(shards);
+        for _ in 0..steps {
+            sequential.advance();
+            sharded.advance();
+            prop_assert_eq!(sharded.links(), sequential.links());
+            prop_assert_eq!(sharded.topology_version(), sequential.topology_version());
+            prop_assert_eq!(sharded.stats(), sequential.stats());
+        }
+        prop_assert_eq!(sharded.nodes(), sequential.nodes());
+    }
+
+    #[test]
     fn stationary_nodes_never_move(seed in 0u64..32) {
         let mut net = NetworkBuilder::new(30)
             .gateways(2)
