@@ -16,7 +16,17 @@
 //!   every step. It approximates the best connectivity money can buy
 //!   and shows what that costs in messages.
 //!
-//! Both simulations run on the same [`agentnet_radio::WirelessNetwork`]
+//! A third family joins them for the protocol zoo:
+//!
+//! * [`flooding`] — **epidemic and binary spray-and-wait** DTN-style
+//!   baselines: gateways flood sequence-numbered announcements, either
+//!   unboundedly (epidemic, the delivery ceiling) or under a halving
+//!   copy budget (spray-and-wait, bounded overhead). Both implement
+//!   the [`agentnet_core::routing::RoutingProtocol`] trait, and
+//!   [`zoo`] builds any arm of the zoo — including the agent-based
+//!   arms from `agentnet-core` — as one boxed trait object.
+//!
+//! All simulations run on the same [`agentnet_radio::WirelessNetwork`]
 //! substrate and report the same connectivity metric (fraction of nodes
 //! whose forwarding chain reaches a gateway over currently-live links),
 //! so numbers are directly comparable with the paper's agents.
@@ -26,6 +36,10 @@
 
 pub mod aco;
 pub mod distance_vector;
+pub mod flooding;
+pub mod zoo;
 
 pub use aco::{AcoConfig, AcoSim};
 pub use distance_vector::{DvConfig, DvSim};
+pub use flooding::{FloodConfig, FloodError, FloodSim, FloodStrategy};
+pub use zoo::{build_protocol, ZooParams};

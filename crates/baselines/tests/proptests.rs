@@ -1,6 +1,8 @@
 //! Property-based tests for the baseline routing systems.
 
+use agentnet_baselines::zoo::{build_protocol, ZooParams};
 use agentnet_baselines::{AcoConfig, AcoSim, DvConfig, DvSim};
+use agentnet_core::routing::ProtocolKind;
 use agentnet_engine::sim::{Step, TimeStepSim};
 use agentnet_graph::NodeId;
 use agentnet_radio::NetworkBuilder;
@@ -103,5 +105,43 @@ proptest! {
         let mut sim = DvSim::new(network(seed, nodes, 2), DvConfig::default()).unwrap();
         let _ = sim.run(steps);
         prop_assert_eq!(sim.broadcasts(), nodes as u64 * steps);
+    }
+
+    /// Every zoo arm is byte-identical at any `advance_shards` count:
+    /// sharding the radio step may never leak into protocol state
+    /// (tables, connectivity series, overhead counters). Mirrors the
+    /// radio crate's sharding proptest, one layer up.
+    #[test]
+    fn zoo_arms_are_shard_count_invariant(
+        seed in 0u64..16,
+        kind_idx in 0usize..5,
+        population in 1usize..24,
+        shards_raw in 0usize..16,
+    ) {
+        let kind = ProtocolKind::ALL[kind_idx];
+        // 0 => the serial baseline, 15 => more shards than nodes.
+        let shards = match shards_raw {
+            0 => 1,
+            15 => 200,
+            s => s + 1,
+        };
+        let params = ZooParams::with_population(population);
+        let build = |shard_count: usize| {
+            let net = NetworkBuilder::new(30)
+                .gateways(3)
+                .min_initial_reachability(0.0)
+                .advance_shards(shard_count)
+                .build(seed)
+                .expect("network builds");
+            build_protocol(kind, net, &params, seed ^ 0xA11CE).expect("arm builds")
+        };
+        let mut serial = build(1);
+        let mut sharded = build(shards);
+        let out_serial = serial.run(40);
+        let out_sharded = sharded.run(40);
+        prop_assert_eq!(out_serial, out_sharded);
+        prop_assert_eq!(serial.connectivity_series(), sharded.connectivity_series());
+        prop_assert_eq!(serial.tables(), sharded.tables());
+        prop_assert_eq!(serial.overhead(), sharded.overhead());
     }
 }

@@ -15,13 +15,26 @@
 //! * [`traffic`] — packet-level evaluation: inject packets and forward
 //!   them along the agent-maintained tables, measuring delivery ratio,
 //!   latency and hop stretch.
+//! * [`protocol`] — the protocol-zoo abstraction: the [`RoutingProtocol`]
+//!   trait every routing arm (legacy agents, stigmergic, AntNet,
+//!   epidemic/spray-and-wait flooding) runs under.
+//! * [`stigroute`] — the stigmergic arm: route along freshest-footprint
+//!   gradients laid by wandering agents.
+//! * [`antnet`] — the AntNet-style arm: per-node probabilistic pheromone
+//!   tables updated by forward/backward ants.
 
+pub mod antnet;
 pub mod index;
+pub mod protocol;
 pub mod sim;
+pub mod stigroute;
 pub mod table;
 pub mod traffic;
 
+pub use antnet::{AntNetConfig, AntNetSim};
 pub use index::RouteIndex;
+pub use protocol::{chain_connectivity, ProtocolKind, RoutingProtocol};
 pub use sim::{RoutingConfig, RoutingOutcome, RoutingSim};
+pub use stigroute::{StigRouteConfig, StigRouteSim};
 pub use table::{RouteEntry, RoutingTable};
 pub use traffic::{TrafficConfig, TrafficSim, TrafficStats};

@@ -319,6 +319,11 @@ impl RoutingSim {
         &self.tables[node.index()]
     }
 
+    /// Every node's routing table, indexed by node id.
+    pub fn tables(&self) -> &[RoutingTable] {
+        &self.tables
+    }
+
     /// Current node of each agent, in agent order.
     pub fn positions(&self) -> Vec<NodeId> {
         self.agents.iter().map(|a| a.at).collect()

@@ -84,9 +84,13 @@ impl FootprintBoard {
 
     /// Returns `true` if some imprint within `window` steps of `now`
     /// points at `target` — i.e. a recent agent already left this node in
-    /// that direction.
+    /// that direction. An imprint stamped after `now` saturates to age 0
+    /// (still marked) rather than panicking, matching
+    /// [`RouteEntry::age`](crate::routing::RouteEntry::age).
     pub fn is_marked(&self, target: NodeId, now: Step, window: u64) -> bool {
-        self.slots.iter().any(|fp| fp.target == target && now.since(fp.at) <= window)
+        self.slots
+            .iter()
+            .any(|fp| fp.target == target && now.checked_since(fp.at).unwrap_or(0) <= window)
     }
 
     /// All distinct targets marked within `window` steps of `now`.
@@ -101,7 +105,12 @@ impl FootprintBoard {
     /// [`Self::marked_targets`] for per-step callers.
     pub fn marked_targets_into(&self, now: Step, window: u64, out: &mut Vec<NodeId>) {
         out.clear();
-        out.extend(self.slots.iter().filter(|fp| now.since(fp.at) <= window).map(|fp| fp.target));
+        out.extend(
+            self.slots
+                .iter()
+                .filter(|fp| now.checked_since(fp.at).unwrap_or(0) <= window)
+                .map(|fp| fp.target),
+        );
         out.sort_unstable();
         out.dedup();
     }
@@ -175,6 +184,16 @@ mod tests {
         fp(&mut b, 1, 2, 2);
         let agents: Vec<usize> = b.footprints().map(|f| f.agent.index()).collect();
         assert_eq!(agents, vec![0, 1]);
+    }
+
+    #[test]
+    fn future_stamped_imprints_saturate_instead_of_panicking() {
+        let mut b = board();
+        fp(&mut b, 0, 7, 10);
+        // A query before the imprint's stamp saturates the age to zero
+        // (freshest possible) instead of panicking on time reversal.
+        assert!(b.is_marked(NodeId::new(7), Step::new(5), 0));
+        assert_eq!(b.marked_targets(Step::new(5), 0), vec![NodeId::new(7)]);
     }
 
     #[test]

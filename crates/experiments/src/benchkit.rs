@@ -10,7 +10,9 @@
 use crate::{paper_mapping_graph, paper_routing_network, TOPOLOGY_SEED};
 use agentnet_core::mapping::{MappingConfig, MappingSim};
 use agentnet_core::policy::{MappingPolicy, RoutingPolicy};
-use agentnet_core::routing::{RouteIndex, RoutingConfig, RoutingSim};
+use agentnet_core::routing::{
+    AntNetConfig, AntNetSim, RouteIndex, RoutingConfig, RoutingProtocol, RoutingSim,
+};
 use agentnet_engine::perf::{
     calibration_kernel, time_kernel, utc_date_string, BenchOptions, BenchReport, CALIBRATION_KERNEL,
 };
@@ -53,6 +55,9 @@ pub fn run_kernels(opts: BenchOptions, unix_seconds: u64) -> BenchReport {
 ///   mobile fraction: movement, link recomputation, grid rebuild.
 /// * `routing_step` — full [`RoutingSim`] steps (decide / move /
 ///   exchange / revalidate) on the paper network.
+/// * `antnet_step` — full [`AntNetSim`] steps (evaporate / move ants /
+///   deposit / revalidate) on the paper network: the zoo's heaviest
+///   per-step arm (per-candidate pheromone scans).
 /// * `mapping_step` — full [`MappingSim`] steps on the paper graph.
 /// * `route_revalidation` — a forced full [`RouteIndex`] resync plus
 ///   reverse-BFS connectivity on a warmed routing state.
@@ -142,6 +147,20 @@ pub fn run_kernels_matching(
         }
     }
 
+    if keep("antnet_step") {
+        let net = paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing topology");
+        let config = AntNetConfig::new(100);
+        let mut antnet = AntNetSim::new(net, config, TOPOLOGY_SEED).expect("valid antnet config");
+        let mut now = 0u64;
+        report.kernels.push(time_kernel("antnet_step", opts, || {
+            for _ in 0..STEPS_PER_ITER {
+                antnet.step(Step::new(now));
+                now += 1;
+            }
+            black_box(antnet.connectivity_series().values().last().copied());
+        }));
+    }
+
     if keep("mapping_step") {
         let graph = paper_mapping_graph();
         let config = MappingConfig::new(MappingPolicy::Conscientious, 15);
@@ -222,6 +241,7 @@ mod tests {
                 "wireless_advance_mobile",
                 "routing_step",
                 "route_revalidation",
+                "antnet_step",
                 "mapping_step",
                 "shard_rebuild",
                 "sharded_advance_1k",

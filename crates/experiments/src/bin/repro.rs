@@ -75,6 +75,7 @@
 //! rewrites `lint.toml` from the current findings; `--rules` lists the
 //! rule catalogue.
 
+use agentnet_core::routing::ProtocolKind;
 use agentnet_engine::obs::{Metrics, DURATION_MICROS_BUCKETS};
 use agentnet_engine::perf::{BenchOptions, BenchReport};
 use agentnet_engine::table::Table;
@@ -97,7 +98,7 @@ fn usage() -> ! {
          \x20            [--cache-dir DIR] [--filter SUBSTRING]... [--json FILE]\n\
          \x20            [--out DIR] [--metrics-out FILE] [--metrics-prom FILE]\n\
          \x20            [--trace-out FILE] [--trace] [--check] [--list] [EXPERIMENT_ID ...]\n\
-         \x20      repro validate [--seed N] [--inject-failure]\n\
+         \x20      repro validate [--seed N] [--inject-failure] [--protocol ARM]\n\
          \x20      repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
          \x20            [--warmup N] [--iters N] [--filter SUBSTRING]...\n\
          \x20      repro lint [--baseline] [--root DIR] [--rules]"
@@ -141,12 +142,24 @@ fn run_validate(args: impl Iterator<Item = String>) -> ExitCode {
                 None => usage(),
             },
             "--inject-failure" => cfg.inject_failure = true,
+            "--protocol" => match args.next().map(|a| a.parse::<ProtocolKind>()) {
+                Some(Ok(kind)) => cfg.protocol = Some(kind),
+                Some(Err(e)) => {
+                    eprintln!("repro validate: {e}");
+                    usage()
+                }
+                None => usage(),
+            },
             _ => usage(),
         }
     }
     eprintln!(
-        "repro validate: seed {}{}",
+        "repro validate: seed {}{}{}",
         cfg.seed,
+        match cfg.protocol {
+            Some(kind) => format!(", restricted to the {kind} arm"),
+            None => String::new(),
+        },
         if cfg.inject_failure { ", with an injected failing invariant" } else { "" }
     );
     let report = run_battery(cfg);
@@ -743,6 +756,13 @@ fn main() -> ExitCode {
                     }
                 })
                 .collect(),
+            // The registry's zoo experiments drive every arm; a manifest
+            // listing them says which protocols this run's figures cover.
+            protocols: if experiments.iter().any(|e| e.id.starts_with("ext-zoo")) {
+                ProtocolKind::ALL.iter().map(|k| k.name().to_string()).collect()
+            } else {
+                Vec::new()
+            },
             metrics: obs.snapshot(),
         };
         if let Err(e) = std::fs::write(path, manifest.to_json_pretty()) {

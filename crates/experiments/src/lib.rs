@@ -15,6 +15,11 @@
 //!   E13 tie-breaking ablation, E14 link-degradation ablation.
 //! * [`comparisons`] — E15 overhead accounting, E16 packet traffic,
 //!   E17 ant-colony and E18 distance-vector baselines.
+//! * [`protocols`] — E19–E21, the protocol zoo: every
+//!   [`agentnet_core::routing::RoutingProtocol`] arm (legacy agents,
+//!   stigmergic trails, AntNet ants, epidemic and spray-and-wait
+//!   flooding) under identical mobility, swept over population and
+//!   cache size.
 //! * [`obs`] — run-level observability: the versioned run manifest
 //!   (`--metrics-out`), Prometheus exposition (`--metrics-prom`), and
 //!   the cross-experiment trace sink (`--trace-out`).
@@ -54,6 +59,7 @@ pub mod comparisons;
 pub mod extensions;
 pub mod mapping_figs;
 pub mod obs;
+pub mod protocols;
 pub mod registry;
 pub mod report;
 pub mod routing_figs;
@@ -63,7 +69,7 @@ pub use registry::Experiment;
 pub use report::{Claim, ExperimentReport};
 
 use agentnet_core::mapping::{MappingConfig, MappingOutcome, MappingSim};
-use agentnet_core::routing::{RoutingConfig, RoutingOutcome, RoutingSim};
+use agentnet_core::routing::{RoutingConfig, RoutingOutcome, RoutingProtocol, RoutingSim};
 use agentnet_core::validate::{mapping_invariants, routing_invariants};
 use agentnet_engine::cache::hash_config;
 use agentnet_engine::obs::{Metrics, SpanTimer};
@@ -255,6 +261,39 @@ impl<'a> Ctx<'a> {
         }
         if let Some(t) = self.traces {
             t.record(self.id, kind, stream, replicate, sim.trace());
+        }
+    }
+
+    /// Protocol-zoo counterpart of [`Ctx::observe_routing`], over any
+    /// [`RoutingProtocol`] arm. Zoo arms carry no
+    /// [`agentnet_core::trace::TraceLog`], so there is no trace-sink
+    /// leg; overhead counters land under a `zoo_` prefix (labelled
+    /// metrics would need a richer registry) together with the shared
+    /// substrate's [`agentnet_radio::NetStats`].
+    pub fn observe_protocol(
+        &self,
+        sim: &dyn RoutingProtocol,
+        _kind: &str,
+        _stream: u64,
+        _replicate: usize,
+    ) {
+        if let Some(m) = self.metrics {
+            let o = sim.overhead();
+            m.counter_add("zoo_replicates_total", 1);
+            m.counter_add("zoo_migrations_total", o.migrations);
+            m.counter_add("zoo_migrated_bytes_total", o.migrated_bytes);
+            m.counter_add("zoo_meeting_messages_total", o.meeting_messages);
+            m.counter_add("zoo_footprint_writes_total", o.footprint_writes);
+            m.counter_add("zoo_table_writes_total", o.table_writes);
+            let s = sim.network().stats();
+            m.counter_add("radio_steps_total", s.advances);
+            m.counter_add("radio_link_rebuilds_total", s.link_rebuilds);
+            m.counter_add("radio_topology_bumps_total", s.topology_bumps);
+            m.counter_add("radio_links_formed_total", s.links_formed);
+            m.counter_add("radio_links_broken_total", s.links_broken);
+            m.counter_add("radio_battery_decay_steps_total", s.battery_decay_steps);
+            m.counter_add("radio_grid_cell_clamps_total", s.grid_cell_clamps);
+            m.gauge_set("radio_advance_shards", sim.network().advance_shards() as f64);
         }
     }
 }

@@ -76,6 +76,13 @@ pub struct RunManifest {
     pub cache: CacheStats,
     /// Per-experiment rows, in report (registry) order.
     pub experiments: Vec<ExperimentCellStats>,
+    /// Protocol-zoo arms the run's validation battery was restricted to
+    /// (`repro validate --protocol`), or every arm exercised by zoo
+    /// experiments. Empty for runs that touched no zoo arm; `default`
+    /// keeps manifests written by older builds parseable (schema
+    /// unchanged — this field only adds information).
+    #[serde(default)]
+    pub protocols: Vec<String>,
     /// Full metrics registry snapshot (counters, gauges, histograms).
     pub metrics: MetricsSnapshot,
 }
@@ -268,6 +275,7 @@ mod tests {
                 cache_hits: 1,
                 wall_secs: 1.0,
             }],
+            protocols: vec!["agents".to_string(), "antnet".to_string()],
             metrics: metrics.snapshot(),
         }
     }
@@ -278,6 +286,18 @@ mod tests {
         let json = manifest.to_json_pretty();
         assert!(json.ends_with('\n'));
         let back = RunManifest::from_json(&json).unwrap();
+        assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn manifest_without_protocols_field_still_parses() {
+        // Manifests written before the protocol zoo lack `protocols`;
+        // same schema version, so they must load with the default.
+        let mut manifest = sample_manifest();
+        manifest.protocols.clear();
+        let json = manifest.to_json_pretty();
+        let stripped: Vec<&str> = json.lines().filter(|l| !l.contains("\"protocols\"")).collect();
+        let back = RunManifest::from_json(&stripped.join("\n")).unwrap();
         assert_eq!(back, manifest);
     }
 

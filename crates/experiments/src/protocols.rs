@@ -1,0 +1,331 @@
+//! The protocol-zoo figure family (`ext-zoo*`): delivery ratio, route
+//! age and overhead for every [`RoutingProtocol`] arm — legacy agents,
+//! stigmergic trails, AntNet ants, and the epidemic / spray-and-wait
+//! flooding baselines — under identical mobility and seeds, swept over
+//! population and per-arm cache size.
+//!
+//! Every arm runs on the paper's 250-node / 12-gateway routing network
+//! rebuilt from [`TOPOLOGY_SEED`], for [`ROUTING_STEPS`] steps, and is
+//! scored on the paper's 150–300 measurement window — exactly the
+//! regime of Figs. 7–11, so zoo numbers are directly comparable with
+//! the legacy figures.
+
+use crate::report::{Claim, ExperimentReport};
+use crate::{Ctx, ROUTING_STEPS, ROUTING_WINDOW, TOPOLOGY_SEED};
+use agentnet_baselines::zoo::{build_protocol, ZooParams};
+use agentnet_core::overhead::Overhead;
+use agentnet_core::routing::{ProtocolKind, RoutingOutcome, RoutingProtocol};
+use agentnet_engine::sim::Step;
+use agentnet_engine::table::Table;
+use agentnet_engine::Summary;
+
+/// Replicate-averaged scores of one arm at one parameter point.
+struct ArmStats {
+    delivery: Summary,
+    age: Summary,
+    overhead: Overhead,
+}
+
+/// Runs one zoo replicate — under per-step table validation plus the
+/// incremental-vs-from-scratch connectivity differential when `--check`
+/// is on. A violation inside an experiment replicate is always a
+/// simulator bug, so it panics.
+fn run_zoo_replicate(sim: &mut dyn RoutingProtocol, ctx: &Ctx) -> RoutingOutcome {
+    if ctx.check() {
+        let _span = ctx.span("zoo_checked_replicate_micros");
+        for step in 0..ROUTING_STEPS {
+            let now = Step::new(step);
+            sim.step(now);
+            if let Err(e) = sim.validate_tables(now) {
+                panic!("{} replicate failed table validation at {now}: {e}", sim.kind());
+            }
+        }
+        let recorded = sim.connectivity_series().values().last().copied().unwrap_or(f64::NAN);
+        let reference = sim.connectivity();
+        assert!(
+            recorded == reference,
+            "{}: incremental connectivity {recorded} != from-scratch {reference}",
+            sim.kind()
+        );
+        RoutingOutcome { connectivity: sim.connectivity_series().clone() }
+    } else {
+        let _span = ctx.span("zoo_replicate_micros");
+        sim.run(ROUTING_STEPS)
+    }
+}
+
+/// Replicated scores for `kind` at `params` on the seed stream
+/// `stream`: delivery ratio (mean window connectivity), end-of-run mean
+/// route age, and integer-averaged overhead counters.
+fn arm_stats(ctx: &Ctx, kind: ProtocolKind, params: ZooParams, stream: u64) -> ArmStats {
+    let cell = (kind, params);
+    let results: Vec<(f64, f64, Overhead)> = ctx.replicated("zoo-arm", &cell, stream, |i, s| {
+        let net = paper_net();
+        let mut arm = build_protocol(kind, net, &params, s.seed())
+            .unwrap_or_else(|e| panic!("{kind} arm must build: {e}"));
+        let out = run_zoo_replicate(arm.as_mut(), ctx);
+        ctx.observe_protocol(arm.as_ref(), "zoo-arm", stream, i);
+        let delivery = out.mean_connectivity(ROUTING_WINDOW).expect("window inside run");
+        let age = arm.mean_route_age(Step::new(ROUTING_STEPS));
+        (delivery, age, arm.overhead())
+    });
+    let delivery = Summary::from_samples(results.iter().map(|r| r.0)).expect("replicates ran");
+    let age = Summary::from_samples(results.iter().map(|r| r.1)).expect("replicates ran");
+    let total = results.iter().fold(Overhead::default(), |acc, r| acc + r.2);
+    let n = results.len().max(1) as u64;
+    let overhead = Overhead {
+        migrations: total.migrations / n,
+        migrated_bytes: total.migrated_bytes / n,
+        meeting_messages: total.meeting_messages / n,
+        footprint_writes: total.footprint_writes / n,
+        table_writes: total.table_writes / n,
+    };
+    ArmStats { delivery, age, overhead }
+}
+
+fn paper_net() -> agentnet_radio::WirelessNetwork {
+    crate::paper_routing_network().build(TOPOLOGY_SEED).expect("paper routing network must build")
+}
+
+/// E19 — the protocol zoo head-to-head: every arm at the zoo defaults
+/// (population 100, per-arm default cache), identical mobility.
+pub fn ext_zoo(ctx: &Ctx) -> ExperimentReport {
+    let params = ZooParams::default();
+    let mut table =
+        Table::new(["protocol", "delivery ratio", "route age", "migrations", "messages"]);
+    let mut rows = Vec::new();
+    for (i, kind) in ProtocolKind::ALL.into_iter().enumerate() {
+        let stats = arm_stats(ctx, kind, params, 2100 + i as u64);
+        table.push_row([
+            kind.name().to_string(),
+            stats.delivery.mean_ci_string(3),
+            format!("{:.1}", stats.age.mean),
+            stats.overhead.migrations.to_string(),
+            stats.overhead.meeting_messages.to_string(),
+        ]);
+        rows.push((kind, stats));
+    }
+    let by_kind = |k: ProtocolKind| rows.iter().find(|(kind, _)| *kind == k).map(|(_, s)| s);
+    let agents = by_kind(ProtocolKind::Agents).expect("agents arm ran");
+    let epidemic = by_kind(ProtocolKind::Epidemic).expect("epidemic arm ran");
+    let snw = by_kind(ProtocolKind::SprayAndWait).expect("spray-and-wait arm ran");
+    let claims = vec![
+        Claim::new(
+            "every arm sustains nonzero steady-state delivery",
+            rows.iter()
+                .map(|(k, s)| format!("{k}: {:.3}", s.delivery.mean))
+                .collect::<Vec<_>>()
+                .join("; "),
+            rows.iter().all(|(_, s)| s.delivery.mean > 0.02),
+        ),
+        Claim::new(
+            "unbounded flooding delivers at least as well as budgeted flooding",
+            format!(
+                "epidemic {:.3} vs spray-and-wait {:.3}",
+                epidemic.delivery.mean, snw.delivery.mean
+            ),
+            epidemic.delivery.mean >= snw.delivery.mean,
+        ),
+        Claim::new(
+            "flooding pays in messages what agents pay in migrations",
+            format!(
+                "epidemic sends {} messages; agents make {} migrations",
+                epidemic.overhead.meeting_messages, agents.overhead.migrations
+            ),
+            epidemic.overhead.meeting_messages > agents.overhead.migrations,
+        ),
+        Claim::new(
+            "flooding arms move no agents; agent arms move no announcements",
+            format!(
+                "flooding migrations {} + {}; agent-arm migrations all positive",
+                epidemic.overhead.migrations, snw.overhead.migrations
+            ),
+            epidemic.overhead.migrations == 0
+                && snw.overhead.migrations == 0
+                && rows.iter().all(|(k, s)| match k {
+                    ProtocolKind::Epidemic | ProtocolKind::SprayAndWait => true,
+                    _ => s.overhead.migrations > 0,
+                }),
+        ),
+    ];
+    ExperimentReport {
+        id: "ext-zoo".into(),
+        title: "protocol zoo: five routing arms under identical mobility".into(),
+        paper_claim: "mobile-agent routing is one point in a protocol space; the zoo makes the \
+             trade-offs (delivery vs overhead) measurable"
+            .into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// Population points for the zoo sweep (the paper's Fig. 8 regime,
+/// zoomed to its ends).
+const ZOO_POPULATIONS: [usize; 2] = [25, 150];
+
+/// E20 — population sweep over the agent-based arms (the flooding arms
+/// are agentless, so population does not apply to them).
+pub fn ext_zoo_pop(ctx: &Ctx) -> ExperimentReport {
+    let arms = [ProtocolKind::Agents, ProtocolKind::Stigmergic, ProtocolKind::AntNet];
+    let mut table = Table::new(["protocol", "population", "delivery ratio", "table writes"]);
+    let mut rows = Vec::new();
+    for (i, kind) in arms.into_iter().enumerate() {
+        for (j, &pop) in ZOO_POPULATIONS.iter().enumerate() {
+            let stream = 2120 + (2 * i + j) as u64;
+            let stats = arm_stats(ctx, kind, ZooParams::with_population(pop), stream);
+            table.push_row([
+                kind.name().to_string(),
+                pop.to_string(),
+                stats.delivery.mean_ci_string(3),
+                stats.overhead.table_writes.to_string(),
+            ]);
+            rows.push((kind, pop, stats));
+        }
+    }
+    let pair = |k: ProtocolKind| {
+        let lo = rows.iter().find(|(kind, pop, _)| *kind == k && *pop == ZOO_POPULATIONS[0]);
+        let hi = rows.iter().find(|(kind, pop, _)| *kind == k && *pop == ZOO_POPULATIONS[1]);
+        (lo.expect("low point ran"), hi.expect("high point ran"))
+    };
+    let claims = vec![
+        Claim::new(
+            "delivery does not degrade with population for any agent-based arm",
+            arms.iter()
+                .map(|&k| {
+                    let (lo, hi) = pair(k);
+                    format!("{k}: {:.3} -> {:.3}", lo.2.delivery.mean, hi.2.delivery.mean)
+                })
+                .collect::<Vec<_>>()
+                .join("; "),
+            arms.iter().all(|&k| {
+                let (lo, hi) = pair(k);
+                hi.2.delivery.mean + 0.05 >= lo.2.delivery.mean
+            }),
+        ),
+        Claim::new(
+            "more agents write more routes",
+            arms.iter()
+                .map(|&k| {
+                    let (lo, hi) = pair(k);
+                    format!("{k}: {} -> {}", lo.2.overhead.table_writes, hi.2.overhead.table_writes)
+                })
+                .collect::<Vec<_>>()
+                .join("; "),
+            arms.iter().all(|&k| {
+                let (lo, hi) = pair(k);
+                hi.2.overhead.table_writes > lo.2.overhead.table_writes
+            }),
+        ),
+    ];
+    ExperimentReport {
+        id: "ext-zoo-pop".into(),
+        title: "protocol zoo: population sweep over the agent-based arms".into(),
+        paper_claim: "connectivity rises with agent population (Fig. 8), and the trend should \
+             survive a protocol change"
+            .into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+/// Cache points for the zoo sweep (per-arm meaning: see
+/// [`agentnet_baselines::zoo`]).
+const ZOO_CACHES: [usize; 2] = [4, 32];
+
+/// E21 — cache-size sweep over every arm: each arm's bounded-state knob
+/// (visit memory, trail length, ant TTL, route age, copy budget) at a
+/// starved and a generous setting.
+pub fn ext_zoo_cache(ctx: &Ctx) -> ExperimentReport {
+    let mut table = Table::new(["protocol", "cache", "delivery ratio", "route age"]);
+    let mut rows = Vec::new();
+    for (i, kind) in ProtocolKind::ALL.into_iter().enumerate() {
+        for (j, &cache) in ZOO_CACHES.iter().enumerate() {
+            let stream = 2140 + (2 * i + j) as u64;
+            let stats = arm_stats(ctx, kind, ZooParams::default().cache(cache), stream);
+            table.push_row([
+                kind.name().to_string(),
+                cache.to_string(),
+                stats.delivery.mean_ci_string(3),
+                format!("{:.1}", stats.age.mean),
+            ]);
+            rows.push((kind, cache, stats));
+        }
+    }
+    let pair = |k: ProtocolKind| {
+        let lo = rows.iter().find(|(kind, c, _)| *kind == k && *c == ZOO_CACHES[0]);
+        let hi = rows.iter().find(|(kind, c, _)| *kind == k && *c == ZOO_CACHES[1]);
+        (lo.expect("starved point ran"), hi.expect("generous point ran"))
+    };
+    let epidemic = pair(ProtocolKind::Epidemic);
+    let claims = vec![
+        Claim::new(
+            "a generous cache never hurts delivery",
+            ProtocolKind::ALL
+                .iter()
+                .map(|&k| {
+                    let (lo, hi) = pair(k);
+                    format!("{k}: {:.3} -> {:.3}", lo.2.delivery.mean, hi.2.delivery.mean)
+                })
+                .collect::<Vec<_>>()
+                .join("; "),
+            ProtocolKind::ALL.iter().all(|&k| {
+                let (lo, hi) = pair(k);
+                hi.2.delivery.mean + 0.05 >= lo.2.delivery.mean
+            }),
+        ),
+        Claim::new(
+            "longer route retention shows up as older routes (epidemic)",
+            format!(
+                "age {:.1} at max_age 4 vs {:.1} at 32",
+                epidemic.0 .2.age.mean, epidemic.1 .2.age.mean
+            ),
+            epidemic.1 .2.age.mean >= epidemic.0 .2.age.mean,
+        ),
+    ];
+    ExperimentReport {
+        id: "ext-zoo-cache".into(),
+        title: "protocol zoo: per-arm cache-size sweep".into(),
+        paper_claim: "agents keep bounded state (visit memory, Fig. 9); every zoo arm has an \
+             analogous knob with an analogous starvation regime"
+            .into(),
+        table,
+        claims,
+        figure: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use agentnet_engine::Executor;
+
+    #[test]
+    fn zoo_reports_are_deterministic_across_executors() {
+        let serial = Executor::serial();
+        let parallel = Executor::new(4);
+        let a = ext_zoo(&Ctx::new(&serial, "ext-zoo", Mode::Smoke));
+        let b = ext_zoo(&Ctx::new(&parallel, "ext-zoo", Mode::Smoke));
+        assert_eq!(a.to_markdown(), b.to_markdown());
+    }
+
+    #[test]
+    fn checked_zoo_replicates_match_unchecked() {
+        // Table validation + the connectivity differential are pure
+        // observers: same report bytes, no violations on healthy arms.
+        let exec = Executor::serial();
+        let plain = ext_zoo_cache(&Ctx::new(&exec, "ext-zoo-cache", Mode::Smoke));
+        let checked = ext_zoo_cache(&Ctx::new(&exec, "ext-zoo-cache", Mode::Smoke).checked(true));
+        assert_eq!(plain.to_markdown(), checked.to_markdown());
+    }
+
+    #[test]
+    fn zoo_pop_smoke_passes() {
+        let exec = Executor::serial();
+        let report = ext_zoo_pop(&Ctx::new(&exec, "ext-zoo-pop", Mode::Smoke));
+        assert!(report.passed(), "{}", report.to_markdown());
+        assert_eq!(report.table.len(), 6);
+    }
+}

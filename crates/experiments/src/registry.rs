@@ -1,7 +1,7 @@
 //! The experiment registry: every figure and extension by id.
 
 use crate::report::ExperimentReport;
-use crate::{comparisons, extensions, mapping_figs, routing_figs, Ctx, Mode};
+use crate::{comparisons, extensions, mapping_figs, protocols, routing_figs, Ctx, Mode};
 use agentnet_engine::Executor;
 
 /// A runnable experiment.
@@ -112,6 +112,21 @@ pub fn all() -> Vec<Experiment> {
             title: "continuous mapping of a drifting topology",
             run: extensions::ext_livemap,
         },
+        Experiment {
+            id: "ext-zoo",
+            title: "protocol zoo: five routing arms head-to-head",
+            run: protocols::ext_zoo,
+        },
+        Experiment {
+            id: "ext-zoo-pop",
+            title: "protocol zoo: population sweep",
+            run: protocols::ext_zoo_pop,
+        },
+        Experiment {
+            id: "ext-zoo-cache",
+            title: "protocol zoo: cache-size sweep",
+            run: protocols::ext_zoo_cache,
+        },
     ]
 }
 
@@ -140,10 +155,13 @@ mod tests {
             "ext-dv",
             "ext-failure",
             "ext-livemap",
+            "ext-zoo",
+            "ext-zoo-pop",
+            "ext-zoo-cache",
         ] {
             assert!(ids.contains(&ext), "missing {ext}");
         }
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 23);
     }
 
     #[test]

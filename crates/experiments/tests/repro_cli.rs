@@ -72,6 +72,63 @@ fn filter_selects_by_id_substring() {
 }
 
 #[test]
+fn zoo_report_bytes_survive_jobs_and_check_flags() {
+    // The protocol-zoo figure family is golden: byte-identical across
+    // parallelism and with the invariant checker observing every arm.
+    let serial = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "1", "ext-zoo"]));
+    assert!(serial.contains("## ext-zoo"), "unexpected report:\n{serial}");
+    for arm in ["agents", "stigmergic", "antnet", "epidemic", "spray-and-wait"] {
+        assert!(serial.contains(arm), "report missing the {arm} arm:\n{serial}");
+    }
+    let parallel = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "4", "ext-zoo"]));
+    assert_eq!(serial, parallel, "--jobs must not change zoo report bytes");
+    let checked = stdout(&repro(&["--smoke", "--no-cache", "--jobs", "4", "--check", "ext-zoo"]));
+    assert_eq!(serial, checked, "--check must not change zoo report bytes");
+}
+
+#[test]
+fn zoo_manifest_records_the_protocol_arms() {
+    let dir = tmpdir("zoo-manifest");
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest_path = dir.join("manifest.json");
+    stdout(&repro(&[
+        "--smoke",
+        "--no-cache",
+        "--jobs",
+        "2",
+        "--metrics-out",
+        manifest_path.to_str().unwrap(),
+        "ext-zoo-cache",
+    ]));
+    let manifest_text = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let manifest = agentnet_experiments::RunManifest::from_json(&manifest_text)
+        .expect("manifest parses under the committed schema");
+    assert_eq!(
+        manifest.protocols,
+        ["agents", "stigmergic", "antnet", "epidemic", "spray-and-wait"],
+        "manifest:\n{manifest_text}"
+    );
+    assert!(
+        manifest.metrics.counters.contains_key("zoo_replicates_total"),
+        "zoo counters missing:\n{manifest_text}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn validate_protocol_flag_restricts_the_battery_to_one_arm() {
+    let out = repro(&["validate", "--protocol", "antnet"]);
+    let text = stdout(&out);
+    assert!(text.contains("zoo-tables-antnet"), "missing arm tables check:\n{text}");
+    assert!(text.contains("zoo-claims-antnet"), "missing arm claims check:\n{text}");
+    assert!(!text.contains("zoo-tables-agents"), "other arms must be skipped:\n{text}");
+    assert!(!text.contains("FAIL"), "restricted battery should be green:\n{text}");
+
+    let bad = repro(&["validate", "--protocol", "bogus"]);
+    assert!(!bad.status.success(), "an unknown arm must be rejected");
+}
+
+#[test]
 fn unknown_id_is_rejected() {
     let out = repro(&["--smoke", "fig99"]);
     assert!(!out.status.success());

@@ -18,7 +18,8 @@ use crate::rules::{punct_at, Finding, Rule};
 pub struct PanicInKernel;
 
 /// The kernel modules: everything on the per-step path of
-/// `WirelessNetwork::advance`, `MappingSim::step`, `RoutingSim::step`.
+/// `WirelessNetwork::advance`, `MappingSim::step`, and the protocol-zoo
+/// step loops (`RoutingSim`, `StigRouteSim`, `AntNetSim`, `FloodSim`).
 const KERNEL_FILES: &[&str] = &[
     "crates/radio/src/network.rs",
     "crates/radio/src/spatial.rs",
@@ -27,6 +28,9 @@ const KERNEL_FILES: &[&str] = &[
     "crates/core/src/mapping.rs",
     "crates/core/src/routing/sim.rs",
     "crates/core/src/routing/index.rs",
+    "crates/core/src/routing/stigroute.rs",
+    "crates/core/src/routing/antnet.rs",
+    "crates/baselines/src/flooding.rs",
 ];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];

@@ -29,13 +29,19 @@
 #![warn(missing_docs)]
 
 use agentnet_baselines::distance_vector::{DvConfig, DvSim};
+use agentnet_baselines::flooding::{FloodConfig, FloodSim};
+use agentnet_baselines::zoo::{build_protocol, ZooParams};
 use agentnet_core::mapping::{MappingConfig, MappingSim};
 use agentnet_core::policy::{MappingPolicy, RoutingPolicy};
-use agentnet_core::routing::{RoutingConfig, RoutingSim};
+use agentnet_core::routing::{
+    AntNetConfig, AntNetSim, ProtocolKind, RoutingConfig, RoutingProtocol, RoutingSim,
+    StigRouteConfig, StigRouteSim,
+};
 use agentnet_core::validate::{mapping_invariants, routing_invariants};
 use agentnet_engine::invariant::{invariant_fn, InvariantSet, InvariantViolation};
 use agentnet_engine::table::Table;
 use agentnet_engine::{Executor, ResultCache, SeedSequence, Step, TimeStepSim};
+use agentnet_graph::connectivity::reaches_any;
 use agentnet_graph::generators::{erdos_renyi, grid, GeometricConfig};
 use agentnet_graph::geometry::{Point2, Rect};
 use agentnet_graph::paths::{bfs_distances, diameter, hop_distance};
@@ -152,18 +158,31 @@ pub struct ValidateConfig {
     /// Registers a deliberately failing invariant, proving the battery
     /// actually fails (and exits non-zero) when a violation occurs.
     pub inject_failure: bool,
+    /// Restricts the battery to one protocol-zoo arm's checks (the CI
+    /// protocol-matrix job runs one arm per matrix cell); `None` runs
+    /// everything — the classic battery plus every arm.
+    pub protocol: Option<ProtocolKind>,
 }
 
 impl Default for ValidateConfig {
     fn default() -> Self {
-        ValidateConfig { seed: 2010, inject_failure: false }
+        ValidateConfig { seed: 2010, inject_failure: false, protocol: None }
     }
 }
 
-/// Runs the full battery: invariant sweeps, metamorphic relations and
-/// differential comparisons.
+/// Runs the battery: invariant sweeps, metamorphic relations and
+/// differential comparisons — restricted to one zoo arm's checks when
+/// [`ValidateConfig::protocol`] is set.
 pub fn run_battery(cfg: ValidateConfig) -> ValidationReport {
     let mut report = ValidationReport::default();
+    if let Some(kind) = cfg.protocol {
+        report.push(check_zoo_tables(kind, cfg.seed));
+        report.push(check_zoo_claims(kind, cfg.seed));
+        if cfg.inject_failure {
+            report.push(check_injected_failure(cfg.seed));
+        }
+        return report;
+    }
     run_invariant_sweeps(cfg, &mut report);
     report.push(check_relabel_graph(cfg.seed));
     report.push(check_relabel_distance_vector(cfg.seed));
@@ -171,6 +190,11 @@ pub fn run_battery(cfg: ValidateConfig) -> ValidationReport {
     report.push(check_executor_determinism(cfg.seed));
     report.push(check_dv_matches_bfs(cfg.seed));
     report.push(check_agent_claims_vs_bfs(cfg.seed));
+    for kind in ProtocolKind::ALL {
+        report.push(check_zoo_tables(kind, cfg.seed));
+        report.push(check_zoo_claims(kind, cfg.seed));
+    }
+    report.push(check_zoo_static_reachability(cfg.seed));
     if cfg.inject_failure {
         report.push(check_injected_failure(cfg.seed));
     }
@@ -662,6 +686,254 @@ fn check_agent_claims_vs_bfs(seed: u64) -> CheckResult {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Protocol-zoo checks
+// ---------------------------------------------------------------------------
+
+/// Per-step table invariants for one zoo arm on a fully dynamic network
+/// (mobility, battery decay): every installed entry has in-range ids, a
+/// real gateway, no self-forwarding, positive hops, and a non-future
+/// install stamp — [`RoutingProtocol::validate_tables`] after every
+/// step.
+fn check_zoo_tables(kind: ProtocolKind, seed: u64) -> CheckResult {
+    let name = format!("zoo-tables-{kind}");
+    let net = NetworkBuilder::new(40)
+        .gateways(3)
+        .target_edges(320)
+        .build(seed ^ 0x54)
+        .expect("buildable");
+    let mut arm = match build_protocol(kind, net, &ZooParams::with_population(12), seed) {
+        Ok(arm) => arm,
+        Err(e) => {
+            return CheckResult::fail(
+                &name,
+                CheckKind::Invariant,
+                format!("arm failed to build: {e}"),
+            )
+        }
+    };
+    let steps = 80u64;
+    for s in 0..steps {
+        let now = Step::new(s);
+        arm.step(now);
+        if let Err(e) = arm.validate_tables(now) {
+            return CheckResult::fail(&name, CheckKind::Invariant, format!("at {now}: {e}"));
+        }
+    }
+    CheckResult::pass(
+        &name,
+        CheckKind::Invariant,
+        format!("tables valid after every one of {steps} dynamic steps"),
+    )
+}
+
+/// Replays one arm's route claims against the ground-truth link history:
+/// on a frozen topology (install-time links = final links) every entry's
+/// forwarding link must be live in the direction the arm installed it,
+/// and its hop count must never beat the BFS shortest path — the
+/// `agent-claims-bounded-by-bfs` differential, extended to every arm.
+///
+/// Install direction per arm: the agent arms (`agents`, `stigmergic`)
+/// record the node the carrier *arrived from* (a `next_hop -> v` link,
+/// hops counted from the gateway); AntNet backward ants record the next
+/// node *toward* the gateway (`v -> next_hop`, hops to the gateway);
+/// the flooding arms record the announcement's sender, whose reverse
+/// link `v -> next_hop` was required at adoption (hops from the
+/// gateway).
+fn check_zoo_claims(kind: ProtocolKind, seed: u64) -> CheckResult {
+    let name = format!("zoo-claims-{kind}");
+    let net = NetworkBuilder::new(40)
+        .gateways(3)
+        .target_edges(320)
+        .mobile_fraction(0.0)
+        .build(seed ^ 0x31)
+        .expect("buildable");
+    let mut arm = match build_protocol(kind, net, &ZooParams::with_population(15), seed) {
+        Ok(arm) => arm,
+        Err(e) => {
+            return CheckResult::fail(
+                &name,
+                CheckKind::Differential,
+                format!("arm failed to build: {e}"),
+            )
+        }
+    };
+    let _ = arm.run(60);
+    let links = arm.network().links().clone();
+    let mut entries = 0usize;
+    for (v, table) in arm.tables().iter().enumerate() {
+        let v = NodeId::new(v);
+        for e in table.entries() {
+            entries += 1;
+            let (from, to) = match kind {
+                ProtocolKind::Agents | ProtocolKind::Stigmergic => (e.next_hop, v),
+                ProtocolKind::AntNet | ProtocolKind::Epidemic | ProtocolKind::SprayAndWait => {
+                    (v, e.next_hop)
+                }
+            };
+            if !links.has_edge(from, to) {
+                return CheckResult::fail(
+                    &name,
+                    CheckKind::Differential,
+                    format!("entry at {v} references dead link {from} -> {to}"),
+                );
+            }
+            let shortest = match kind {
+                ProtocolKind::AntNet => hop_distance(&links, v, e.gateway),
+                _ => hop_distance(&links, e.gateway, v),
+            };
+            match shortest {
+                Some(d) if (e.hops as usize) >= d => {}
+                other => {
+                    return CheckResult::fail(
+                        &name,
+                        CheckKind::Differential,
+                        format!(
+                            "entry at {v} claims {} hops for {}, shortest path is {other:?}",
+                            e.hops, e.gateway
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if entries == 0 {
+        return CheckResult::fail(
+            &name,
+            CheckKind::Differential,
+            "no routing entries were installed in 60 steps".to_string(),
+        );
+    }
+    CheckResult::pass(
+        &name,
+        CheckKind::Differential,
+        format!("{entries} route claims live and bounded below by BFS distance"),
+    )
+}
+
+/// The reachability set one arm's tables induce: exactly the forwarding
+/// semantics of [`agentnet_core::routing::chain_connectivity`], kept as
+/// the per-node vector instead of its mean.
+fn reachable_set(arm: &dyn RoutingProtocol) -> Vec<bool> {
+    let links = arm.network().links();
+    let mut forwarding = DiGraph::new(arm.network().node_count());
+    for (v, table) in arm.tables().iter().enumerate() {
+        let from = NodeId::new(v);
+        if arm.network().gateways().contains(&from) {
+            continue;
+        }
+        for next in table.next_hops() {
+            if links.has_edge(from, next) {
+                forwarding.add_edge(from, next);
+            }
+        }
+    }
+    reaches_any(&forwarding, arm.live_gateways())
+}
+
+/// Cross-arm metamorphic relation: on a small dense *static* topology
+/// with generous budgets (no route loss to mobility, TTLs outlasting the
+/// run, an unthrottled copy budget), every arm must converge to the
+/// identical reachability set — the set the topology itself dictates,
+/// regardless of protocol.
+fn check_zoo_static_reachability(seed: u64) -> CheckResult {
+    const NAME: &str = "zoo-static-reachability-agreement";
+    // A 4x4 grid of stationary mains-powered nodes, 150 units apart,
+    // one shared 260-unit radio range: every link is symmetric (the
+    // agent arms install the link direction they *arrived* by, so an
+    // asymmetric link would let arms disagree legitimately) and the
+    // network is connected, so the topology dictates one reachability
+    // set: everyone.
+    let net = || {
+        let nodes = (0..16)
+            .map(|i| WirelessNode {
+                id: NodeId::new(i),
+                position: Point2::new(150.0 * (i % 4) as f64, 150.0 * (i / 4) as f64),
+                nominal_range: 260.0,
+                kind: if i < 3 { NodeKind::Gateway } else { NodeKind::Stationary },
+                battery: BatteryState::mains(),
+                motion: Motion::Stationary,
+            })
+            .collect();
+        WirelessNetwork::from_nodes(Rect::square(600.0), nodes, seed ^ 0x41)
+    };
+    let steps = 200u64;
+    let mut arms: Vec<(ProtocolKind, Box<dyn RoutingProtocol>)> = vec![
+        (
+            ProtocolKind::Agents,
+            Box::new(
+                RoutingSim::new(
+                    net(),
+                    RoutingConfig::new(RoutingPolicy::OldestNode, 32).communication(true),
+                    seed,
+                )
+                .expect("valid config"),
+            ),
+        ),
+        (
+            ProtocolKind::Stigmergic,
+            Box::new(
+                StigRouteSim::new(
+                    net(),
+                    StigRouteConfig::new(32).trail_length(64).route_ttl(1_000_000),
+                    seed,
+                )
+                .expect("valid config"),
+            ),
+        ),
+        (
+            ProtocolKind::AntNet,
+            Box::new(
+                AntNetSim::new(net(), AntNetConfig::new(32).ttl(64).route_ttl(1_000_000), seed)
+                    .expect("valid config"),
+            ),
+        ),
+        (
+            ProtocolKind::Epidemic,
+            Box::new(FloodSim::new(net(), FloodConfig::epidemic(), seed).expect("valid config")),
+        ),
+        (
+            ProtocolKind::SprayAndWait,
+            Box::new(
+                FloodSim::new(net(), FloodConfig::spray_and_wait(64), seed).expect("valid config"),
+            ),
+        ),
+    ];
+    let mut sets: Vec<(ProtocolKind, Vec<bool>)> = Vec::with_capacity(arms.len());
+    for (kind, arm) in &mut arms {
+        let _ = arm.run(steps);
+        sets.push((*kind, reachable_set(arm.as_ref())));
+    }
+    let (ref_kind, reference) = &sets[0];
+    for (kind, set) in &sets[1..] {
+        if set != reference {
+            let diff: Vec<usize> = reference
+                .iter()
+                .zip(set)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            return CheckResult::fail(
+                NAME,
+                CheckKind::Metamorphic,
+                format!("{kind} disagrees with {ref_kind} on nodes {diff:?}"),
+            );
+        }
+    }
+    let reached = reference.iter().filter(|&&ok| ok).count();
+    CheckResult::pass(
+        NAME,
+        CheckKind::Metamorphic,
+        format!(
+            "all {} arms agree on the same {reached}/{}-node reachability set after {steps} \
+             static steps",
+            sets.len(),
+            reference.len()
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,12 +950,40 @@ mod tests {
 
     #[test]
     fn injected_failure_turns_the_battery_red() {
-        let report = run_battery(ValidateConfig { seed: 2010, inject_failure: true });
+        let report =
+            run_battery(ValidateConfig { seed: 2010, inject_failure: true, protocol: None });
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1, "only the canary should fail: {failures:#?}");
         assert_eq!(failures[0].name, "injected-failure");
         assert!(failures[0].details.contains("fired as expected"), "{}", failures[0].details);
+    }
+
+    #[test]
+    fn protocol_restricted_battery_runs_one_arms_checks() {
+        for kind in ProtocolKind::ALL {
+            let cfg = ValidateConfig { protocol: Some(kind), ..ValidateConfig::default() };
+            let report = run_battery(cfg);
+            assert!(report.passed(), "{kind} failures: {:#?}", report.failures());
+            assert_eq!(report.len(), 2, "{kind} should run exactly its two checks");
+            let names: Vec<&str> = report.checks().iter().map(|c| c.name.as_str()).collect();
+            assert_eq!(
+                names,
+                [format!("zoo-tables-{kind}"), format!("zoo-claims-{kind}")],
+                "unexpected check set for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_battery_covers_every_zoo_arm() {
+        let report = run_battery(ValidateConfig::default());
+        let names: Vec<&str> = report.checks().iter().map(|c| c.name.as_str()).collect();
+        for kind in ProtocolKind::ALL {
+            assert!(names.contains(&format!("zoo-tables-{kind}").as_str()), "missing {kind}");
+            assert!(names.contains(&format!("zoo-claims-{kind}").as_str()), "missing {kind}");
+        }
+        assert!(names.contains(&"zoo-static-reachability-agreement"));
     }
 
     #[test]
