@@ -12,7 +12,14 @@
 //! * **Binary spray-and-wait** (Spyropoulos et al.) — an announcement
 //!   carries a copy budget `L`; a holder with more than one copy hands
 //!   half to one uninfected neighbour per step, and a holder with a
-//!   single copy waits. Bounded overhead, slower spread.
+//!   single copy enters *direct delivery*: it hands its last copy to
+//!   one uninfected neighbour (preferring one adjacent to the
+//!   announcement's gateway) and then goes quiet. Copies are conserved
+//!   — a rejected or raced handoff leaves the giver's budget intact —
+//!   so the total never exceeds `L` per announcement, yet the single
+//!   remaining copy keeps walking the network instead of parking on
+//!   whichever node the halving cascade happened to end at. Bounded
+//!   overhead, slower spread.
 //!
 //! Protocol-zoo boundaries
 //! ([`RoutingProtocol`](agentnet_core::routing::RoutingProtocol)):
@@ -315,8 +322,9 @@ impl FloodSim {
                         }
                     }
                     FloodStrategy::SprayAndWait { .. } => {
-                        if s.copies <= 1 {
-                            // Wait phase: hold the single copy.
+                        if s.copies == 0 {
+                            // This node already direct-delivered its
+                            // last copy; the seq stays as a dedup mark.
                             continue;
                         }
                         pool.clear();
@@ -340,18 +348,52 @@ impl FloodSim {
                         if pool.is_empty() {
                             continue;
                         }
-                        let pick = rng.random_range(0..pool.len());
+                        let pick = if s.copies == 1 {
+                            // Direct-delivery phase: hand the last copy
+                            // onward, preferring a neighbour adjacent
+                            // to this announcement's gateway so the
+                            // copy anchors connectivity instead of
+                            // parking forever on an arbitrary node.
+                            let adjacent = pool.iter().filter(|&&w| links.has_edge(w, gw)).count();
+                            if adjacent > 0 {
+                                let nth = rng.random_range(0..adjacent);
+                                pool.iter()
+                                    .enumerate()
+                                    .filter(|(_, &w)| links.has_edge(w, gw))
+                                    .nth(nth)
+                                    .map(|(i, _)| i)
+                                    .unwrap_or(0)
+                            } else {
+                                rng.random_range(0..pool.len())
+                            }
+                        } else {
+                            rng.random_range(0..pool.len())
+                        };
                         let Some(&w) = pool.get(pick) else {
                             continue;
                         };
                         overhead.meeting_messages += 1;
-                        let give = s.copies / 2;
+                        // Binary halving for spray, full handover for
+                        // direct delivery: give floor(L/2).max(1), keep
+                        // the rest (so 1 -> give 1, keep 0).
+                        let give = (s.copies / 2).max(1);
                         let keep = s.copies - give;
                         let cand =
                             Seen { seq: s.seq, hops: s.hops.saturating_add(1), copies: give };
+                        let mut adopted = false;
                         if let Some(slot) = next.get_mut(w.index()).and_then(|r| r.get_mut(gi)) {
                             if better(cand, *slot) {
-                                *slot = Some(cand);
+                                // Same-wave copies already at the
+                                // receiver (a raced adoption this
+                                // round) are merged, not overwritten.
+                                let merged = match *slot {
+                                    Some(cur) if cur.seq == cand.seq => {
+                                        cand.copies.saturating_add(cur.copies)
+                                    }
+                                    _ => cand.copies,
+                                };
+                                *slot = Some(Seen { copies: merged, ..cand });
+                                adopted = true;
                                 if let Some(table) = tables.get_mut(w.index()) {
                                     table.install(RouteEntry::new(gw, from, cand.hops, now));
                                     overhead.table_writes += 1;
@@ -359,10 +401,16 @@ impl FloodSim {
                                 }
                             }
                         }
-                        if let Some(slot) = next.get_mut(v).and_then(|r| r.get_mut(gi)) {
-                            if let Some(cur) = slot.as_mut() {
-                                if cur.seq == s.seq {
-                                    cur.copies = keep;
+                        // Copy conservation: the giver's budget drops
+                        // only if the receiver actually adopted; a
+                        // raced handoff (another giver reached `w`
+                        // first this round) costs nothing.
+                        if adopted {
+                            if let Some(slot) = next.get_mut(v).and_then(|r| r.get_mut(gi)) {
+                                if let Some(cur) = slot.as_mut() {
+                                    if cur.seq == s.seq {
+                                        cur.copies = keep;
+                                    }
                                 }
                             }
                         }
@@ -476,6 +524,48 @@ mod tests {
         for row in &s.seen {
             for seen in row.iter().flatten() {
                 assert!(seen.copies <= 8);
+            }
+        }
+    }
+
+    #[test]
+    fn spray_and_wait_default_budget_no_longer_starves() {
+        // Regression for the wait-phase starvation bug: single-copy
+        // holders used to park forever, so at most L nodes per wave
+        // ever installed a route and delivery sat near 0.36. With the
+        // direct-delivery phase the default budget must clear 0.8 on
+        // the frozen net.
+        let mut s = FloodSim::new(net(3), FloodConfig::spray_and_wait(8), 7).unwrap();
+        let out = RoutingProtocol::run(&mut s, 200);
+        let late = out.mean_connectivity(100..200).unwrap();
+        assert!(late >= 0.8, "direct delivery should lift spray delivery (got {late})");
+    }
+
+    #[test]
+    fn spray_copy_budget_is_conserved_per_wave() {
+        // For every announcement wave, the copies held across the whole
+        // network never exceed the initial budget L: handoffs move
+        // copies, they don't mint them (and a rejected handoff must not
+        // burn them either — the giver keeps its budget).
+        const L: u32 = 8;
+        let mut s = FloodSim::new(net(3), FloodConfig::spray_and_wait(L), 7).unwrap();
+        for step in 0..120 {
+            TimeStepSim::step(&mut s, Step::new(step));
+            let g = s.net.gateways().len();
+            for gi in 0..g {
+                let mut per_seq: std::collections::BTreeMap<u64, u32> =
+                    std::collections::BTreeMap::new();
+                for row in &s.seen {
+                    if let Some(seen) = row.get(gi).copied().flatten() {
+                        *per_seq.entry(seen.seq).or_insert(0) += seen.copies;
+                    }
+                }
+                for (seq, total) in per_seq {
+                    assert!(
+                        total <= L,
+                        "gateway {gi} wave {seq} holds {total} copies (> {L}) at step {step}"
+                    );
+                }
             }
         }
     }

@@ -194,6 +194,16 @@ impl RouteIndex {
         }
         count as f64 / n as f64
     }
+
+    /// Per-node reachability flags as computed by the *last*
+    /// [`connected_fraction`](Self::connected_fraction) call: `true` for
+    /// every node whose next-hop chain reached one of the live gateways
+    /// passed to that call (gateways themselves included). All-`false`
+    /// before the first call. Serving front ends read this to answer
+    /// per-node reachability queries without a second BFS.
+    pub fn reached(&self) -> &[bool] {
+        &self.reached
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +272,25 @@ mod tests {
         let mut idx = RouteIndex::new(4);
         idx.refresh(&tables, &links, &is_gateway, 0);
         assert_eq!(idx.connected_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn reached_flags_match_the_reported_fraction() {
+        let (mut tables, links, is_gateway) = fixture();
+        let mut idx = RouteIndex::new(4);
+        assert_eq!(idx.reached(), &[false; 4], "flags are clear before any BFS");
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        assert_eq!(idx.connected_fraction(&[n(0)]), 1.0);
+        assert_eq!(idx.reached(), &[true; 4]);
+
+        // Break node 2's chain: 2 and 3 drop out of the reached set.
+        tables[2].install(RouteEntry::new(n(0), n(3), 2, Step::ZERO));
+        idx.mark_dirty(n(2));
+        idx.refresh(&tables, &links, &is_gateway, 0);
+        let fraction = idx.connected_fraction(&[n(0)]);
+        let count = idx.reached().iter().filter(|&&ok| ok).count();
+        assert_eq!(fraction, count as f64 / 4.0);
+        assert_eq!(idx.reached(), &[true, true, false, false]);
     }
 
     #[test]

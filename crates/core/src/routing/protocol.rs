@@ -131,8 +131,10 @@ impl FromStr for ProtocolKind {
 
 /// One routing arm of the protocol zoo, steppable on the shared
 /// wireless substrate. See the [module docs](self) for what the trait
-/// abstracts; [`TimeStepSim`] supplies the per-step driver.
-pub trait RoutingProtocol: TimeStepSim {
+/// abstracts; [`TimeStepSim`] supplies the per-step driver. Arms are
+/// `Send` so a serving daemon can own one on a dedicated step thread —
+/// every arm is plain data plus seeded RNG streams.
+pub trait RoutingProtocol: TimeStepSim + Send {
     /// Which arm this is.
     fn kind(&self) -> ProtocolKind;
 

@@ -65,9 +65,20 @@ pub struct Histogram {
 
 impl Histogram {
     /// Creates an empty histogram over the given finite bucket bounds.
+    ///
+    /// Bounds are *normalized*, not trusted: non-finite entries (NaN,
+    /// ±infinity) are rejected, the remainder is sorted ascending and
+    /// deduplicated. An unsorted or duplicated bound list therefore
+    /// produces the same histogram as its cleaned-up form instead of
+    /// silently misbucketing every observation (the `+Inf` bucket is
+    /// always implicit, so an explicit `f64::INFINITY` bound is
+    /// redundant and dropped too).
     pub fn new(bounds: &[f64]) -> Self {
-        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be increasing");
-        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
+        let mut bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        bounds.sort_unstable_by(|a, b| a.partial_cmp(b).expect("bounds are finite"));
+        bounds.dedup();
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts, sum: 0.0, count: 0 }
     }
 
     /// Records one observation.
@@ -99,6 +110,62 @@ impl Histogram {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// Estimates the value at quantile `q` (clamped to `0.0..=1.0`) by
+    /// linear interpolation inside the bucket the quantile rank falls
+    /// in — the same estimator as Prometheus's `histogram_quantile`.
+    ///
+    /// Conventions (matching Prometheus):
+    /// * the first bucket interpolates from `0` when its upper bound is
+    ///   positive, and reports its upper bound otherwise (so negative
+    ///   buckets never fabricate values below their bound);
+    /// * a rank landing in the implicit `+Inf` bucket reports the
+    ///   largest finite bound — tail quantiles saturate rather than
+    ///   extrapolate;
+    /// * `None` with no observations, or with no finite buckets at all
+    ///   (every observation in `+Inf` leaves nothing to interpolate).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let max_bound = self.bounds.last().copied()?;
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, (&bound, &count)) in self.bounds.iter().zip(&self.counts).enumerate() {
+            cumulative += count;
+            if cumulative as f64 >= rank {
+                let lower = if i == 0 {
+                    if bound <= 0.0 {
+                        return Some(bound);
+                    }
+                    0.0
+                } else {
+                    *self.bounds.get(i - 1)?
+                };
+                let below = cumulative - count;
+                let fraction = (rank - below as f64) / count as f64;
+                return Some(lower + (bound - lower) * fraction);
+            }
+        }
+        // The rank lives in the +Inf bucket: saturate at the largest
+        // finite bound.
+        Some(max_bound)
+    }
+
+    /// The median estimate ([`Self::quantile`] at 0.5).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
 }
 
 /// A point-in-time copy of the registry: every counter, gauge and
@@ -122,10 +189,20 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
-/// Formats a bucket bound the way Prometheus renders `le` labels
-/// (shortest float representation; `1000`, not `1000.0`).
+/// Formats a bucket bound the way Prometheus renders `le` labels:
+/// the shortest decimal representation that parses back to exactly the
+/// same `f64` (`1000`, not `1000.0`; `-0.5` and `0.00025` stay
+/// intact). Rust's `Display` is already shortest-round-trip for every
+/// finite float, including negative and sub-`1e-3` bounds; the
+/// parse-back check guards the invariant, falling to the explicit
+/// exponent form if it ever fails.
 fn prom_bound(bound: f64) -> String {
-    format!("{bound}")
+    let text = format!("{bound}");
+    if text.parse::<f64>().ok() == Some(bound) {
+        text
+    } else {
+        format!("{bound:e}")
+    }
 }
 
 impl MetricsSnapshot {
@@ -361,6 +438,110 @@ mod tests {
         assert!(text.contains("agentnet_lat_count 2\n"));
         // Every line is newline-terminated.
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn unsorted_bounds_are_sorted_on_construction() {
+        let h = Histogram::new(&[100.0, 1.0, 10.0]);
+        assert_eq!(h.bounds(), &[1.0, 10.0, 100.0]);
+        let mut h = h;
+        h.observe(5.0);
+        // 5.0 lands in the (1, 10] bucket, not wherever the unsorted
+        // scan would have dropped it.
+        assert_eq!(h.counts(), &[0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn duplicate_bounds_are_deduplicated() {
+        let h = Histogram::new(&[1.0, 1.0, 10.0, 10.0]);
+        assert_eq!(h.bounds(), &[1.0, 10.0]);
+        assert_eq!(h.counts().len(), 3);
+    }
+
+    #[test]
+    fn non_finite_bounds_are_rejected() {
+        let h = Histogram::new(&[f64::NAN, 1.0, f64::INFINITY, 10.0, f64::NEG_INFINITY]);
+        assert_eq!(h.bounds(), &[1.0, 10.0]);
+        let empty = Histogram::new(&[f64::NAN]);
+        assert!(empty.bounds().is_empty());
+        assert_eq!(empty.counts().len(), 1, "the +Inf bucket survives");
+    }
+
+    #[test]
+    fn normalized_histograms_bucket_identically() {
+        let mut clean = Histogram::new(&[1.0, 10.0, 100.0]);
+        let mut messy = Histogram::new(&[100.0, f64::NAN, 10.0, 1.0, 10.0]);
+        for v in [0.5, 5.0, 50.0, 500.0] {
+            clean.observe(v);
+            messy.observe(v);
+        }
+        assert_eq!(clean, messy);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 20.0, 30.0]);
+        // 10 observations per bucket: uniform over (0, 30].
+        for bucket in [5.0, 15.0, 25.0] {
+            for _ in 0..10 {
+                h.observe(bucket);
+            }
+        }
+        // Rank 15 of 30 is halfway through the (10, 20] bucket.
+        assert!((h.p50().unwrap() - 15.0).abs() < 1e-9);
+        // Rank 28.5 of 30: 8.5/10 through the (20, 30] bucket.
+        assert!((h.p95().unwrap() - 28.5).abs() < 1e-9);
+        assert!((h.quantile(0.0).unwrap() - 1.0).abs() < 1e-9, "rank floors at 1");
+        assert!((h.quantile(1.0).unwrap() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_saturates_in_the_inf_bucket() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for _ in 0..10 {
+            h.observe(1000.0);
+        }
+        // Every observation is beyond the finite buckets: all quantiles
+        // report the largest finite bound rather than extrapolating.
+        assert_eq!(h.p50(), Some(10.0));
+        assert_eq!(h.p99(), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_negative_cases() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        assert_eq!(h.p50(), None, "no observations, no quantile");
+        let mut boundless = Histogram::new(&[]);
+        boundless.observe(5.0);
+        assert_eq!(boundless.p50(), None, "no finite bucket to interpolate in");
+        let mut neg = Histogram::new(&[-10.0, 10.0]);
+        neg.observe(-20.0);
+        neg.observe(-15.0);
+        // The quantile rank falls in the first bucket with a negative
+        // upper bound: report the bound, never interpolate toward 0.
+        assert_eq!(neg.p50(), Some(-10.0));
+    }
+
+    #[test]
+    fn prom_bounds_render_losslessly() {
+        for bound in [-2.5, -0.0005, 0.00025, 0.001, 1e-9, 123456.789, -1.0] {
+            let text = prom_bound(bound);
+            assert_eq!(text.parse::<f64>().unwrap(), bound, "{bound} rendered as {text}");
+            assert!(!text.contains("inf"), "{text}");
+        }
+        assert_eq!(prom_bound(1000.0), "1000");
+        assert_eq!(prom_bound(-0.5), "-0.5");
+        assert_eq!(prom_bound(0.00025), "0.00025");
+    }
+
+    #[test]
+    fn sub_millisecond_buckets_survive_the_exposition() {
+        let m = Metrics::enabled();
+        m.observe("lat_secs", 0.0004, &[0.00025, 0.0005, -0.001]);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("agentnet_lat_secs_bucket{le=\"-0.001\"} 0\n"), "{text}");
+        assert!(text.contains("agentnet_lat_secs_bucket{le=\"0.00025\"} 0\n"), "{text}");
+        assert!(text.contains("agentnet_lat_secs_bucket{le=\"0.0005\"} 1\n"), "{text}");
     }
 
     #[test]

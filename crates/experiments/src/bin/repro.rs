@@ -74,6 +74,28 @@
 //! longer matches, so the baseline can only shrink. `--baseline`
 //! rewrites `lint.toml` from the current findings; `--rules` lists the
 //! rule catalogue.
+//!
+//! ```text
+//! repro serve [--nodes N] [--protocol ARM] [--population P] [--cache C]
+//!             [--seed S] [--warmup W] [--steps K] [--step-micros U]
+//!             [--port P] [--http-port P] [--threads T]
+//!             [--duration-secs D] [--metrics-out FILE]
+//!             [--metrics-prom FILE] [--dump-routes]
+//! ```
+//!
+//! boots the route-query daemon (see `agentnet_serve`): a step thread
+//! advances the chosen protocol arm on a `--nodes`-node scaled preset
+//! while UDP worker threads answer route/link/reachability queries from
+//! a double-buffered map snapshot, and `--http-port` serves
+//! `GET /metrics` for scraping. The startup line on stdout names the
+//! bound addresses; `--duration-secs` bounds the serving window (0 =
+//! until the step budget completes, or forever for a frozen map). On
+//! exit, query counts and p50/p95/p99 latency quantiles go to stderr,
+//! `--metrics-prom` writes the registry as Prometheus text, and
+//! `--metrics-out` writes a run manifest with a `serve` section.
+//! `--dump-routes` skips the sockets entirely and prints every node's
+//! frozen route reply deterministically (the golden check that serving
+//! answers match the batch `RouteIndex`).
 
 use agentnet_core::routing::ProtocolKind;
 use agentnet_engine::obs::{Metrics, DURATION_MICROS_BUCKETS};
@@ -101,7 +123,11 @@ fn usage() -> ! {
          \x20      repro validate [--seed N] [--inject-failure] [--protocol ARM]\n\
          \x20      repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
          \x20            [--warmup N] [--iters N] [--filter SUBSTRING]...\n\
-         \x20      repro lint [--baseline] [--root DIR] [--rules]"
+         \x20      repro lint [--baseline] [--root DIR] [--rules]\n\
+         \x20      repro serve [--nodes N] [--protocol ARM] [--population P] [--cache C]\n\
+         \x20            [--seed S] [--warmup W] [--steps K] [--step-micros U]\n\
+         \x20            [--port P] [--http-port P] [--threads T] [--duration-secs D]\n\
+         \x20            [--metrics-out FILE] [--metrics-prom FILE] [--dump-routes]"
     );
     eprintln!("experiments:");
     for e in registry::all() {
@@ -446,6 +472,246 @@ fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// The `repro serve` subcommand: boots the `agentnet_serve` daemon,
+/// serves for the requested window, and reports query counts plus
+/// latency quantiles (with optional Prometheus / manifest exports).
+fn run_serve(args: impl Iterator<Item = String>) -> ExitCode {
+    use agentnet_baselines::zoo::ZooParams;
+    use agentnet_serve::{ServeConfig, Server};
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    let mut config = ServeConfig { metrics: Metrics::enabled(), ..ServeConfig::default() };
+    let mut population: Option<usize> = None;
+    let mut cache: Option<usize> = None;
+    let mut step_micros = 0u64;
+    let mut duration_secs = 0.0f64;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_prom: Option<String> = None;
+    let mut dump_routes = false;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.nodes = n,
+                None => usage(),
+            },
+            "--protocol" => match args.next().map(|a| a.parse::<ProtocolKind>()) {
+                Some(Ok(kind)) => config.protocol = kind,
+                Some(Err(e)) => {
+                    eprintln!("repro serve: {e}");
+                    usage()
+                }
+                None => usage(),
+            },
+            "--population" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(p) => population = Some(p),
+                None => usage(),
+            },
+            "--cache" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(c) => cache = Some(c),
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(s) => config.seed = s,
+                None => usage(),
+            },
+            "--warmup" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(w) => config.warmup_steps = w,
+                None => usage(),
+            },
+            "--steps" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(k) => config.steps = k,
+                None => usage(),
+            },
+            "--step-micros" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(u) => step_micros = u,
+                None => usage(),
+            },
+            "--port" => match args.next().and_then(|n| n.parse::<u16>().ok()) {
+                Some(p) => config.udp_addr = SocketAddr::from(([127, 0, 0, 1], p)),
+                None => usage(),
+            },
+            "--http-port" => match args.next().and_then(|n| n.parse::<u16>().ok()) {
+                Some(p) => config.http_addr = Some(SocketAddr::from(([127, 0, 0, 1], p))),
+                None => usage(),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(t) => config.query_threads = t,
+                None => usage(),
+            },
+            "--duration-secs" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(d) => duration_secs = d,
+                None => usage(),
+            },
+            "--metrics-out" => match args.next() {
+                Some(path) => metrics_out = Some(path),
+                None => usage(),
+            },
+            "--metrics-prom" => match args.next() {
+                Some(path) => metrics_prom = Some(path),
+                None => usage(),
+            },
+            "--dump-routes" => dump_routes = true,
+            _ => usage(),
+        }
+    }
+    let default_population = config.params.population;
+    config.params = ZooParams::with_population(population.unwrap_or(default_population))
+        .cache(cache.unwrap_or(0));
+    config.step_interval = Duration::from_micros(step_micros);
+
+    if dump_routes {
+        return dump_frozen_routes(&config);
+    }
+
+    let steps = config.steps;
+    let (nodes, protocol, seed, warmup) =
+        (config.nodes, config.protocol, config.seed, config.warmup_steps);
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The startup line is the daemon's contract with load generators:
+    // bound addresses first, then flush, so a parent process can parse
+    // the ephemeral ports before the first query.
+    println!(
+        "serve: udp={} http={} nodes={nodes} protocol={protocol} seed={seed} warmup={warmup} \
+         steps={steps}",
+        server.udp_addr(),
+        match server.http_addr() {
+            Some(addr) => addr.to_string(),
+            None => "-".to_string(),
+        },
+    );
+    let _ = std::io::stdout().flush();
+
+    // Serving window: a positive --duration-secs bounds it by wall
+    // clock; otherwise a stepping daemon exits when its budget is done
+    // and a frozen one serves until killed.
+    // agentlint::allow(no-ambient-entropy) — serve deadline only.
+    let started = Instant::now();
+    loop {
+        let elapsed = started.elapsed().as_secs_f64();
+        if duration_secs > 0.0 {
+            if elapsed >= duration_secs {
+                break;
+            }
+        } else if steps > 0 && server.stepping_done() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let served_secs = started.elapsed().as_secs_f64();
+
+    let snapshot = server.metrics().snapshot();
+    let queries = snapshot.counters.get("serve_queries_total").copied().unwrap_or(0);
+    let query_errors = snapshot.counters.get("serve_query_errors_total").copied().unwrap_or(0);
+    let latency = snapshot.histograms.get("serve_query_micros");
+    let (p50, p95, p99) = match latency {
+        Some(h) => (h.p50(), h.p95(), h.p99()),
+        None => (None, None, None),
+    };
+    let quantile_or_dash =
+        |q: Option<f64>| q.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".to_string());
+    let qps = if served_secs > 0.0 { queries as f64 / served_secs } else { 0.0 };
+    eprintln!(
+        "repro serve: {queries} queries ({query_errors} errors) in {served_secs:.1}s \
+         ({qps:.0}/s); latency µs p50={} p95={} p99={}",
+        quantile_or_dash(p50),
+        quantile_or_dash(p95),
+        quantile_or_dash(p99),
+    );
+
+    if let Some(path) = &metrics_prom {
+        if let Err(e) = std::fs::write(path, snapshot.to_prometheus()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (Prometheus text exposition)");
+    }
+    if let Some(path) = &metrics_out {
+        let manifest = RunManifest {
+            schema: MANIFEST_SCHEMA,
+            mode: "serve".to_string(),
+            jobs: 0,
+            invariant_checks: false,
+            wall_secs: served_secs,
+            cache: CacheStats { enabled: false, resume: false, dir: None, hits: 0, misses: 0 },
+            experiments: Vec::new(),
+            protocols: vec![protocol.name().to_string()],
+            serve: Some(agentnet_experiments::obs::ServeStats {
+                nodes: nodes as u64,
+                protocol: protocol.name().to_string(),
+                seed,
+                warmup_steps: warmup,
+                steps,
+                udp_addr: server.udp_addr().to_string(),
+                http_addr: server.http_addr().map(|a| a.to_string()),
+                served_secs,
+                queries,
+                query_errors,
+                qps,
+                p50_micros: p50,
+                p95_micros: p95,
+                p99_micros: p99,
+            }),
+            metrics: snapshot,
+        };
+        if let Err(e) = std::fs::write(path, manifest.to_json_pretty()) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (run manifest, schema {MANIFEST_SCHEMA}, serve section)");
+    }
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+/// `repro serve --dump-routes`: skip the sockets, freeze the map after
+/// warmup, and print every node's wire-format route reply — the golden
+/// surface pinning "a frozen daemon answers exactly what the batch
+/// `RouteIndex` computes".
+fn dump_frozen_routes(config: &agentnet_serve::ServeConfig) -> ExitCode {
+    use agentnet_baselines::zoo::build_protocol;
+    use agentnet_core::routing::RouteIndex;
+    use agentnet_engine::Step;
+    use agentnet_graph::NodeId;
+    use agentnet_radio::NetworkBuilder;
+    use agentnet_serve::{wire, MapSnapshot};
+
+    let net = match NetworkBuilder::scaled_preset(config.nodes).build(config.seed) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("repro serve: build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut protocol = match build_protocol(config.protocol, net, &config.params, config.seed) {
+        Ok(protocol) => protocol,
+        Err(e) => {
+            eprintln!("repro serve: build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for s in 0..config.warmup_steps {
+        protocol.step(Step::new(s));
+    }
+    let n = protocol.network().node_count();
+    let mut index = RouteIndex::new(n);
+    let snap = MapSnapshot::capture(protocol.as_ref(), &mut index, Step::new(config.warmup_steps));
+    println!("{}", wire::respond(0, wire::Request::Info, &snap));
+    for v in 0..n {
+        let node = NodeId::new(v);
+        println!("{}", wire::respond(v as u64, wire::Request::Route(node), &snap));
+        println!("{}", wire::respond(v as u64, wire::Request::Reach(node), &snap));
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut mode = Mode::Quick;
     let mut jobs = 0usize; // 0 = all cores
@@ -473,6 +739,10 @@ fn main() -> ExitCode {
     if args.peek().map(String::as_str) == Some("lint") {
         args.next();
         return run_lint(args);
+    }
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        return run_serve(args);
     }
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -763,6 +1033,7 @@ fn main() -> ExitCode {
             } else {
                 Vec::new()
             },
+            serve: None,
             metrics: obs.snapshot(),
         };
         if let Err(e) = std::fs::write(path, manifest.to_json_pretty()) {

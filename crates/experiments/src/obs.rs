@@ -58,6 +58,43 @@ pub struct ExperimentCellStats {
     pub wall_secs: f64,
 }
 
+/// The serving section of a `repro serve` manifest: daemon
+/// configuration plus the query-path outcome, with tail latencies read
+/// from the metrics registry's `serve_query_micros` histogram via
+/// [`Histogram::quantile`](agentnet_engine::obs::Histogram::quantile).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Nodes in the served substrate preset.
+    pub nodes: u64,
+    /// Protocol-zoo arm served.
+    pub protocol: String,
+    /// Substrate + protocol seed.
+    pub seed: u64,
+    /// Steps executed before serving began.
+    pub warmup_steps: u64,
+    /// Step budget of the serving phase (0 = frozen map).
+    pub steps: u64,
+    /// Bound UDP query address.
+    pub udp_addr: String,
+    /// Bound HTTP metrics address, when one was configured.
+    pub http_addr: Option<String>,
+    /// Wall-clock seconds the daemon served.
+    pub served_secs: f64,
+    /// Queries answered (including error replies).
+    pub queries: u64,
+    /// Queries answered with an error reply.
+    pub query_errors: u64,
+    /// Achieved queries per second over the serving window.
+    pub qps: f64,
+    /// Server-side query latency quantiles in microseconds (absent
+    /// when no query arrived).
+    pub p50_micros: Option<f64>,
+    /// 95th percentile query latency in microseconds.
+    pub p95_micros: Option<f64>,
+    /// 99th percentile query latency in microseconds.
+    pub p99_micros: Option<f64>,
+}
+
 /// The versioned machine-readable run record `--metrics-out` writes.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunManifest {
@@ -83,6 +120,11 @@ pub struct RunManifest {
     /// unchanged — this field only adds information).
     #[serde(default)]
     pub protocols: Vec<String>,
+    /// The serving section written by `repro serve` manifests; `None`
+    /// for batch runs (and for manifests written by older builds —
+    /// `default` keeps them parseable, schema unchanged).
+    #[serde(default)]
+    pub serve: Option<ServeStats>,
     /// Full metrics registry snapshot (counters, gauges, histograms).
     pub metrics: MetricsSnapshot,
 }
@@ -276,6 +318,7 @@ mod tests {
                 wall_secs: 1.0,
             }],
             protocols: vec!["agents".to_string(), "antnet".to_string()],
+            serve: None,
             metrics: metrics.snapshot(),
         }
     }
@@ -299,6 +342,36 @@ mod tests {
         let stripped: Vec<&str> = json.lines().filter(|l| !l.contains("\"protocols\"")).collect();
         let back = RunManifest::from_json(&stripped.join("\n")).unwrap();
         assert_eq!(back, manifest);
+    }
+
+    #[test]
+    fn manifest_serve_section_round_trips_and_defaults() {
+        // A serve manifest round-trips its serving section ...
+        let mut manifest = sample_manifest();
+        manifest.serve = Some(ServeStats {
+            nodes: 1000,
+            protocol: "agents".to_string(),
+            seed: 42,
+            warmup_steps: 50,
+            steps: 200,
+            udp_addr: "127.0.0.1:4242".to_string(),
+            http_addr: None,
+            served_secs: 5.0,
+            queries: 12_345,
+            query_errors: 0,
+            qps: 2_469.0,
+            p50_micros: Some(18.0),
+            p95_micros: Some(120.0),
+            p99_micros: Some(480.0),
+        });
+        let back = RunManifest::from_json(&manifest.to_json_pretty()).unwrap();
+        assert_eq!(back, manifest);
+        // ... and a batch manifest without the field still parses.
+        let batch = sample_manifest();
+        let json = batch.to_json_pretty();
+        let stripped: Vec<&str> = json.lines().filter(|l| !l.contains("\"serve\"")).collect();
+        let parsed = RunManifest::from_json(&stripped.join("\n")).unwrap();
+        assert_eq!(parsed.serve, None);
     }
 
     #[test]

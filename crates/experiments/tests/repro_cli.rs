@@ -380,6 +380,79 @@ fn bench_gate_fails_on_kernels_absent_from_the_baseline() {
 }
 
 #[test]
+fn serve_dump_routes_is_deterministic_and_matches_the_batch_route_index() {
+    let args = ["serve", "--nodes", "120", "--seed", "9", "--warmup", "50", "--dump-routes"];
+    let first = stdout(&repro(&args));
+    let second = stdout(&repro(&args));
+    assert_eq!(first, second, "--dump-routes must be a pure function of its flags");
+
+    // Recompute the expected dump in-process: the daemon's frozen
+    // answers are exactly what a batch `RouteIndex` capture of the
+    // same arm at the same seed and step produces.
+    use agentnet_baselines::zoo::{build_protocol, ZooParams};
+    use agentnet_core::routing::{ProtocolKind, RouteIndex};
+    use agentnet_engine::Step;
+    use agentnet_graph::NodeId;
+    use agentnet_radio::NetworkBuilder;
+    use agentnet_serve::{wire, MapSnapshot};
+
+    let net = NetworkBuilder::scaled_preset(120).build(9).unwrap();
+    let mut protocol = build_protocol(ProtocolKind::Agents, net, &ZooParams::default(), 9).unwrap();
+    for s in 0..50 {
+        protocol.step(Step::new(s));
+    }
+    let mut index = RouteIndex::new(120);
+    let snap = MapSnapshot::capture(protocol.as_ref(), &mut index, Step::new(50));
+    let mut expected = String::new();
+    expected.push_str(&wire::respond(0, wire::Request::Info, &snap));
+    expected.push('\n');
+    for v in 0..120 {
+        let node = NodeId::new(v);
+        expected.push_str(&wire::respond(v as u64, wire::Request::Route(node), &snap));
+        expected.push('\n');
+        expected.push_str(&wire::respond(v as u64, wire::Request::Reach(node), &snap));
+        expected.push('\n');
+    }
+    assert_eq!(first, expected, "served routes diverged from the batch RouteIndex");
+}
+
+#[test]
+fn serve_daemon_answers_udp_queries_started_from_the_cli() {
+    use std::io::BufRead;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--nodes", "80", "--seed", "5", "--warmup", "40", "--duration-secs", "30"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("repro serve spawns");
+    let mut startup = String::new();
+    std::io::BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut startup)
+        .expect("startup line");
+    let result = std::panic::catch_unwind(|| {
+        let udp = startup
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("udp="))
+            .unwrap_or_else(|| panic!("no udp= in startup line: {startup}"))
+            .to_string();
+        let socket = std::net::UdpSocket::bind("127.0.0.1:0").expect("client socket");
+        socket.set_read_timeout(Some(std::time::Duration::from_secs(5))).expect("timeout set");
+        socket.send_to(b"7 INFO", &udp).expect("query sent");
+        let mut buf = [0u8; 512];
+        let (n, _) = socket.recv_from(&mut buf).expect("daemon replied");
+        let reply = String::from_utf8_lossy(&buf[..n]).into_owned();
+        assert!(reply.starts_with("7 OK "), "unexpected reply: {reply}");
+        assert!(reply.contains("nodes=80"), "unexpected reply: {reply}");
+    });
+    let _ = child.kill();
+    let _ = child.wait();
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
 fn validate_injected_failure_exits_nonzero_and_names_the_invariant() {
     let out = repro(&["validate", "--inject-failure"]);
     assert!(!out.status.success(), "an invariant violation must fail the process");

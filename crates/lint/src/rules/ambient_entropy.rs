@@ -16,11 +16,14 @@ use crate::rules::{ident_at, path_sep_at, Finding, Rule};
 pub struct AmbientEntropy;
 
 /// Files allowed to read the wall clock: the calibration-normalized
-/// bench layer and the span timers of the metrics registry.
+/// bench layer, the span timers of the metrics registry, and the serve
+/// daemon's clock module (query latency / snapshot staleness flow out
+/// of the daemon only — replies are pure functions of the snapshot).
 const TIMING_FILES: &[&str] = &[
     "crates/engine/src/perf.rs",
     "crates/engine/src/obs.rs",
     "crates/experiments/src/benchkit.rs",
+    "crates/serve/src/clock.rs",
 ];
 
 impl Rule for AmbientEntropy {
@@ -107,7 +110,9 @@ mod tests {
         assert!(run("crates/engine/src/perf.rs", src).is_empty());
         assert!(run("crates/engine/src/obs.rs", src).is_empty());
         assert!(run("crates/experiments/src/benchkit.rs", src).is_empty());
+        assert!(run("crates/serve/src/clock.rs", src).is_empty());
         assert!(!run("crates/engine/src/exec.rs", src).is_empty());
+        assert!(!run("crates/serve/src/server.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,16 @@
+//! The serve crate's sanctioned wall-clock access.
+//!
+//! agentlint's `no-ambient-entropy` rule bans `Instant::now` outside
+//! dedicated timing modules; this is the serve layer's. Everything the
+//! daemon measures with wall time — query latency, snapshot staleness,
+//! step duration, serve deadlines — flows *out* of the system as
+//! metrics or stop conditions. Query replies are computed purely from
+//! the published [`crate::snapshot::MapSnapshot`], so the wall clock
+//! never influences an answer's bytes.
+
+use std::time::Instant;
+
+/// The current wall-clock instant.
+pub fn now() -> Instant {
+    Instant::now()
+}

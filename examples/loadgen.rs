@@ -1,0 +1,283 @@
+//! Deterministic load generator for the `agentnet-serve` route-query
+//! daemon: replays a seeded request trace over UDP and reports QPS and
+//! latency quantiles. Doubles as the CI serve-smoke client.
+//!
+//! ```text
+//! # self-contained: boots an in-process daemon, then hammers it
+//! cargo run --release --example loadgen
+//!
+//! # against an external daemon (see `repro serve`)
+//! cargo run --release --example loadgen -- --addr 127.0.0.1:9900 \
+//!     --nodes 1000 --requests 30000 --threads 4 --min-qpm 100000 \
+//!     --report loadgen_report.json
+//! ```
+//!
+//! The trace is a pure function of `--seed`, `--nodes`, `--threads`
+//! and `--requests`: thread `t` draws from `SmallRng::seed_from_u64
+//! (seed + t)` with a fixed verb mix (70% ROUTE, 15% LINKS, 10% REACH,
+//! 5% INFO), so two runs against the same frozen map issue byte-
+//! identical request streams. Exit is non-zero if any reply was an
+//! error (or malformed, or lost after retries) or if throughput lands
+//! under `--min-qpm`.
+
+use agentnet::engine::obs::Metrics;
+use agentnet::serve::{ServeConfig, Server, QUERY_MICROS_BUCKETS};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::net::{SocketAddr, UdpSocket};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One request of the deterministic trace, already wire-encoded.
+fn trace_request(rng: &mut SmallRng, id: u64, nodes: usize) -> String {
+    let verb = rng.random_range(0..100u32);
+    let node = rng.random_range(0..nodes);
+    match verb {
+        0..=69 => format!("{id} ROUTE {node}"),
+        70..=84 => format!("{id} LINKS {node}"),
+        85..=94 => format!("{id} REACH {node}"),
+        _ => format!("{id} INFO"),
+    }
+}
+
+struct WorkerStats {
+    sent: u64,
+    ok: u64,
+    errors: u64,
+    lost: u64,
+}
+
+/// Send `count` trace requests and await each reply. A datagram lost on
+/// a saturated loopback is retried a couple of times before being
+/// counted as lost; `ERR` replies and id mismatches count as errors.
+fn run_worker(
+    addr: SocketAddr,
+    thread_id: u64,
+    seed: u64,
+    nodes: usize,
+    count: u64,
+    metrics: &Metrics,
+    next_id: &AtomicU64,
+) -> std::io::Result<WorkerStats> {
+    let socket = UdpSocket::bind("127.0.0.1:0")?;
+    socket.set_read_timeout(Some(Duration::from_millis(250)))?;
+    let mut rng = SmallRng::seed_from_u64(seed + thread_id);
+    let mut stats = WorkerStats { sent: 0, ok: 0, errors: 0, lost: 0 };
+    let mut buf = [0u8; 2048];
+    for _ in 0..count {
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        let request = trace_request(&mut rng, id, nodes);
+        stats.sent += 1;
+        let mut reply: Option<String> = None;
+        for _attempt in 0..3 {
+            let begin = Instant::now();
+            socket.send_to(request.as_bytes(), addr)?;
+            match socket.recv_from(&mut buf) {
+                Ok((n, _)) => {
+                    metrics.observe(
+                        "loadgen_query_micros",
+                        begin.elapsed().as_secs_f64() * 1e6,
+                        QUERY_MICROS_BUCKETS,
+                    );
+                    reply = Some(String::from_utf8_lossy(&buf[..n]).into_owned());
+                    break;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match reply {
+            Some(text) => {
+                let mut parts = text.split_whitespace();
+                let id_ok = parts.next() == Some(&id.to_string());
+                let verdict = parts.next();
+                if id_ok && verdict == Some("OK") {
+                    stats.ok += 1;
+                } else {
+                    stats.errors += 1;
+                }
+            }
+            None => stats.lost += 1,
+        }
+    }
+    Ok(stats)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--nodes N] [--seed S] [--threads T]\n\
+         \x20              [--requests R] [--min-qpm Q] [--report FILE]\n\
+         \n\
+         Without --addr, an in-process daemon is booted on an N-node preset."
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<SocketAddr> = None;
+    let mut nodes = 1_000usize;
+    let mut seed = 42u64;
+    let mut threads = 4usize;
+    let mut requests = 60_000u64;
+    let mut min_qpm = 0.0f64;
+    let mut report: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next().and_then(|a| a.parse().ok()) {
+                Some(a) => addr = Some(a),
+                None => usage(),
+            },
+            "--nodes" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => nodes = n,
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(s) => seed = s,
+                None => usage(),
+            },
+            "--threads" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(t) => threads = t,
+                None => usage(),
+            },
+            "--requests" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(r) => requests = r,
+                None => usage(),
+            },
+            "--min-qpm" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(q) => min_qpm = q,
+                None => usage(),
+            },
+            "--report" => match args.next() {
+                Some(path) => report = Some(path),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let threads = threads.max(1);
+
+    // Without --addr, boot a frozen in-process daemon after a short
+    // warmup so the example is self-contained and deterministic.
+    let embedded = match addr {
+        Some(_) => None,
+        None => {
+            let config = ServeConfig {
+                nodes,
+                warmup_steps: 50,
+                query_threads: threads,
+                ..ServeConfig::default()
+            };
+            match Server::start(config) {
+                Ok(server) => {
+                    println!("loadgen: booted in-process daemon on {}", server.udp_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("loadgen: failed to boot daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let target = addr.unwrap_or_else(|| embedded.as_ref().unwrap().udp_addr());
+
+    let metrics = Metrics::enabled();
+    let next_id = AtomicU64::new(1);
+    let per_thread = requests / threads as u64;
+    let remainder = requests % threads as u64;
+    println!(
+        "loadgen: {requests} requests to {target} across {threads} thread(s), \
+         trace seed {seed}, node range 0..{nodes}"
+    );
+    let begin = Instant::now();
+    let totals = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..threads as u64 {
+            let count = per_thread + u64::from(t < remainder);
+            let metrics = &metrics;
+            let next_id = &next_id;
+            workers.push(
+                scope.spawn(move || run_worker(target, t, seed, nodes, count, metrics, next_id)),
+            );
+        }
+        let mut totals = WorkerStats { sent: 0, ok: 0, errors: 0, lost: 0 };
+        for worker in workers {
+            match worker.join().expect("loadgen worker panicked") {
+                Ok(stats) => {
+                    totals.sent += stats.sent;
+                    totals.ok += stats.ok;
+                    totals.errors += stats.errors;
+                    totals.lost += stats.lost;
+                }
+                Err(e) => {
+                    eprintln!("loadgen: worker I/O failure: {e}");
+                    totals.errors += 1;
+                }
+            }
+        }
+        totals
+    });
+    let secs = begin.elapsed().as_secs_f64();
+
+    let snapshot = metrics.snapshot();
+    let latency = snapshot.histograms.get("loadgen_query_micros");
+    let quantile = |q: Option<f64>| q.map(|v| format!("{v:.0}")).unwrap_or_else(|| "-".into());
+    let (p50, p95, p99) = match latency {
+        Some(h) => (h.p50(), h.p95(), h.p99()),
+        None => (None, None, None),
+    };
+    let qps = if secs > 0.0 { totals.ok as f64 / secs } else { 0.0 };
+    let qpm = qps * 60.0;
+    println!(
+        "loadgen: {} ok / {} errors / {} lost in {secs:.2}s -> {qps:.0} qps ({qpm:.0}/min)",
+        totals.ok, totals.errors, totals.lost
+    );
+    println!(
+        "loadgen: client-side latency µs p50={} p95={} p99={}",
+        quantile(p50),
+        quantile(p95),
+        quantile(p99)
+    );
+
+    if let Some(path) = &report {
+        let json = format!(
+            "{{\n  \"target\": \"{target}\",\n  \"threads\": {threads},\n  \"seed\": {seed},\n  \
+             \"nodes\": {nodes},\n  \"requests\": {requests},\n  \"ok\": {},\n  \
+             \"errors\": {},\n  \"lost\": {},\n  \"wall_secs\": {secs},\n  \"qps\": {qps},\n  \
+             \"queries_per_min\": {qpm},\n  \"p50_micros\": {},\n  \"p95_micros\": {},\n  \
+             \"p99_micros\": {}\n}}\n",
+            totals.ok,
+            totals.errors,
+            totals.lost,
+            p50.map(|v| v.to_string()).unwrap_or_else(|| "null".into()),
+            p95.map(|v| v.to_string()).unwrap_or_else(|| "null".into()),
+            p99.map(|v| v.to_string()).unwrap_or_else(|| "null".into()),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("loadgen: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("loadgen: wrote {path}");
+    }
+
+    if let Some(server) = embedded {
+        server.shutdown();
+    }
+    if totals.errors > 0 || totals.lost > 0 {
+        eprintln!("loadgen: FAILED ({} errors, {} lost)", totals.errors, totals.lost);
+        return ExitCode::FAILURE;
+    }
+    if min_qpm > 0.0 && qpm < min_qpm {
+        eprintln!("loadgen: FAILED (throughput {qpm:.0}/min below floor {min_qpm:.0}/min)");
+        return ExitCode::FAILURE;
+    }
+    println!("loadgen: PASS");
+    ExitCode::SUCCESS
+}

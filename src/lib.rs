@@ -17,6 +17,9 @@
 //!   node-run distance-vector protocol.
 //! * [`experiments`] — every figure of the paper as a machine-checked
 //!   experiment (see the `repro` binary).
+//! * [`serve`] — a route-query daemon over the live simulation
+//!   (`repro serve`): steps the substrate on one thread and answers
+//!   UDP map queries from an atomically swapped snapshot.
 //!
 //! See the README for an architecture overview and `examples/` for
 //! runnable scenarios.
@@ -36,3 +39,4 @@ pub use agentnet_engine as engine;
 pub use agentnet_experiments as experiments;
 pub use agentnet_graph as graph;
 pub use agentnet_radio as radio;
+pub use agentnet_serve as serve;
