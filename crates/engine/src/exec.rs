@@ -239,6 +239,9 @@ impl Executor {
                     let misses = &misses;
                     let compute = &compute;
                     scope.spawn(move || loop {
+                        // Ticket counter: only atomicity matters, the
+                        // scope exit is the visibility barrier for the
+                        // results. agentlint::allow(no-relaxed-atomics)
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         if slot >= misses.len() {
                             break;

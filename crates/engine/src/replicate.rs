@@ -53,6 +53,9 @@ where
             let next = &next;
             let job = &job;
             scope.spawn(move || loop {
+                // Ticket counter: only atomicity matters, the scope
+                // exit is the visibility barrier for the results.
+                // agentlint::allow(no-relaxed-atomics)
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= runs {
                     break;

@@ -64,7 +64,7 @@
 //! gate.
 //!
 //! ```text
-//! repro lint [--baseline] [--root DIR] [--rules]
+//! repro lint [--baseline] [--root DIR] [--rules] [--format text|json]
 //! ```
 //!
 //! runs the `agentlint` static-analysis pass (see `agentnet_lint`) over
@@ -73,7 +73,10 @@
 //! committed `lint.toml` — or on a stale `lint.toml` entry that no
 //! longer matches, so the baseline can only shrink. `--baseline`
 //! rewrites `lint.toml` from the current findings; `--rules` lists the
-//! rule catalogue.
+//! rule catalogue. `--format json` prints one machine-readable object
+//! (schema 1: rule catalogue, sorted findings with source snippets,
+//! new/stale baseline diff, counts) to stdout instead of text lines,
+//! with the same exit-code contract.
 //!
 //! ```text
 //! repro serve [--nodes N] [--protocol ARM] [--population P] [--cache C]
@@ -123,7 +126,7 @@ fn usage() -> ! {
          \x20      repro validate [--seed N] [--inject-failure] [--protocol ARM]\n\
          \x20      repro bench [--out FILE] [--baseline FILE] [--max-regression PCT]\n\
          \x20            [--warmup N] [--iters N] [--filter SUBSTRING]...\n\
-         \x20      repro lint [--baseline] [--root DIR] [--rules]\n\
+         \x20      repro lint [--baseline] [--root DIR] [--rules] [--format text|json]\n\
          \x20      repro serve [--nodes N] [--protocol ARM] [--population P] [--cache C]\n\
          \x20            [--seed S] [--warmup W] [--steps K] [--step-micros U]\n\
          \x20            [--port P] [--http-port P] [--threads T] [--duration-secs D]\n\
@@ -383,6 +386,57 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// The machine-readable `repro lint --format json` payload, schema 1:
+/// the rule catalogue, every finding (sorted, with the trimmed source
+/// line as `snippet`), the baseline diff, and summary counts. Keys
+/// serialize in sorted order, so the output is byte-deterministic for a
+/// given tree — CI and editor integrations can diff it directly.
+fn lint_json(
+    root: &std::path::Path,
+    findings: &[agentnet_lint::Finding],
+    diff: &agentnet_lint::baseline::Diff,
+) -> serde_json::Value {
+    let mut sources: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut finding_json = |f: &agentnet_lint::Finding| {
+        let lines = sources.entry(f.file.clone()).or_insert_with(|| {
+            std::fs::read_to_string(root.join(&f.file))
+                .map(|s| s.lines().map(str::to_string).collect())
+                .unwrap_or_default()
+        });
+        let snippet = (f.line as usize)
+            .checked_sub(1)
+            .and_then(|i| lines.get(i))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        serde_json::json!({
+            "file": f.file,
+            "line": f.line,
+            "rule": f.rule,
+            "message": f.message,
+            "snippet": snippet,
+        })
+    };
+    serde_json::json!({
+        "schema": 1,
+        "rules": agentnet_lint::all_rules()
+            .iter()
+            .map(|r| serde_json::json!({ "name": r.name(), "description": r.description() }))
+            .collect::<Vec<_>>(),
+        "findings": findings.iter().map(&mut finding_json).collect::<Vec<_>>(),
+        "new": diff.new.iter().map(&mut finding_json).collect::<Vec<_>>(),
+        "stale": diff.stale
+            .iter()
+            .map(|e| serde_json::json!({ "file": e.file, "line": e.line, "rule": e.rule }))
+            .collect::<Vec<_>>(),
+        "counts": {
+            "findings": findings.len(),
+            "baselined": findings.len() - diff.new.len(),
+            "new": diff.new.len(),
+            "stale": diff.stale.len(),
+        },
+    })
+}
+
 /// The `repro lint` subcommand: runs the `agentlint` rules over the
 /// workspace, diffs against the committed `lint.toml` baseline, prints
 /// findings as `file:line rule message`, and exits non-zero on new
@@ -390,6 +444,7 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
 fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
     let mut snapshot = false;
     let mut show_rules = false;
+    let mut json = false;
     let mut root_arg: Option<String> = None;
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -399,6 +454,11 @@ fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
             "--root" => match args.next() {
                 Some(dir) => root_arg = Some(dir),
                 None => usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => usage(),
             },
             _ => usage(),
         }
@@ -451,11 +511,21 @@ fn run_lint(args: impl Iterator<Item = String>) -> ExitCode {
         }
     };
     let diff = agentnet_lint::baseline::diff(&findings, &baseline);
-    for f in &diff.new {
-        println!("{f}");
-    }
-    for s in &diff.stale {
-        println!("lint.toml stale-entry {s}");
+    if json {
+        match serde_json::to_string(&lint_json(&root, &findings, &diff)) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("repro lint: failed to serialize findings: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for f in &diff.new {
+            println!("{f}");
+        }
+        for s in &diff.stale {
+            println!("lint.toml stale-entry {s}");
+        }
     }
     eprintln!(
         "repro lint: {} finding(s) ({} baselined, {} new), {} stale baseline entr{}",
@@ -846,6 +916,10 @@ fn main() -> ExitCode {
     // Drains trace events while experiments run; returns the per-
     // experiment counters once the executor (the only sender) drops.
     let collector_obs = obs.clone();
+    // The collector must outlive the executor's thread scope (it drains
+    // the channel the scoped workers send into), so it cannot itself be
+    // scoped; joined explicitly below once the sender side drops.
+    // agentlint::allow(no-bare-spawn)
     let collector = std::thread::spawn(move || {
         let mut stats: BTreeMap<String, CellStats> = BTreeMap::new();
         for event in event_rx {

@@ -2,6 +2,7 @@
 //! depend on the jobs count or cache state, and a second (resumed)
 //! invocation must be served from the result cache.
 
+use serde_json::Value;
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
@@ -460,4 +461,97 @@ fn validate_injected_failure_exits_nonzero_and_names_the_invariant() {
     assert!(text.contains("injected-failure"), "violation not reported:\n{text}");
     assert!(text.contains("FAIL"), "no FAIL row:\n{text}");
     assert!(text.contains("checks FAILED"), "no failure summary:\n{text}");
+}
+
+/// `repro lint --format json` against a planted workspace: the schema-1
+/// payload pins file, line, rule, message routing and source snippets,
+/// and the exit code still reflects the baseline diff.
+#[test]
+fn lint_json_schema_is_pinned_on_planted_findings() {
+    let dir = tmpdir("lint-json");
+    std::fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(dir.join("lint.toml"), "").unwrap();
+    // policy.rs is on the kernel list: the Mutex import trips
+    // no-lock-in-kernel and the Relaxed load trips no-relaxed-atomics.
+    std::fs::write(
+        dir.join("crates/core/src/policy.rs"),
+        "use std::sync::Mutex;\n\
+         fn f(a: &std::sync::atomic::AtomicU64) -> u64 {\n\
+         \x20   a.load(Ordering::Relaxed)\n\
+         }\n",
+    )
+    .unwrap();
+    let out = repro(&["lint", "--root", dir.to_str().unwrap(), "--format", "json"]);
+    assert!(!out.status.success(), "planted findings must fail the gate");
+    let text = String::from_utf8(out.stdout.clone()).expect("stdout is utf-8");
+    let v = serde_json::parse(&text).expect("--format json emits one valid JSON object");
+    assert_eq!(v.get("schema").and_then(Value::as_u64), Some(1), "{text}");
+
+    let findings = v.get("findings").and_then(Value::as_array).expect("findings array");
+    let rows: Vec<(&str, u64, &str, &str)> = findings
+        .iter()
+        .map(|f| {
+            (
+                f.get("file").and_then(Value::as_str).expect("file"),
+                f.get("line").and_then(Value::as_u64).expect("line"),
+                f.get("rule").and_then(Value::as_str).expect("rule"),
+                f.get("snippet").and_then(Value::as_str).expect("snippet"),
+            )
+        })
+        .collect();
+    assert_eq!(
+        rows,
+        [
+            ("crates/core/src/policy.rs", 1, "no-lock-in-kernel", "use std::sync::Mutex;"),
+            ("crates/core/src/policy.rs", 3, "no-relaxed-atomics", "a.load(Ordering::Relaxed)"),
+        ],
+        "{text}"
+    );
+    assert!(
+        findings.iter().all(|f| f.get("message").and_then(Value::as_str).is_some()),
+        "every finding carries a message: {text}"
+    );
+    // With an empty baseline, everything is new and nothing is stale.
+    assert_eq!(v.get("new").and_then(Value::as_array).map(Vec::len), Some(2), "{text}");
+    assert_eq!(v.get("stale").and_then(Value::as_array).map(Vec::len), Some(0), "{text}");
+    let counts = v.get("counts").expect("counts object");
+    assert_eq!(counts.get("findings").and_then(Value::as_u64), Some(2), "{text}");
+    assert_eq!(counts.get("new").and_then(Value::as_u64), Some(2), "{text}");
+    assert_eq!(counts.get("baselined").and_then(Value::as_u64), Some(0), "{text}");
+    assert_eq!(counts.get("stale").and_then(Value::as_u64), Some(0), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The committed tree is clean under `--format json` too, and the rule
+/// catalogue in the payload is the full 8-rule set in registry order.
+#[test]
+fn lint_json_on_the_workspace_is_clean_with_the_full_rule_catalogue() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = repro(&["lint", "--root", root.to_str().unwrap(), "--format", "json"]);
+    let text = stdout(&out);
+    let v = serde_json::parse(&text).expect("--format json emits one valid JSON object");
+    let names: Vec<&str> = v
+        .get("rules")
+        .and_then(Value::as_array)
+        .expect("rules array")
+        .iter()
+        .map(|r| r.get("name").and_then(Value::as_str).expect("rule name"))
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "no-unordered-iteration",
+            "no-ambient-entropy",
+            "no-panic-in-kernel",
+            "no-alloc-in-hot-path",
+            "no-lossy-cast",
+            "no-relaxed-atomics",
+            "no-lock-in-kernel",
+            "no-bare-spawn",
+        ],
+        "{text}"
+    );
+    assert_eq!(v.get("findings").and_then(Value::as_array).map(Vec::len), Some(0), "{text}");
+    assert_eq!(v.get("counts").and_then(|c| c.get("new")).and_then(Value::as_u64), Some(0));
 }

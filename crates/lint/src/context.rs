@@ -252,6 +252,97 @@ mod tests {
     }
 
     #[test]
+    fn nested_cfg_test_mods_stay_covered() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn outer() { a.unwrap(); }\n\
+                   \x20   #[cfg(test)]\n\
+                   \x20   mod inner {\n\
+                   \x20       fn deep() { b.unwrap(); }\n\
+                   \x20   }\n\
+                   \x20   fn after_inner() { c.unwrap(); }\n\
+                   }\n\
+                   fn live() {}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        for name in ["a", "b", "c"] {
+            let i = ctx.tokens.iter().position(|t| t.is_ident(name)).expect(name);
+            assert!(ctx.in_test(i), "`{name}` must sit inside a test span");
+        }
+        let live = ctx.tokens.iter().position(|t| t.is_ident("live")).expect("live");
+        assert!(!ctx.in_test(live), "code after the outer mod's close brace is live");
+    }
+
+    #[test]
+    fn cfg_test_inside_a_live_mod_gates_only_its_item() {
+        let src = "mod m {\n\
+                   \x20   fn live() { x.tick(); }\n\
+                   \x20   #[cfg(test)]\n\
+                   \x20   fn probe() { y.unwrap(); }\n\
+                   }\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        let y = ctx.tokens.iter().position(|t| t.is_ident("y")).expect("y");
+        assert!(ctx.in_test(y));
+        let x = ctx.tokens.iter().position(|t| t.is_ident("x")).expect("x");
+        assert!(!ctx.in_test(x));
+    }
+
+    #[test]
+    fn multi_line_attributes_gate_the_following_item() {
+        // The attribute's argument list spans lines; the span must still
+        // cover the whole gated item, nothing more.
+        let src = "#[cfg(\n\
+                   \x20   all(\n\
+                   \x20       test,\n\
+                   \x20       feature = \"slow-tests\",\n\
+                   \x20   )\n\
+                   )]\n\
+                   mod tests {\n\
+                   \x20   fn t() { a.unwrap(); }\n\
+                   }\n\
+                   fn live() {}\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        let a = ctx.tokens.iter().position(|t| t.is_ident("a")).expect("a");
+        assert!(ctx.in_test(a));
+        let live = ctx.tokens.iter().position(|t| t.is_ident("live")).expect("live");
+        assert!(!ctx.in_test(live));
+    }
+
+    #[test]
+    fn stacked_attributes_between_marker_and_fn_are_skipped() {
+        // hot_path first, then further attributes before the `fn`; the
+        // body span must belong to the right function either way.
+        let src = "#[agentnet::hot_path]\n\
+                   #[allow(\n\
+                   \x20   clippy::needless_range_loop,\n\
+                   )]\n\
+                   pub(crate) unsafe fn advance() -> u64 {\n\
+                   \x20   tick()\n\
+                   }\n\
+                   fn other() { cold() }\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        assert_eq!(ctx.hot_paths.len(), 1);
+        let hp = &ctx.hot_paths[0];
+        assert_eq!(hp.name, "advance");
+        assert_eq!(hp.line, 5);
+        let body = &ctx.tokens[hp.body.start..hp.body.end];
+        assert!(body.iter().any(|t| t.is_ident("tick")));
+        assert!(!body.iter().any(|t| t.is_ident("cold")));
+    }
+
+    /// Documented conservatism: the span finder keys on the `test`
+    /// identifier anywhere inside `#[cfg(...)]`, so `#[cfg(not(test))]`
+    /// is (wrongly but safely) treated as test-gated. A rule can miss a
+    /// finding in such an item; it can never flag real test code. If
+    /// this trade ever flips, this pin is the place to renegotiate it.
+    #[test]
+    fn cfg_not_test_is_conservatively_treated_as_test() {
+        let src = "#[cfg(not(test))]\nfn shipped() { a.unwrap(); }\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        let a = ctx.tokens.iter().position(|t| t.is_ident("a")).expect("a");
+        assert!(ctx.in_test(a));
+    }
+
+    #[test]
     fn allow_covers_same_and_next_line() {
         let src = "// agentlint::allow(r1)\nlet a = 1;\nlet b = 2; // agentlint::allow(r2)\n";
         let ctx = FileContext::new("crates/x/src/lib.rs", src);
@@ -260,5 +351,22 @@ mod tests {
         assert!(!ctx.is_allowed("r1", 3));
         assert!(ctx.is_allowed("r2", 3));
         assert!(!ctx.is_allowed("r2", 2));
+    }
+
+    #[test]
+    fn allow_lists_cover_every_named_rule_and_nothing_between() {
+        let src = "// agentlint::allow(r1, r2)\n\
+                   let a = 1;\n\
+                   \n\
+                   let b = 2;\n";
+        let ctx = FileContext::new("crates/x/src/lib.rs", src);
+        assert!(ctx.is_allowed("r1", 2));
+        assert!(ctx.is_allowed("r2", 2));
+        assert!(!ctx.is_allowed("r3", 2), "unlisted rules stay live");
+        // A blank line breaks adjacency: the directive reaches exactly
+        // one line down, never further.
+        assert!(!ctx.is_allowed("r1", 4));
+        assert_eq!(ctx.allows().len(), 1);
+        assert_eq!(ctx.allows()[0].rules, ["r1", "r2"]);
     }
 }

@@ -1,0 +1,115 @@
+//! `no-bare-spawn`: threads are created through `std::thread::scope`
+//! (structured, joined by construction) or inside the serve daemon's
+//! managed worker set — never detached ad hoc.
+//!
+//! A bare `thread::spawn` whose handle leaks keeps running after the
+//! experiment or daemon that launched it is gone: it can write to
+//! report files mid-rename, hold sockets past shutdown, and turn a
+//! deterministic run into a racy one. Scoped spawns (`s.spawn(..)`
+//! inside `std::thread::scope`) are structurally joined and not
+//! flagged; the serve server module owns long-lived named workers with
+//! an explicit shutdown/join protocol and is allowlisted. Anything else
+//! needs an `agentlint::allow` explaining why the thread must outlive a
+//! scope and who joins it.
+
+use crate::context::FileContext;
+use crate::rules::{ident_at, path_sep_at, Finding, Rule};
+
+pub struct BareSpawn;
+
+/// Modules sanctioned to create free-standing threads: the serve
+/// daemon's worker set (named via `thread::Builder`, joined by
+/// `Server::shutdown` / `Drop`).
+const SPAWN_FILES: &[&str] = &["crates/serve/src/server.rs"];
+
+impl Rule for BareSpawn {
+    fn name(&self) -> &'static str {
+        "no-bare-spawn"
+    }
+
+    fn description(&self) -> &'static str {
+        "thread::spawn / thread::Builder outside std::thread::scope and the serve worker set"
+    }
+
+    fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>) {
+        if SPAWN_FILES.contains(&ctx.rel_path.as_str()) {
+            return;
+        }
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            if !(ident_at(toks, i, "thread") && path_sep_at(toks, i + 1)) {
+                continue;
+            }
+            let hit = if ident_at(toks, i + 3, "spawn") {
+                Some("`thread::spawn` detaches on a dropped handle")
+            } else if ident_at(toks, i + 3, "Builder") {
+                Some("`thread::Builder` spawns an unscoped thread")
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: toks[i + 3].line,
+                    rule: self.name(),
+                    message: format!(
+                        "{what}; use std::thread::scope so the join is structural, or justify with agentlint::allow naming the joiner"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new(rel, src);
+        let mut f = Vec::new();
+        BareSpawn.check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn flags_spawn_and_builder() {
+        let src = "fn f() {\n\
+                   \x20   let h = std::thread::spawn(|| 1u64);\n\
+                   \x20   let b = thread::Builder::new().name(\"w\".into());\n\
+                   \x20   let _ = (h, b);\n\
+                   }\n";
+        let f = run("crates/experiments/src/x.rs", src);
+        let lines: Vec<u32> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [2, 3], "{f:?}");
+    }
+
+    #[test]
+    fn scoped_spawns_are_structural_and_fine() {
+        let src = "fn f() {\n\
+                   \x20   std::thread::scope(|s| {\n\
+                   \x20       let t = s.spawn(|| 2u64);\n\
+                   \x20       let _ = t.join();\n\
+                   \x20   });\n\
+                   }\n";
+        assert!(run("crates/engine/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn serve_worker_module_is_exempt() {
+        let src = "fn f() { let _ = std::thread::Builder::new(); }\n";
+        assert!(run("crates/serve/src/server.rs", src).is_empty());
+        assert!(!run("crates/serve/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::thread::spawn(|| 0); }\n}\n";
+        assert!(run("crates/engine/src/x.rs", src).is_empty());
+    }
+}

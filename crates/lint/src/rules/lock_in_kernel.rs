@@ -1,0 +1,113 @@
+//! `no-lock-in-kernel`: the simulation kernels are single-threaded by
+//! construction and must stay lock-free.
+//!
+//! The sharded stepping design gets its determinism and throughput from
+//! kernels that own their state outright — cross-thread handoff happens
+//! between steps in the engine, and live readers are served through the
+//! serve layer's snapshot cell, never by locking simulation state. A
+//! `Mutex`/`RwLock` inside a kernel module or an
+//! `#[agentnet::hot_path]` body therefore signals a design regression
+//! (hidden blocking on the step path) before it becomes a deadlock or a
+//! 100k-node throughput cliff. Flags the type names themselves
+//! (imports, fields, constructors) and `.lock()` calls; `.read()` /
+//! `.write()` are deliberately not matched — they collide with I/O
+//! traits, and reaching them requires a flagged `RwLock` first.
+
+use crate::context::FileContext;
+use crate::rules::{ident_at, method_call_at, Finding, Rule, KERNEL_FILES};
+
+pub struct LockInKernel;
+
+impl Rule for LockInKernel {
+    fn name(&self) -> &'static str {
+        "no-lock-in-kernel"
+    }
+
+    fn description(&self) -> &'static str {
+        "Mutex/RwLock in step-path kernel modules or #[agentnet::hot_path] bodies"
+    }
+
+    fn check(&self, ctx: &FileContext, findings: &mut Vec<Finding>) {
+        let kernel_file = KERNEL_FILES.contains(&ctx.rel_path.as_str());
+        let toks = &ctx.tokens;
+        for i in 0..toks.len() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let in_scope =
+                kernel_file || ctx.hot_paths.iter().any(|hp| i >= hp.body.start && i < hp.body.end);
+            if !in_scope {
+                continue;
+            }
+            let hit = if ident_at(toks, i, "Mutex") || ident_at(toks, i, "RwLock") {
+                Some(format!("`{}`", toks[i].text))
+            } else if method_call_at(toks, i, "lock") {
+                Some("`.lock()`".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                findings.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: toks[i].line,
+                    rule: self.name(),
+                    message: format!(
+                        "{what} blocks the step path; kernels own their state — hand shared reads to the serve snapshot cell instead"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileContext::new(rel, src);
+        let mut f = Vec::new();
+        LockInKernel.check(&ctx, &mut f);
+        f
+    }
+
+    #[test]
+    fn flags_types_and_lock_calls_in_kernel_files() {
+        let src = "use std::sync::Mutex;\n\
+                   struct S { inner: Mutex<u64> }\n\
+                   fn f(s: &S) -> u64 {\n\
+                   \x20   if let Ok(g) = s.inner.lock() { *g } else { 0 }\n\
+                   }\n";
+        let f = run("crates/core/src/mapping.rs", src);
+        let lines: Vec<u32> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [1, 2, 4], "{f:?}");
+    }
+
+    #[test]
+    fn hot_path_bodies_are_in_scope_everywhere() {
+        let src = "#[agentnet::hot_path]\n\
+                   fn hot(s: &S) -> u64 {\n\
+                   \x20   if let Ok(g) = s.inner.lock() { *g } else { 0 }\n\
+                   }\n\
+                   fn cold(s: &S) -> u64 {\n\
+                   \x20   if let Ok(g) = s.inner.lock() { *g } else { 0 }\n\
+                   }\n";
+        let f = run("crates/engine/src/x.rs", src);
+        let lines: Vec<u32> = f.iter().map(|x| x.line).collect();
+        assert_eq!(lines, [3], "only the hot body is flagged: {f:?}");
+    }
+
+    #[test]
+    fn non_kernel_files_are_out_of_scope() {
+        let src = "use std::sync::Mutex;\nfn f() -> Mutex<u64> { Mutex::new(0) }\n";
+        assert!(run("crates/serve/src/server.rs", src).is_empty());
+        assert!(run("crates/engine/src/obs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n    fn t() { let _ = Mutex::new(0); }\n}\n";
+        assert!(run("crates/core/src/comm.rs", src).is_empty());
+    }
+}

@@ -11,9 +11,30 @@ use crate::lexer::{Tok, TokKind};
 
 mod alloc_in_hot_path;
 mod ambient_entropy;
+mod bare_spawn;
+mod lock_in_kernel;
 mod lossy_cast;
 mod panic_in_kernel;
+mod relaxed_atomics;
 mod unordered_iteration;
+
+/// The kernel modules: everything on the per-step path of
+/// `WirelessNetwork::advance`, `MappingSim::step`, and the protocol-zoo
+/// step loops (`RoutingSim`, `StigRouteSim`, `AntNetSim`, `FloodSim`).
+/// Shared by `no-panic-in-kernel` and `no-lock-in-kernel` so the two
+/// rules can never disagree about what "the kernel" is.
+pub(crate) const KERNEL_FILES: &[&str] = &[
+    "crates/radio/src/network.rs",
+    "crates/radio/src/spatial.rs",
+    "crates/core/src/comm.rs",
+    "crates/core/src/policy.rs",
+    "crates/core/src/mapping.rs",
+    "crates/core/src/routing/sim.rs",
+    "crates/core/src/routing/index.rs",
+    "crates/core/src/routing/stigroute.rs",
+    "crates/core/src/routing/antnet.rs",
+    "crates/baselines/src/flooding.rs",
+];
 
 /// One lint finding, printed as `file:line rule message`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -52,6 +73,9 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(panic_in_kernel::PanicInKernel),
         Box::new(alloc_in_hot_path::AllocInHotPath),
         Box::new(lossy_cast::LossyCast),
+        Box::new(relaxed_atomics::RelaxedAtomics),
+        Box::new(lock_in_kernel::LockInKernel),
+        Box::new(bare_spawn::BareSpawn),
     ]
 }
 

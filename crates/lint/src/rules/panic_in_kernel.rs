@@ -13,25 +13,9 @@
 
 use crate::context::FileContext;
 use crate::lexer::TokKind;
-use crate::rules::{punct_at, Finding, Rule};
+use crate::rules::{punct_at, Finding, Rule, KERNEL_FILES};
 
 pub struct PanicInKernel;
-
-/// The kernel modules: everything on the per-step path of
-/// `WirelessNetwork::advance`, `MappingSim::step`, and the protocol-zoo
-/// step loops (`RoutingSim`, `StigRouteSim`, `AntNetSim`, `FloodSim`).
-const KERNEL_FILES: &[&str] = &[
-    "crates/radio/src/network.rs",
-    "crates/radio/src/spatial.rs",
-    "crates/core/src/comm.rs",
-    "crates/core/src/policy.rs",
-    "crates/core/src/mapping.rs",
-    "crates/core/src/routing/sim.rs",
-    "crates/core/src/routing/index.rs",
-    "crates/core/src/routing/stigroute.rs",
-    "crates/core/src/routing/antnet.rs",
-    "crates/baselines/src/flooding.rs",
-];
 
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 

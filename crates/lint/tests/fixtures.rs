@@ -99,6 +99,67 @@ fn lossy_cast_fixture() {
     assert!(lint_source("crates/engine/src/fixture.rs", src).is_empty());
 }
 
+#[test]
+fn relaxed_atomics_fixture() {
+    let src = include_str!("fixtures/relaxed_atomics.rs");
+    let rel = "crates/engine/src/fixture.rs";
+    assert_eq!(
+        lines_and_rules(rel, src),
+        [
+            (4, "no-relaxed-atomics"), // store(.., Relaxed)
+            (8, "no-relaxed-atomics"), // fetch_add(.., AcqRel)
+                                       // line 18 is Relaxed too, but carries an allow + why.
+        ],
+        "{:#?}",
+        lint_source(rel, src)
+    );
+    // The loom-proven sync core is the one sanctioned home.
+    assert!(lint_source("crates/serve/src/cell.rs", src).is_empty());
+}
+
+#[test]
+fn lock_in_kernel_fixture() {
+    let src = include_str!("fixtures/lock_in_kernel.rs");
+    // Kernel scope is the shared file list; borrow a real kernel path.
+    let rel = "crates/core/src/mapping.rs";
+    assert_eq!(
+        lines_and_rules(rel, src),
+        [
+            (1, "no-lock-in-kernel"),  // use std::sync::Mutex
+            (4, "no-lock-in-kernel"),  // Mutex<u64> field
+            (8, "no-lock-in-kernel"),  // .lock() in kernel fn
+            (17, "no-lock-in-kernel"), // .lock() in hot-path fn
+        ],
+        "{:#?}",
+        lint_source(rel, src)
+    );
+    // Outside the kernel list, only the #[agentnet::hot_path] body counts.
+    assert_eq!(
+        lines_and_rules("crates/engine/src/fixture.rs", src),
+        [(17, "no-lock-in-kernel")],
+        "{:#?}",
+        lint_source("crates/engine/src/fixture.rs", src)
+    );
+}
+
+#[test]
+fn bare_spawn_fixture() {
+    let src = include_str!("fixtures/bare_spawn.rs");
+    let rel = "crates/experiments/src/fixture.rs";
+    assert_eq!(
+        lines_and_rules(rel, src),
+        [
+            (2, "no-bare-spawn"), // std::thread::spawn
+            (3, "no-bare-spawn"), // std::thread::Builder
+                                  // `structured` uses std::thread::scope + s.spawn: clean.
+        ],
+        "{:#?}",
+        lint_source(rel, src)
+    );
+    // The serve worker module owns its threads (named, joined on shutdown).
+    assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
+}
+
 /// The output contract consumed by CI logs and the baseline:
 /// `file:line rule message`, stably sorted.
 #[test]

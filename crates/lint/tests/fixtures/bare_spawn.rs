@@ -1,0 +1,13 @@
+pub fn leaky() -> u64 {
+    let h = std::thread::spawn(|| 1u64);
+    let b = std::thread::Builder::new().name("w".into());
+    drop(b);
+    h.join().unwrap_or(0)
+}
+
+pub fn structured() -> u64 {
+    std::thread::scope(|s| {
+        let t = s.spawn(|| 2u64);
+        t.join().unwrap_or(0)
+    })
+}

@@ -1,0 +1,26 @@
+use std::sync::Mutex;
+
+pub struct Shared {
+    inner: Mutex<u64>,
+}
+
+pub fn kernel_read(s: &Shared) -> u64 {
+    if let Ok(g) = s.inner.lock() {
+        *g
+    } else {
+        0
+    }
+}
+
+#[agentnet::hot_path]
+pub fn hot(s: &Shared) -> u64 {
+    if let Ok(g) = s.inner.lock() {
+        *g
+    } else {
+        0
+    }
+}
+
+pub fn cold(s: &Shared) -> u64 {
+    kernel_read(s)
+}

@@ -1,0 +1,19 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Relaxed);
+}
+
+pub fn bump(flag: &AtomicU64) -> u64 {
+    flag.fetch_add(1, std::sync::atomic::Ordering::AcqRel)
+}
+
+pub fn sound(flag: &AtomicU64) -> u64 {
+    flag.store(2, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}
+
+pub fn justified(flag: &AtomicU64) -> u64 {
+    // Ticket counter, atomicity only. agentlint::allow(no-relaxed-atomics)
+    flag.fetch_add(1, Ordering::Relaxed)
+}

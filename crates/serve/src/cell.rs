@@ -1,0 +1,175 @@
+//! The publish point: a sequence-keyed, double-buffered cell handing
+//! immutable snapshot `Arc`s from one (or more) publishers to any
+//! number of readers, without readers ever blocking publishers of the
+//! *other* slot.
+//!
+//! # Design
+//!
+//! The cell's only atomic is `seq`, the generation counter; the slot a
+//! generation lives in is derived from it (`seq & 1`). Earlier designs
+//! kept a separate "active index" atomic next to the sequence — that is
+//! a real concurrency bug, not just redundancy: a reader can pair a
+//! *stale* index value with *fresh* slot content (the slot lock
+//! synchronizes with the newest writer even when the index load
+//! returned an old value), and on a second load legally observe an
+//! older generation — headers moving back in time. The loom canary
+//! `old_index_flip_design_breaks_monotonicity` in `tests/loom.rs`
+//! reproduces exactly that interleaving. Deriving the slot from the
+//! generation removes the two-variable race by construction: there is
+//! nothing to pair inconsistently.
+//!
+//! # Memory-model argument
+//!
+//! Proven by exhaustive model checking (`tests/loom.rs`, run with
+//! `RUSTFLAGS="--cfg loom"`); the human-readable version:
+//!
+//! * **Publish** stamps generation `g`, writes the snapshot into slot
+//!   `g & 1` under that slot's write lock, then `seq.store(g, Release)`
+//!   — all while holding the header ledger mutex, so concurrent
+//!   publishers are fully serialized and `seq`'s modification order is
+//!   exactly 1, 2, 3, …
+//! * **Load** reads `target = seq.load(Acquire)`. Synchronizing with
+//!   the Release store means the generation-`target` slot write
+//!   happens-before the subsequent read-lock, so the slot now holds
+//!   generation `target` or a *later* same-parity generation (`target +
+//!   2k`) — never an earlier one. The header equality check accepts
+//!   only `target`; on a mismatch the retry cannot loop: having
+//!   observed generation `target + 2k` under the slot lock, the reader
+//!   also inherited the writer's history through `seq.store(target +
+//!   2k - 1)`, so its next Acquire load returns at least that — every
+//!   retry strictly advances, bounded by the newest publish.
+//! * **Monotonicity** needs no stronger orderings because it rides on
+//!   per-location coherence: successive reads of `seq` never go
+//!   backwards in modification order, the returned snapshot's `seq`
+//!   equals the loaded value, and the ledger check makes `step` /
+//!   `topology_version` nondecreasing in `seq`. `Relaxed` would be
+//!   enough for monotonicity alone — Acquire/Release is required for
+//!   tear-freedom (reading the slot before its write is visible).
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, RwLock};
+
+/// The monotone header every snapshot carries: publish sequence, step
+/// count, and link-topology version. Within one [`SnapshotCell`] all
+/// three are nondecreasing (`seq` strictly increasing), which is what
+/// makes cross-swap reads safe: any two values a reader takes from one
+/// snapshot belong to the same `(step, topology_version)` pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Publish sequence number, assigned by [`SnapshotCell::publish`]
+    /// (the initial snapshot is `1`).
+    pub seq: u64,
+    /// Simulation steps executed when the snapshot was captured.
+    pub step: u64,
+    /// The substrate's link-topology version at capture.
+    pub topology_version: u64,
+}
+
+/// What the cell needs from a snapshot type: a monotone header, and a
+/// hook for the cell to stamp the publish sequence it assigns. The
+/// production implementor is [`crate::snapshot::MapSnapshot`]; the loom
+/// tests use a small payload type whose fields are derived from the
+/// header so torn reads are detectable.
+pub trait Versioned {
+    /// The snapshot's current header.
+    fn header(&self) -> SnapshotHeader;
+    /// Stamps the cell-assigned publish sequence (called once, before
+    /// the snapshot becomes shared).
+    fn stamp_seq(&mut self, seq: u64);
+}
+
+/// The sequence-keyed publish point: generation `g` lives in slot
+/// `g & 1`, readers key every access off one `seq` load.
+///
+/// * [`load`](Self::load) never blocks a publisher of the *other*
+///   parity and never spins against a quiescent writer: the retry loop
+///   advances only when publishes land mid-load, at most once per
+///   intervening generation.
+/// * [`publish`](Self::publish) serializes publishers through the
+///   header ledger, rejects non-monotone headers, and never touches the
+///   slot readers of the current generation are using.
+pub struct SnapshotCell<T: Versioned = crate::snapshot::MapSnapshot> {
+    /// Newest published generation; `seq & 1` names its slot.
+    /// Store-Release in `publish` / load-Acquire in `load` is the one
+    /// synchronizing edge readers rely on (see module docs).
+    seq: AtomicU64,
+    /// Snapshot slots, keyed by generation parity. The locks are held
+    /// momentarily (one `Arc` clone or one `Arc` replacement); they
+    /// order same-slot access, while cross-slot ordering comes from
+    /// `seq` alone.
+    slots: [RwLock<Arc<T>>; 2],
+    /// Writer-side ledger of the newest published header. Serializes
+    /// publishers and carries the monotonicity check; readers never
+    /// take it.
+    ledger: Mutex<SnapshotHeader>,
+}
+
+impl<T: Versioned> SnapshotCell<T> {
+    /// Creates a cell publishing `initial` as sequence 1 (both slots
+    /// start with a copy, so parity addressing works from the first
+    /// load).
+    pub fn new(mut initial: T) -> Self {
+        initial.stamp_seq(1);
+        let header = initial.header();
+        let first = Arc::new(initial);
+        SnapshotCell {
+            seq: AtomicU64::new(1),
+            slots: [RwLock::new(Arc::clone(&first)), RwLock::new(first)],
+            ledger: Mutex::new(header),
+        }
+    }
+
+    /// The current snapshot. Answer whole queries from the returned
+    /// `Arc`, never from repeated `load` calls — one clone is one
+    /// consistent point in time.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            // Acquire: observing generation `target` makes its slot
+            // write (sequenced before the Release store) visible.
+            let target = self.seq.load(Ordering::Acquire);
+            let slot = &self.slots[(target & 1) as usize];
+            let snap = Arc::clone(&slot.read().expect("snapshot slot lock poisoned"));
+            if snap.header().seq == target {
+                return snap;
+            }
+            // The slot advanced past `target` (a publish landed between
+            // the seq load and the slot read). The slot lock already
+            // synchronized us with that newer publish, so the next seq
+            // load is strictly larger — bounded retries, no spinning.
+        }
+    }
+
+    /// Publishes `snap` as the new current snapshot, assigning the next
+    /// sequence number. Publishers are serialized by the header ledger,
+    /// so concurrent callers are safe (the step thread is the only
+    /// production publisher).
+    ///
+    /// # Errors
+    ///
+    /// Rejects (and drops) a snapshot whose `step` or
+    /// `topology_version` would move backwards relative to the
+    /// currently published header.
+    pub fn publish(&self, mut snap: T) -> Result<u64, String> {
+        let mut ledger = self.ledger.lock().expect("snapshot ledger poisoned");
+        let new = snap.header();
+        if new.step < ledger.step || new.topology_version < ledger.topology_version {
+            return Err(format!(
+                "non-monotone snapshot rejected: step {} -> {}, topology {} -> {}",
+                ledger.step, new.step, ledger.topology_version, new.topology_version
+            ));
+        }
+        let seq = ledger.seq + 1;
+        snap.stamp_seq(seq);
+        *ledger = snap.header();
+        {
+            let slot = &self.slots[(seq & 1) as usize];
+            *slot.write().expect("snapshot slot lock poisoned") = Arc::new(snap);
+        }
+        // Release: everything above — the slot write, the stamped
+        // content — becomes visible to any reader whose Acquire load
+        // returns `seq`. Still under the ledger lock, so seq's
+        // modification order is exactly the publish order.
+        self.seq.store(seq, Ordering::Release);
+        Ok(seq)
+    }
+}

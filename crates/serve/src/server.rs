@@ -24,6 +24,8 @@
 
 use crate::clock;
 use crate::snapshot::{MapSnapshot, SnapshotCell};
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use crate::wire;
 use agentnet_baselines::zoo::{build_protocol, ZooParams};
 use agentnet_core::routing::{ProtocolKind, RouteIndex};
@@ -33,8 +35,6 @@ use agentnet_radio::NetworkBuilder;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -235,6 +235,11 @@ impl Server {
                             steps,
                             interval,
                         );
+                        // Release, paired with the Acquire in
+                        // `stepping_done`: observing done == true
+                        // happens-after the final publish, so the next
+                        // `cell.load()` returns the final snapshot
+                        // (loom: `stop_handshake_delivers_the_final_snapshot`).
                         done.store(true, Ordering::Release);
                     })
                     .map_err(ServeError::Io)?,
@@ -266,6 +271,9 @@ impl Server {
 
     /// Whether the step thread has executed its full step budget.
     pub fn stepping_done(&self) -> bool {
+        // Acquire, paired with the step thread's Release: true implies
+        // every publish of the budget is visible (callers read the
+        // final map right after this returns true).
         self.stepping_done.load(Ordering::Acquire)
     }
 
@@ -284,6 +292,11 @@ impl Server {
 
     /// Signals every thread to stop and joins them.
     pub fn shutdown(mut self) {
+        // Release, paired with the workers' Acquire polls: a worker
+        // that observes the stop flag also observes everything the
+        // shutdown caller did before raising it. (For the flag alone
+        // Relaxed would do — the join below is the real barrier — but
+        // Release keeps the flag safe for callers that don't join.)
         self.stop.store(true, Ordering::Release);
         for handle in self.threads.drain(..) {
             let _ = handle.join();
@@ -293,6 +306,8 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
+        // Same Release handshake as `shutdown`, minus the joins:
+        // detached threads still observe a consistent pre-stop state.
         self.stop.store(true, Ordering::Release);
     }
 }
@@ -311,6 +326,8 @@ fn step_loop(
     interval: Duration,
 ) {
     for k in 0..steps {
+        // Acquire, paired with the Release in shutdown/drop: observing
+        // stop also observes the caller's pre-shutdown writes.
         if stop.load(Ordering::Acquire) {
             break;
         }
@@ -337,6 +354,7 @@ fn step_loop(
 /// One UDP worker: receive, answer from one snapshot clone, reply.
 fn query_worker(socket: &UdpSocket, cell: &SnapshotCell, stop: &AtomicBool, metrics: &Metrics) {
     let mut buf = [0u8; 1500];
+    // Acquire poll of the stop flag: see `Server::shutdown`.
     while !stop.load(Ordering::Acquire) {
         let (len, peer) = match socket.recv_from(&mut buf) {
             Ok(pair) => pair,
@@ -381,6 +399,7 @@ fn query_worker(socket: &UdpSocket, cell: &SnapshotCell, stop: &AtomicBool, metr
 
 /// The HTTP thread: minimal `GET`-only responder for metric scrapes.
 fn http_worker(listener: &TcpListener, cell: &SnapshotCell, stop: &AtomicBool, metrics: &Metrics) {
+    // Acquire poll of the stop flag: see `Server::shutdown`.
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => handle_http(stream, cell, metrics),

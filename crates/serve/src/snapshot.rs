@@ -1,5 +1,5 @@
-//! Self-contained map snapshots and the double-buffered cell that
-//! publishes them.
+//! Self-contained map snapshots, published through the sequence-keyed
+//! cell in [`crate::cell`].
 //!
 //! A [`MapSnapshot`] freezes everything a query needs — best route per
 //! node, live out-link rows, per-node reachability, the gateway set —
@@ -12,36 +12,19 @@
 //! arithmetic, and [`SnapshotCell::publish`] rejects any non-monotone
 //! header).
 //!
-//! [`SnapshotCell`] is the swap point: two slots, an atomic active
-//! index, a single writer. `publish` builds into the *inactive* slot
-//! and flips the index with release ordering; [`SnapshotCell::load`]
-//! clones the active slot's `Arc` under a momentary read lock. The step
-//! thread therefore never waits on in-flight queries and readers never
-//! tear a snapshot.
+//! The swap point itself — [`SnapshotCell`] — lives in [`crate::cell`]
+//! behind the [`crate::sync`] shim, where its publish/load/stop
+//! protocol is exhaustively model-checked (`tests/loom.rs`); this
+//! module owns what a snapshot *contains* and how one is captured.
 
+use crate::cell::{SnapshotHeader, Versioned};
 use crate::clock;
 use agentnet_core::routing::{RouteIndex, RoutingProtocol};
 use agentnet_engine::Step;
 use agentnet_graph::NodeId;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
-/// The monotone header every snapshot carries: publish sequence, step
-/// count, and link-topology version. Within one [`SnapshotCell`] all
-/// three are nondecreasing (`seq` strictly increasing), which is what
-/// makes cross-swap reads safe: any two values a reader takes from one
-/// snapshot belong to the same `(step, topology_version)` pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct SnapshotHeader {
-    /// Publish sequence number, assigned by [`SnapshotCell::publish`]
-    /// (the initial snapshot is `1`).
-    pub seq: u64,
-    /// Simulation steps executed when the snapshot was captured.
-    pub step: u64,
-    /// The substrate's link-topology version at capture.
-    pub topology_version: u64,
-}
+pub use crate::cell::SnapshotCell;
 
 /// One node's best current route: the fewest-hop table entry whose
 /// next-hop link is live at capture time (ties broken by lower gateway
@@ -286,74 +269,15 @@ impl MapSnapshot {
     }
 }
 
-/// The double-buffered publish point: two snapshot slots and an atomic
-/// active index, written by exactly one step thread and read by any
-/// number of query threads.
-///
-/// * [`load`](Self::load) is wait-free in practice: read the active
-///   index (acquire), clone the slot's `Arc` under a momentary read
-///   lock, answer from the clone.
-/// * [`publish`](Self::publish) writes the *inactive* slot, then flips
-///   the index (release) — it never contends with readers of the
-///   current snapshot, so stepping is never blocked by queries.
-/// * Headers are monotone: a publish whose `step` or
-///   `topology_version` would move backwards is rejected, and `seq`
-///   strictly increases — per reader, observed headers never go back in
-///   time even across swaps.
-pub struct SnapshotCell {
-    active: AtomicUsize,
-    slots: [RwLock<Arc<MapSnapshot>>; 2],
-    seq: AtomicU64,
-}
-
-impl SnapshotCell {
-    /// Creates a cell publishing `initial` as sequence 1.
-    pub fn new(mut initial: MapSnapshot) -> Self {
-        initial.header.seq = 1;
-        let first = Arc::new(initial);
-        SnapshotCell {
-            active: AtomicUsize::new(0),
-            slots: [RwLock::new(Arc::clone(&first)), RwLock::new(first)],
-            seq: AtomicU64::new(1),
-        }
+impl Versioned for MapSnapshot {
+    fn header(&self) -> SnapshotHeader {
+        self.header
     }
 
-    /// The current snapshot. Answer whole queries from the returned
-    /// `Arc`, never from repeated `load` calls — one clone is one
-    /// consistent point in time.
-    pub fn load(&self) -> Arc<MapSnapshot> {
-        let i = self.active.load(Ordering::Acquire) & 1;
-        let slot = self.slots.get(i).unwrap_or_else(|| &self.slots[0]);
-        Arc::clone(&slot.read().expect("snapshot slot lock poisoned"))
-    }
-
-    /// Publishes `snap` as the new current snapshot, assigning the next
-    /// sequence number. Single-writer: call only from the step thread.
-    ///
-    /// # Errors
-    ///
-    /// Rejects (and drops) a snapshot whose `step` or
-    /// `topology_version` would move backwards relative to the
-    /// currently published header.
-    pub fn publish(&self, mut snap: MapSnapshot) -> Result<u64, String> {
-        let current = self.load();
-        let cur = current.header;
-        let new = snap.header;
-        if new.step < cur.step || new.topology_version < cur.topology_version {
-            return Err(format!(
-                "non-monotone snapshot rejected: step {} -> {}, topology {} -> {}",
-                cur.step, new.step, cur.topology_version, new.topology_version
-            ));
-        }
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        snap.header.seq = seq;
-        let next = (self.active.load(Ordering::Relaxed) + 1) & 1;
-        {
-            let slot = self.slots.get(next).unwrap_or_else(|| &self.slots[0]);
-            *slot.write().expect("snapshot slot lock poisoned") = Arc::new(snap);
-        }
-        self.active.store(next, Ordering::Release);
-        Ok(seq)
+    fn stamp_seq(&mut self, seq: u64) {
+        // Deliberately outside the fingerprint: the cell assigns it
+        // after capture, and `validate` must keep passing.
+        self.header.seq = seq;
     }
 }
 

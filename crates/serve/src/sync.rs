@@ -1,0 +1,26 @@
+//! The sync shim: `std::sync` in real builds, `loom::sync` under
+//! `RUSTFLAGS="--cfg loom"`.
+//!
+//! Every synchronization primitive the serving layer uses is imported
+//! from here, never from `std::sync` directly. That single choke point
+//! is what lets `tests/loom.rs` run the *production* [`crate::cell`]
+//! code under the model checker: the same publish/load/stop source
+//! compiles against loom's intercepted atomics and locks, and every
+//! interleaving plus every C11-allowed weak-memory outcome is explored
+//! exhaustively.
+//!
+//! Only the model-checkable subset is re-exported. Real-thread
+//! machinery (`std::thread::Builder`, sockets, timers) stays in
+//! [`crate::server`], which is compiled but never *run* under loom.
+
+#[cfg(not(loom))]
+pub use std::sync::{atomic, Arc, Mutex, RwLock};
+
+#[cfg(loom)]
+pub use loom::sync::{atomic, Arc, Mutex, RwLock};
+
+#[cfg(not(loom))]
+pub use std::thread;
+
+#[cfg(loom)]
+pub use loom::thread;

@@ -1,0 +1,296 @@
+//! Exhaustive model checking of the snapshot cell's publish/load/stop
+//! protocol. Compiled only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test --release -p agentnet-serve --test loom
+//! ```
+//!
+//! The production [`SnapshotCell`] code runs unmodified against loom's
+//! intercepted primitives (via the `agentnet_serve::sync` shim), so
+//! every thread interleaving *and* every C11-allowed weak-memory
+//! outcome of the real publish/load paths is enumerated. Two canary
+//! tests prove the checker has teeth: a deliberately weakened
+//! message-passing pair, and a faithful reimplementation of the old
+//! "active index + slots" flip design, both of which loom must fail.
+#![cfg(loom)]
+
+use agentnet_serve::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use agentnet_serve::sync::{thread, Arc, RwLock};
+use agentnet_serve::{SnapshotCell, SnapshotHeader, Versioned};
+use std::panic::resume_unwind;
+
+/// Minimal snapshot: the payload is a checksum of the header, stamped
+/// when the cell assigns the sequence, so any torn read (header of one
+/// generation, payload of another) is detectable.
+#[derive(Clone, Copy, Debug)]
+struct TestSnap {
+    header: SnapshotHeader,
+    payload: u64,
+}
+
+fn checksum(h: SnapshotHeader) -> u64 {
+    h.seq
+        .wrapping_mul(0x100_0003)
+        .wrapping_add(h.step.wrapping_mul(31))
+        .wrapping_add(h.topology_version.wrapping_mul(7))
+}
+
+impl TestSnap {
+    fn gen(step: u64, topo: u64) -> Self {
+        TestSnap { header: SnapshotHeader { seq: 0, step, topology_version: topo }, payload: 0 }
+    }
+
+    fn check(&self) -> SnapshotHeader {
+        assert_eq!(self.payload, checksum(self.header), "torn snapshot: {:?}", self.header);
+        self.header
+    }
+}
+
+impl Versioned for TestSnap {
+    fn header(&self) -> SnapshotHeader {
+        self.header
+    }
+
+    fn stamp_seq(&mut self, seq: u64) {
+        self.header.seq = seq;
+        self.payload = checksum(self.header);
+    }
+}
+
+/// Re-raise a joined thread's own panic so `#[should_panic(expected)]`
+/// can match the inner assertion message.
+fn join_or_repanic<T>(handle: thread::JoinHandle<T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// The core theorem, reader side: across every interleaving of a
+/// publish with two loads, every load returns an untorn snapshot and
+/// the reader's observed headers never move backwards — seq, step and
+/// topology_version are all monotone, even when the loads straddle the
+/// slot swap (generation 1 and 2 live in different slots).
+#[test]
+fn publish_load_interleavings_are_monotone_and_untorn() {
+    loom::model(|| {
+        let cell = Arc::new(SnapshotCell::new(TestSnap::gen(10, 1)));
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.publish(TestSnap::gen(11, 2)).expect("in-order publish");
+            })
+        };
+        let reader = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let first = cell.load().check();
+                let second = cell.load().check();
+                assert!(
+                    second.seq >= first.seq
+                        && second.step >= first.step
+                        && second.topology_version >= first.topology_version,
+                    "header went back in time: {first:?} -> {second:?}"
+                );
+            })
+        };
+        join_or_repanic(publisher);
+        join_or_repanic(reader);
+        assert_eq!(cell.load().check().seq, 2, "final load sees the final publish");
+    });
+}
+
+/// The core theorem, retry side: with two publishes racing one load,
+/// the reader's equality check can observe a slot that already advanced
+/// past its seq target (same parity, two generations later) and must
+/// retry. Every execution still terminates with an untorn snapshot
+/// whose header matches the generation it claims.
+#[test]
+fn load_retry_across_slot_reuse_stays_consistent() {
+    loom::model(|| {
+        let cell = Arc::new(SnapshotCell::new(TestSnap::gen(10, 1)));
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.publish(TestSnap::gen(11, 1)).expect("in-order publish");
+                cell.publish(TestSnap::gen(12, 2)).expect("in-order publish");
+            })
+        };
+        let reader = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let h = cell.load().check();
+                let expected_step = 9 + h.seq;
+                assert_eq!(h.step, expected_step, "header fields mixed across generations: {h:?}");
+            })
+        };
+        join_or_repanic(publisher);
+        join_or_repanic(reader);
+        assert_eq!(cell.load().check().seq, 3, "final load sees the final publish");
+    });
+}
+
+/// Two racing publishers of the same step stay serialized by the header
+/// ledger: both sequence numbers are assigned, distinct and
+/// consecutive, and the cell ends on the newest generation with an
+/// untorn payload. (Racing *different* steps is deliberately not
+/// modeled: the ledger is allowed to reject whichever lands second.)
+#[test]
+fn concurrent_publishers_are_serialized() {
+    loom::model(|| {
+        let cell = Arc::new(SnapshotCell::new(TestSnap::gen(10, 1)));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || cell.publish(TestSnap::gen(11, 1)).expect("monotone"))
+            })
+            .collect();
+        let mut seqs: Vec<u64> = handles.into_iter().map(join_or_repanic).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![2, 3], "ledger serializes sequence assignment");
+        let last = cell.load().check();
+        assert_eq!(last.seq, 3);
+        assert_eq!(last.step, 11);
+    });
+}
+
+/// The shutdown handshake the server relies on: the step thread
+/// publishes its final snapshot and then raises the done/stop flag
+/// with Release. Any thread that observes the flag with Acquire is
+/// guaranteed the very next load returns the final generation — there
+/// is no window where shutdown is visible but the last map is not.
+#[test]
+fn stop_handshake_delivers_the_final_snapshot() {
+    loom::model(|| {
+        let cell = Arc::new(SnapshotCell::new(TestSnap::gen(10, 1)));
+        let done = Arc::new(AtomicBool::new(false));
+        let stepper = {
+            let (cell, done) = (Arc::clone(&cell), Arc::clone(&done));
+            thread::spawn(move || {
+                cell.publish(TestSnap::gen(11, 1)).expect("monotone");
+                done.store(true, Ordering::Release);
+            })
+        };
+        let waiter = {
+            let (cell, done) = (Arc::clone(&cell), Arc::clone(&done));
+            thread::spawn(move || {
+                if done.load(Ordering::Acquire) {
+                    let h = cell.load().check();
+                    assert_eq!(h.seq, 2, "done implies the final publish is visible");
+                }
+            })
+        };
+        join_or_repanic(stepper);
+        join_or_repanic(waiter);
+    });
+}
+
+/// Soundness control for the canary below: the identical
+/// message-passing shape with the orderings the cell actually uses
+/// (Release store, Acquire load) passes every interleaving.
+#[test]
+fn release_acquire_publish_flag_is_sound() {
+    loom::model(|| {
+        let payload = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (p, f) = (Arc::clone(&payload), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            p.store(7, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        let (p, f) = (Arc::clone(&payload), Arc::clone(&flag));
+        let reader = thread::spawn(move || {
+            if f.load(Ordering::Acquire) == 1 {
+                assert_eq!(p.load(Ordering::Relaxed), 7, "flag visible but payload missing");
+            }
+        });
+        join_or_repanic(writer);
+        join_or_repanic(reader);
+    });
+}
+
+/// Deliberately-weakened-ordering canary: the same shape with a Relaxed
+/// flag store is exactly the bug `no-relaxed-atomics` exists to keep
+/// out of this crate, and loom must find the execution where the flag
+/// is visible before the payload. If this test ever stops failing, the
+/// model checker has lost its teeth.
+#[test]
+#[should_panic(expected = "flag visible but payload missing")]
+fn canary_relaxed_publish_flag_is_caught() {
+    loom::model(|| {
+        let payload = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (p, f) = (Arc::clone(&payload), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            p.store(7, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        let (p, f) = (Arc::clone(&payload), Arc::clone(&flag));
+        let reader = thread::spawn(move || {
+            if f.load(Ordering::Relaxed) == 1 {
+                assert_eq!(p.load(Ordering::Relaxed), 7, "flag visible but payload missing");
+            }
+        });
+        join_or_repanic(writer);
+        join_or_repanic(reader);
+    });
+}
+
+/// Faithful miniature of the cell design this PR replaced: an `active`
+/// slot-index atomic flipped with Release next to per-slot locks. Its
+/// claimed invariant — per-reader headers never go backwards — is
+/// false under the C11 model: a reader can pair a stale index value
+/// with fresh slot content (the slot lock synchronizes with the newest
+/// writer even though the index load returned an old value), then on
+/// the next load legally observe the *other*, older slot. No choice of
+/// orderings on `active` fixes this pairing race; keying the slot off
+/// the generation (the current design) removes it by construction.
+struct FlipCell {
+    active: AtomicUsize,
+    slots: [RwLock<u64>; 2],
+}
+
+impl FlipCell {
+    fn new(initial: u64) -> Self {
+        FlipCell {
+            active: AtomicUsize::new(0),
+            slots: [RwLock::new(initial), RwLock::new(initial)],
+        }
+    }
+
+    fn load(&self) -> u64 {
+        let i = self.active.load(Ordering::Acquire) & 1;
+        *self.slots[i].read().expect("slot lock")
+    }
+
+    fn publish(&self, generation: u64) {
+        let next = (self.active.load(Ordering::Relaxed) + 1) & 1;
+        *self.slots[next].write().expect("slot lock") = generation;
+        self.active.store(next, Ordering::Release);
+    }
+}
+
+#[test]
+#[should_panic(expected = "went back in time")]
+fn canary_old_index_flip_design_breaks_monotonicity() {
+    loom::model(|| {
+        let cell = Arc::new(FlipCell::new(1));
+        let publisher = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                cell.publish(2);
+                cell.publish(3);
+            })
+        };
+        let reader = {
+            let cell = Arc::clone(&cell);
+            thread::spawn(move || {
+                let first = cell.load();
+                let second = cell.load();
+                assert!(second >= first, "generation went back in time: {first} -> {second}");
+            })
+        };
+        join_or_repanic(publisher);
+        join_or_repanic(reader);
+    });
+}

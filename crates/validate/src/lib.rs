@@ -537,6 +537,9 @@ fn check_executor_determinism(seed: u64) -> CheckResult {
     };
     let seeds = SeedSequence::new(seed).child(7);
     let runs = 8;
+    // Unique-id generator for per-test temp dirs: the value is only
+    // compared for distinctness, never used to order memory.
+    // agentlint::allow(no-relaxed-atomics)
     let epoch = CACHE_EPOCH.fetch_add(1, Ordering::Relaxed);
     let cache_dir = std::env::temp_dir()
         .join(format!("agentnet-validate-cache-{}-{epoch}", std::process::id()));

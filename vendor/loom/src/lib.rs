@@ -1,0 +1,70 @@
+//! Offline vendored stand-in for the `loom` model checker.
+//!
+//! Re-implements the subset of loom's API this workspace uses: run a
+//! closure under [`model`] and every execution uses `loom::sync` /
+//! `loom::thread` primitives, which the runtime intercepts to
+//! exhaustively enumerate thread interleavings *and* weak-memory
+//! outcomes (which store each atomic load observes, vector-clock
+//! happens-before tracking for `Acquire`/`Release`). An assertion that
+//! can fail under the C11 memory model fails deterministically here.
+//!
+//! Differences from upstream loom, chosen for a small auditable core:
+//!
+//! - `SeqCst` is modeled as `AcqRel` (sound: it never invents
+//!   behaviors, but it will not rule out non-SC anomalies — don't
+//!   assert store-buffering-style SC properties).
+//! - No `UnsafeCell` instrumentation: shared mutable state must go
+//!   through `loom::sync` types for races to be visible to the model.
+//! - Exhaustive DFS without partial-order reduction; keep models to a
+//!   handful of threads and a few operations each.
+//! - At most [`MAX_THREADS`](rt::MAX_THREADS) logical threads, and all
+//!   spawned threads must be joined before the model closure returns.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+const DEFAULT_MAX_ITERATIONS: u64 = 4_000_000;
+const DEFAULT_MAX_BRANCHES: usize = 50_000;
+
+fn env_limit<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Runs `f` once per distinct execution (schedule × observable-value
+/// choice) until the space is exhausted, panicking on the first failing
+/// execution. The closure must create all loom primitives inside the
+/// call and join every thread it spawns.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let max_iterations: u64 = env_limit("LOOM_MAX_ITERATIONS", DEFAULT_MAX_ITERATIONS);
+    let max_branches: usize = env_limit("LOOM_MAX_BRANCHES", DEFAULT_MAX_BRANCHES);
+    let sched = Arc::new(rt::Scheduler::new(max_branches));
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: iteration limit exceeded — shrink the model or raise LOOM_MAX_ITERATIONS"
+        );
+        sched.begin_iteration();
+        rt::set_current(Some((Arc::clone(&sched), 0)));
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        rt::set_current(None);
+        match result {
+            Ok(()) => sched.drain(),
+            Err(payload) => {
+                eprintln!("loom: failing execution found after {iterations} iteration(s)");
+                resume_unwind(payload);
+            }
+        }
+        if !sched.step_back() {
+            break;
+        }
+    }
+}

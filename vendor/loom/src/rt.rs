@@ -1,0 +1,601 @@
+//! The exploration runtime: a cooperative scheduler over real OS
+//! threads (exactly one logical thread runs at a time) plus a small
+//! C11-style weak-memory model.
+//!
+//! Exploration is depth-first over a *path*: every nondeterministic
+//! decision (which thread runs next, which store a load observes) is a
+//! branch point recorded in a trail. After each iteration the trail is
+//! advanced odometer-style — replay the unchanged prefix, take the next
+//! alternative at the deepest unexhausted branch — until every path has
+//! been executed.
+//!
+//! Memory model, per atomic location:
+//!
+//! - Stores form a modification order (their serialized execution
+//!   order — one valid order; schedule exploration covers the rest).
+//!   Each store records its writer, the writer's clock component at
+//!   store time, and — for `Release`-or-stronger stores — a snapshot of
+//!   the writer's full vector clock.
+//! - A load may observe any store not hidden by coherence: nothing
+//!   older than what this thread last observed at the location, and
+//!   nothing older than the newest store that happens-before the load.
+//!   The surviving candidates are a value branch.
+//! - An `Acquire`-or-stronger load of a `Release` store joins the
+//!   store's clock snapshot into the loader (synchronizes-with).
+//! - RMWs read the newest store and, when `Relaxed`, forward the read
+//!   store's release clock (release-sequence continuation).
+//! - `SeqCst` is modeled as `AcqRel`: sound for happens-before-based
+//!   invariants (it never invents behaviors), but it will not rule out
+//!   non-SC anomalies like store buffering — do not assert those here.
+//!
+//! Locks (`Mutex`, `RwLock`) keep a sync clock joined at every unlock
+//! and re-joined into every acquirer, modeling that lock acquisition
+//! synchronizes with all prior unlocks.
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Hard cap on logical threads per `model` (main + spawned).
+pub(crate) const MAX_THREADS: usize = 4;
+
+type VClock = [u64; MAX_THREADS];
+
+fn join(dst: &mut VClock, src: &VClock) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// Does `clock` already cover an event by `writer` at component `at`?
+fn covers(clock: &VClock, writer: usize, at: u64) -> bool {
+    clock[writer] >= at
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for a lock (by lock id); woken by that lock's unlocks.
+    BlockedOnLock(usize),
+    /// Waiting to join a thread (by thread id); woken when it finishes.
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+impl Status {
+    fn is_blocked(self) -> bool {
+        matches!(self, Status::BlockedOnLock(_) | Status::BlockedOnJoin(_))
+    }
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+}
+
+struct Store {
+    value: u64,
+    writer: usize,
+    /// The writer's own clock component when the store executed.
+    at: u64,
+    /// Writer's full clock for `Release`-or-stronger stores.
+    release: Option<VClock>,
+}
+
+struct Location {
+    stores: Vec<Store>,
+    /// Per thread: index of the newest store this thread has observed
+    /// (read or written) — the read-read/write-read coherence floor.
+    last_seen: [usize; MAX_THREADS],
+}
+
+struct LockState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+    /// Joined at every unlock, re-joined into every acquirer.
+    sync: VClock,
+}
+
+/// One nondeterministic decision and its untried alternatives.
+struct BranchPoint {
+    options: Vec<usize>,
+    pick: usize,
+}
+
+#[derive(Default)]
+struct Path {
+    trail: Vec<BranchPoint>,
+    pos: usize,
+}
+
+impl Path {
+    /// Replay the recorded choice at this position, or record a fresh
+    /// branch and take its first option. Single-option decisions are
+    /// not recorded (nothing to explore).
+    fn branch(&mut self, options: Vec<usize>) -> usize {
+        debug_assert!(!options.is_empty());
+        if options.len() == 1 {
+            return options[0];
+        }
+        if self.pos < self.trail.len() {
+            let bp = &self.trail[self.pos];
+            debug_assert_eq!(bp.options, options, "loom: execution diverged during replay");
+            self.pos += 1;
+            bp.options[bp.pick]
+        } else {
+            let choice = options[0];
+            self.trail.push(BranchPoint { options, pick: 0 });
+            self.pos += 1;
+            choice
+        }
+    }
+
+    /// Advance to the next unexplored path; false when exhausted.
+    fn step_back(&mut self) -> bool {
+        while let Some(bp) = self.trail.last_mut() {
+            if bp.pick + 1 < bp.options.len() {
+                bp.pick += 1;
+                return true;
+            }
+            self.trail.pop();
+        }
+        false
+    }
+}
+
+struct State {
+    threads: Vec<ThreadState>,
+    active: usize,
+    path: Path,
+    locations: Vec<Location>,
+    locks: Vec<LockState>,
+    branches: usize,
+    deadlock: bool,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    max_branches: usize,
+}
+
+fn runnable(st: &State) -> Vec<usize> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Wake only the threads waiting on `lid`. Waking precisely (instead
+/// of wake-all) matters for exploration cost, not correctness: a
+/// spuriously woken thread re-checks and re-blocks, but while runnable
+/// it widens every schedule branch point, multiplying the path count by
+/// interleavings that differ only in no-op wakeups.
+fn wake_lock_waiters(st: &mut State, lid: usize) {
+    for t in &mut st.threads {
+        if t.status == Status::BlockedOnLock(lid) {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+/// Wake the threads waiting to join `child`.
+fn wake_join_waiters(st: &mut State, child: usize) {
+    for t in &mut st.threads {
+        if t.status == Status::BlockedOnJoin(child) {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+impl Scheduler {
+    pub(crate) fn new(max_branches: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                path: Path::default(),
+                locations: Vec::new(),
+                locks: Vec::new(),
+                branches: 0,
+                deadlock: false,
+            }),
+            cv: Condvar::new(),
+            max_branches,
+        }
+    }
+
+    /// Locks the exploration state, shrugging off poisoning: a panic
+    /// raised while the state lock was held (assertion failure,
+    /// deadlock report) should surface as itself, not as PoisonError.
+    fn st(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn begin_iteration(&self) {
+        let mut st = self.st();
+        let mut clock = [0; MAX_THREADS];
+        clock[0] = 1;
+        st.threads = vec![ThreadState { status: Status::Runnable, clock }];
+        st.active = 0;
+        st.locations.clear();
+        st.locks.clear();
+        st.branches = 0;
+        st.deadlock = false;
+        st.path.pos = 0;
+    }
+
+    pub(crate) fn step_back(&self) -> bool {
+        self.st().path.step_back()
+    }
+
+    fn pick(&self, st: &mut State, options: Vec<usize>) -> usize {
+        st.branches += 1;
+        assert!(
+            st.branches <= self.max_branches,
+            "loom: branch limit exceeded — shrink the model or raise LOOM_MAX_BRANCHES"
+        );
+        st.path.branch(options)
+    }
+
+    fn wait_until_active(&self, mut st: MutexGuard<'_, State>, me: usize) {
+        while st.active != me {
+            if st.deadlock {
+                drop(st);
+                if std::thread::panicking() {
+                    // Already unwinding — let the original panic surface.
+                    return;
+                }
+                panic!("loom: deadlock detected");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn declare_deadlock(&self, st: &mut State) -> ! {
+        st.deadlock = true;
+        self.cv.notify_all();
+        panic!("loom: deadlock — every thread is blocked");
+    }
+
+    /// True when the current iteration can no longer be explored
+    /// meaningfully: a panic is unwinding through model code (guard
+    /// drops re-enter the scheduler) or a deadlock was declared. All
+    /// operations turn into benign no-ops so the original panic can
+    /// propagate instead of cascading into a panic-while-panicking.
+    fn doomed(st: &State) -> bool {
+        std::thread::panicking() || st.deadlock
+    }
+
+    /// A preemption point before every visible operation: pick which
+    /// runnable thread executes next (possibly staying on `me`).
+    pub(crate) fn schedule_point(&self, me: usize) {
+        let mut st = self.st();
+        if Self::doomed(&st) {
+            return;
+        }
+        debug_assert_eq!(st.active, me);
+        let options = runnable(&st);
+        let next = self.pick(&mut st, options);
+        if next != me {
+            st.active = next;
+            self.cv.notify_all();
+            self.wait_until_active(st, me);
+        }
+    }
+
+    /// Block `me` with a recorded wait reason (lock unavailable, join
+    /// target unfinished), hand the schedule to someone else, and
+    /// return once `me` is rescheduled.
+    fn block(&self, mut st: MutexGuard<'_, State>, me: usize, why: Status) {
+        debug_assert!(why.is_blocked());
+        st.threads[me].status = why;
+        let options = runnable(&st);
+        if options.is_empty() {
+            self.declare_deadlock(&mut st);
+        }
+        let next = self.pick(&mut st, options);
+        st.active = next;
+        self.cv.notify_all();
+        // By the time the schedule comes back to `me`, an unlock or a
+        // thread exit has already flipped it back to Runnable.
+        self.wait_until_active(st, me);
+    }
+
+    // ---- atomics -----------------------------------------------------
+
+    pub(crate) fn atomic_new(&self, me: usize, initial: u64) -> usize {
+        let mut st = self.st();
+        let clock = st.threads[me].clock;
+        let at = clock[me];
+        st.locations.push(Location {
+            // The initial value is a Release store by the creator, so
+            // any thread that got the atomic through a happens-before
+            // edge (spawn, lock) is guaranteed to observe at least it.
+            stores: vec![Store { value: initial, writer: me, at, release: Some(clock) }],
+            last_seen: [0; MAX_THREADS],
+        });
+        st.threads[me].clock[me] += 1;
+        st.locations.len() - 1
+    }
+
+    pub(crate) fn atomic_load(&self, me: usize, loc: usize, ord: Ordering) -> u64 {
+        self.schedule_point(me);
+        let mut st = self.st();
+        if Self::doomed(&st) {
+            return st.locations[loc].stores.last().map(|s| s.value).unwrap_or(0);
+        }
+        let st = &mut *st;
+        let l = &mut st.locations[loc];
+        let clock = &mut st.threads[me].clock;
+        // Coherence floor: newest store already observed here, or the
+        // newest store that happens-before this load — whichever is
+        // later. Everything at or after the floor is observable.
+        let mut floor = l.last_seen[me];
+        for (i, s) in l.stores.iter().enumerate().skip(floor + 1) {
+            if covers(clock, s.writer, s.at) {
+                floor = i;
+            }
+        }
+        let options: Vec<usize> = (floor..l.stores.len()).collect();
+        st.branches += 1;
+        assert!(
+            st.branches <= self.max_branches,
+            "loom: branch limit exceeded — shrink the model or raise LOOM_MAX_BRANCHES"
+        );
+        let choice = st.path.branch(options);
+        l.last_seen[me] = choice;
+        let s = &l.stores[choice];
+        if is_acquire(ord) {
+            if let Some(rc) = &s.release {
+                join(clock, rc);
+            }
+        }
+        s.value
+    }
+
+    pub(crate) fn atomic_store(&self, me: usize, loc: usize, value: u64, ord: Ordering) {
+        self.schedule_point(me);
+        let mut st = self.st();
+        if Self::doomed(&st) {
+            return;
+        }
+        let st = &mut *st;
+        let clock = &mut st.threads[me].clock;
+        let release = if is_release(ord) { Some(*clock) } else { None };
+        let at = clock[me];
+        let l = &mut st.locations[loc];
+        l.stores.push(Store { value, writer: me, at, release });
+        l.last_seen[me] = l.stores.len() - 1;
+        clock[me] += 1;
+    }
+
+    pub(crate) fn atomic_rmw(
+        &self,
+        me: usize,
+        loc: usize,
+        ord: Ordering,
+        f: &dyn Fn(u64) -> u64,
+    ) -> u64 {
+        self.schedule_point(me);
+        let mut st = self.st();
+        if Self::doomed(&st) {
+            return st.locations[loc].stores.last().map(|s| s.value).unwrap_or(0);
+        }
+        let st = &mut *st;
+        let l = &mut st.locations[loc];
+        let clock = &mut st.threads[me].clock;
+        // An RMW always reads the newest store in modification order.
+        let read = l.stores.len() - 1;
+        let old = l.stores[read].value;
+        if is_acquire(ord) {
+            if let Some(rc) = l.stores[read].release.as_ref() {
+                join(clock, rc);
+            }
+        }
+        let release = if is_release(ord) {
+            Some(*clock)
+        } else {
+            // A relaxed RMW continues the release sequence of the store
+            // it read: a later acquire of this store still synchronizes
+            // with the original releaser.
+            l.stores[read].release
+        };
+        let at = clock[me];
+        l.stores.push(Store { value: f(old), writer: me, at, release });
+        l.last_seen[me] = l.stores.len() - 1;
+        clock[me] += 1;
+        old
+    }
+
+    // ---- locks -------------------------------------------------------
+
+    pub(crate) fn lock_new(&self) -> usize {
+        let mut st = self.st();
+        st.locks.push(LockState { writer: None, readers: Vec::new(), sync: [0; MAX_THREADS] });
+        st.locks.len() - 1
+    }
+
+    pub(crate) fn lock_write(&self, me: usize, lid: usize) {
+        self.schedule_point(me);
+        loop {
+            let mut st = self.st();
+            if Self::doomed(&st) {
+                return;
+            }
+            let free = {
+                let l = &st.locks[lid];
+                l.writer.is_none() && l.readers.is_empty()
+            };
+            if free {
+                let st = &mut *st;
+                st.locks[lid].writer = Some(me);
+                let sync = st.locks[lid].sync;
+                join(&mut st.threads[me].clock, &sync);
+                return;
+            }
+            self.block(st, me, Status::BlockedOnLock(lid));
+        }
+    }
+
+    pub(crate) fn unlock_write(&self, me: usize, lid: usize) {
+        self.schedule_point(me);
+        let mut st = self.st();
+        if Self::doomed(&st) {
+            return;
+        }
+        let st = &mut *st;
+        debug_assert_eq!(st.locks[lid].writer, Some(me));
+        st.locks[lid].writer = None;
+        let clock = &mut st.threads[me].clock;
+        join(&mut st.locks[lid].sync, clock);
+        clock[me] += 1;
+        wake_lock_waiters(st, lid);
+    }
+
+    pub(crate) fn lock_read(&self, me: usize, lid: usize) {
+        self.schedule_point(me);
+        loop {
+            let mut st = self.st();
+            if Self::doomed(&st) {
+                return;
+            }
+            if st.locks[lid].writer.is_none() {
+                let st = &mut *st;
+                st.locks[lid].readers.push(me);
+                let sync = st.locks[lid].sync;
+                join(&mut st.threads[me].clock, &sync);
+                return;
+            }
+            self.block(st, me, Status::BlockedOnLock(lid));
+        }
+    }
+
+    pub(crate) fn unlock_read(&self, me: usize, lid: usize) {
+        self.schedule_point(me);
+        let mut st = self.st();
+        if Self::doomed(&st) {
+            return;
+        }
+        let st = &mut *st;
+        let pos = st.locks[lid]
+            .readers
+            .iter()
+            .position(|&r| r == me)
+            .expect("loom: read-unlock by a non-holder");
+        st.locks[lid].readers.swap_remove(pos);
+        let clock = &mut st.threads[me].clock;
+        join(&mut st.locks[lid].sync, clock);
+        clock[me] += 1;
+        wake_lock_waiters(st, lid);
+    }
+
+    // ---- threads -----------------------------------------------------
+
+    pub(crate) fn spawn_thread(&self, me: usize) -> usize {
+        self.schedule_point(me);
+        let mut st = self.st();
+        // Spawning while doomed still registers the thread (the wrapper
+        // needs a valid id); it simply never gets scheduled.
+        let id = st.threads.len();
+        assert!(id < MAX_THREADS, "loom: at most {MAX_THREADS} threads per model");
+        let mut clock = st.threads[me].clock;
+        clock[id] += 1;
+        st.threads.push(ThreadState { status: Status::Runnable, clock });
+        st.threads[me].clock[me] += 1;
+        id
+    }
+
+    /// Park a freshly spawned OS thread until the schedule first picks it.
+    pub(crate) fn wait_first_scheduled(&self, me: usize) {
+        let st = self.st();
+        self.wait_until_active(st, me);
+    }
+
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.st();
+        st.threads[me].status = Status::Finished;
+        st.threads[me].clock[me] += 1;
+        if st.deadlock {
+            // Doomed iteration: just wake everyone so parked threads
+            // observe the deadlock flag and unwind too.
+            self.cv.notify_all();
+            return;
+        }
+        wake_join_waiters(&mut st, me);
+        let options = runnable(&st);
+        if options.is_empty() {
+            self.declare_deadlock(&mut st);
+        }
+        let next = self.pick(&mut st, options);
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn join_thread(&self, me: usize, child: usize) {
+        self.schedule_point(me);
+        loop {
+            let mut st = self.st();
+            if Self::doomed(&st) {
+                return;
+            }
+            if st.threads[child].status == Status::Finished {
+                let st = &mut *st;
+                let child_clock = st.threads[child].clock;
+                join(&mut st.threads[me].clock, &child_clock);
+                return;
+            }
+            self.block(st, me, Status::BlockedOnJoin(child));
+        }
+    }
+
+    /// After the model closure returns: every spawned thread must have
+    /// been joined (detached threads make exploration meaningless).
+    pub(crate) fn drain(&self) {
+        let st = self.st();
+        for (i, t) in st.threads.iter().enumerate() {
+            assert!(
+                i == 0 || t.status == Status::Finished,
+                "loom: spawned threads must be joined before the model closure returns"
+            );
+        }
+    }
+}
+
+// ---- thread-local current (scheduler, thread id) ---------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Scheduler>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+pub(crate) fn with<R>(f: impl FnOnce(&Scheduler, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let guard = c.borrow();
+        let (sched, me) =
+            guard.as_ref().expect("loom primitives may only be used inside loom::model");
+        f(sched, *me)
+    })
+}
+
+pub(crate) fn current() -> (Arc<Scheduler>, usize) {
+    CURRENT.with(|c| {
+        let guard = c.borrow();
+        let (sched, me) =
+            guard.as_ref().expect("loom primitives may only be used inside loom::model");
+        (Arc::clone(sched), *me)
+    })
+}

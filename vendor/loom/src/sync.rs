@@ -1,0 +1,234 @@
+//! Model-checked stand-ins for `std::sync` types.
+//!
+//! `Arc` is re-exported from std (reference counting itself is not a
+//! source of interesting interleavings for these models); `Mutex`,
+//! `RwLock` and the `atomic` types are intercepted by the runtime.
+
+use crate::rt;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::Arc;
+
+/// Mirror of `std::sync::PoisonError`, so `.lock().expect(..)` call
+/// sites compile unchanged. Model locks never actually poison.
+pub struct PoisonError<G> {
+    _marker: PhantomData<G>,
+}
+
+impl<G> fmt::Debug for PoisonError<G> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PoisonError { .. }")
+    }
+}
+
+pub type LockResult<G> = Result<G, PoisonError<G>>;
+
+// ---- Mutex -----------------------------------------------------------
+
+pub struct Mutex<T> {
+    lid: usize,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the model runtime enforces mutual exclusion — at most one
+// logical thread holds the write side at a time, and only while the
+// whole model is serialized through the scheduler.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let lid = rt::with(|sched, _| sched.lock_new());
+        Mutex { lid, data: UnsafeCell::new(value) }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::with(|sched, me| sched.lock_write(me, self.lid));
+        Ok(MutexGuard { lock: self })
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::with(|sched, me| sched.unlock_write(me, self.lock.lid));
+    }
+}
+
+// ---- RwLock ----------------------------------------------------------
+
+pub struct RwLock<T> {
+    lid: usize,
+    data: UnsafeCell<T>,
+}
+
+// Safety: as for Mutex; concurrent readers only ever get `&T`.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        let lid = rt::with(|sched, _| sched.lock_new());
+        RwLock { lid, data: UnsafeCell::new(value) }
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        rt::with(|sched, me| sched.lock_read(me, self.lid));
+        Ok(RwLockReadGuard { lock: self })
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        rt::with(|sched, me| sched.lock_write(me, self.lid));
+        Ok(RwLockWriteGuard { lock: self })
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::with(|sched, me| sched.unlock_read(me, self.lock.lid));
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::with(|sched, me| sched.unlock_write(me, self.lock.lid));
+    }
+}
+
+// ---- atomics ---------------------------------------------------------
+
+pub mod atomic {
+    //! Model-checked atomics. Values are stored in the runtime's
+    //! per-location store lists, never in the struct itself.
+
+    use crate::rt;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// Untyped core shared by the typed wrappers.
+    struct Cell {
+        loc: usize,
+    }
+
+    impl Cell {
+        fn new(initial: u64) -> Self {
+            Cell { loc: rt::with(|sched, me| sched.atomic_new(me, initial)) }
+        }
+
+        fn load(&self, ord: Ordering) -> u64 {
+            rt::with(|sched, me| sched.atomic_load(me, self.loc, ord))
+        }
+
+        fn store(&self, value: u64, ord: Ordering) {
+            rt::with(|sched, me| sched.atomic_store(me, self.loc, value, ord));
+        }
+
+        fn rmw(&self, ord: Ordering, f: &dyn Fn(u64) -> u64) -> u64 {
+            rt::with(|sched, me| sched.atomic_rmw(me, self.loc, ord, f))
+        }
+    }
+
+    pub struct AtomicU64(Cell);
+
+    impl AtomicU64 {
+        pub fn new(v: u64) -> Self {
+            AtomicU64(Cell::new(v))
+        }
+        pub fn load(&self, ord: Ordering) -> u64 {
+            self.0.load(ord)
+        }
+        pub fn store(&self, v: u64, ord: Ordering) {
+            self.0.store(v, ord);
+        }
+        pub fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+            self.0.rmw(ord, &move |old| old.wrapping_add(v))
+        }
+        pub fn swap(&self, v: u64, ord: Ordering) -> u64 {
+            self.0.rmw(ord, &move |_| v)
+        }
+    }
+
+    pub struct AtomicUsize(Cell);
+
+    impl AtomicUsize {
+        pub fn new(v: usize) -> Self {
+            AtomicUsize(Cell::new(v as u64))
+        }
+        pub fn load(&self, ord: Ordering) -> usize {
+            self.0.load(ord) as usize
+        }
+        pub fn store(&self, v: usize, ord: Ordering) {
+            self.0.store(v as u64, ord);
+        }
+        pub fn fetch_add(&self, v: usize, ord: Ordering) -> usize {
+            self.0.rmw(ord, &move |old| old.wrapping_add(v as u64)) as usize
+        }
+        pub fn swap(&self, v: usize, ord: Ordering) -> usize {
+            self.0.rmw(ord, &move |_| v as u64) as usize
+        }
+    }
+
+    pub struct AtomicBool(Cell);
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            AtomicBool(Cell::new(u64::from(v)))
+        }
+        pub fn load(&self, ord: Ordering) -> bool {
+            self.0.load(ord) != 0
+        }
+        pub fn store(&self, v: bool, ord: Ordering) {
+            self.0.store(u64::from(v), ord);
+        }
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            self.0.rmw(ord, &move |_| u64::from(v)) != 0
+        }
+    }
+}

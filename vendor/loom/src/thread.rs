@@ -1,0 +1,64 @@
+//! Model-checked stand-ins for `std::thread`.
+//!
+//! Spawned closures run on real OS threads, but the runtime parks every
+//! thread except the one the explored schedule marks active, so
+//! execution is fully serialized and deterministic.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+type Slot<T> = Arc<Mutex<Option<std::thread::Result<T>>>>;
+
+pub struct JoinHandle<T> {
+    id: usize,
+    slot: Slot<T>,
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = rt::current();
+    let id = sched.spawn_thread(me);
+    let slot: Slot<T> = Arc::new(Mutex::new(None));
+    let thread_slot = Arc::clone(&slot);
+    let thread_sched = Arc::clone(&sched);
+    std::thread::Builder::new()
+        .name(format!("loom-{id}"))
+        .spawn(move || {
+            rt::set_current(Some((Arc::clone(&thread_sched), id)));
+            thread_sched.wait_first_scheduled(id);
+            let result = catch_unwind(AssertUnwindSafe(f));
+            // The result is stored before finish_thread flips the state
+            // to Finished, so a joiner always finds it filled.
+            *thread_slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            rt::set_current(None);
+            thread_sched.finish_thread(id);
+        })
+        .expect("loom: failed to spawn a model thread");
+    JoinHandle { id, slot }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks (in model time) until the thread finishes, establishing
+    /// the usual join happens-before edge. Returns `Err` with the panic
+    /// payload if the thread panicked, like `std::thread`.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::with(|sched, me| sched.join_thread(me, self.id));
+        // The slot can only be empty on a doomed iteration (join while
+        // a panic unwinds or after a deadlock) — report it as a failed
+        // thread rather than panicking over the original error.
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .unwrap_or_else(|| Err(Box::new("loom: thread never completed (doomed iteration)")))
+    }
+}
+
+/// A pure scheduling point: gives the explorer a chance to preempt.
+pub fn yield_now() {
+    rt::with(|sched, me| sched.schedule_point(me));
+}

@@ -1,0 +1,174 @@
+//! Litmus tests for the model checker itself: the classic small
+//! concurrency shapes whose allowed/forbidden outcomes are known from
+//! the C11 memory model. If the checker is sound these pass; if it
+//! stops exploring weak behaviors, the `#[should_panic]` cases would
+//! start "passing" and fail the suite.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use std::collections::HashSet;
+
+/// Two concurrent `fetch_add(1)`s always sum: RMW atomicity holds in
+/// every interleaving.
+#[test]
+fn concurrent_increments_never_lose_updates() {
+    loom::model(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// Message passing with Release/Acquire: observing the flag guarantees
+/// observing the data. This must hold on every explored path.
+#[test]
+fn message_passing_release_acquire_holds() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let reader = thread::spawn(move || {
+            if f.load(Ordering::Acquire) == 1 {
+                assert_eq!(d.load(Ordering::Relaxed), 42, "acquire read must see the data");
+            }
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// The same shape with a Relaxed flag is broken — the checker must find
+/// the execution where the flag is visible but the data is not.
+#[test]
+#[should_panic(expected = "acquire read must see the data")]
+fn message_passing_relaxed_is_caught() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = thread::spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let reader = thread::spawn(move || {
+            if f.load(Ordering::Relaxed) == 1 {
+                assert_eq!(d.load(Ordering::Relaxed), 42, "acquire read must see the data");
+            }
+        });
+        writer.join().unwrap();
+        // Re-raise the reader's own panic so the message is preserved.
+        if let Err(payload) = reader.join() {
+            std::panic::resume_unwind(payload);
+        }
+    });
+}
+
+/// Exploration covers value nondeterminism: a racing Relaxed load must
+/// observe *both* the old and the new value across the run.
+#[test]
+fn relaxed_load_explores_every_observable_value() {
+    let observed: Arc<std::sync::Mutex<HashSet<u64>>> =
+        Arc::new(std::sync::Mutex::new(HashSet::new()));
+    let sink = Arc::clone(&observed);
+    loom::model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let w = Arc::clone(&x);
+        let writer = thread::spawn(move || w.store(1, Ordering::Relaxed));
+        let r = Arc::clone(&x);
+        let reader = thread::spawn(move || r.load(Ordering::Relaxed));
+        writer.join().unwrap();
+        let seen = reader.join().unwrap();
+        sink.lock().unwrap().insert(seen);
+    });
+    assert_eq!(*observed.lock().unwrap(), HashSet::from([0, 1]));
+}
+
+/// Read-read coherence: two Relaxed loads of one location never go
+/// backwards in modification order, even with no synchronization.
+#[test]
+fn same_location_reads_are_monotone() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let w = Arc::clone(&x);
+        let writer = thread::spawn(move || {
+            w.store(1, Ordering::Relaxed);
+            w.store(2, Ordering::Relaxed);
+        });
+        let r = Arc::clone(&x);
+        let reader = thread::spawn(move || {
+            let first = r.load(Ordering::Relaxed);
+            let second = r.load(Ordering::Relaxed);
+            assert!(second >= first, "coherence violated: {first} then {second}");
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+}
+
+/// Mutexes serialize their critical sections and publish them to the
+/// next holder.
+#[test]
+fn mutex_increments_never_lose_updates() {
+    loom::model(|| {
+        let total = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let total = Arc::clone(&total);
+                thread::spawn(move || {
+                    *total.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*total.lock().unwrap(), 2);
+    });
+}
+
+/// Opposite lock-order acquisition deadlocks on some schedule; the
+/// checker must find and report it rather than hang.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn opposite_lock_order_deadlock_is_caught() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a1.lock().unwrap();
+            let _gb = b1.lock().unwrap();
+        });
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        t.join().unwrap();
+    });
+}
+
+/// A panicking thread surfaces through `join`, like `std::thread`.
+#[test]
+fn thread_panics_propagate_through_join() {
+    loom::model(|| {
+        let t = thread::spawn(|| panic!("inner"));
+        assert!(t.join().is_err());
+    });
+}
