@@ -17,7 +17,10 @@ use agentnet_engine::perf::{
     calibration_kernel, time_kernel, utc_date_string, BenchOptions, BenchReport, CALIBRATION_KERNEL,
 };
 use agentnet_engine::sim::{Step, TimeStepSim};
-use agentnet_radio::NetworkBuilder;
+use agentnet_graph::geometry::{Point2, Rect};
+use agentnet_radio::{NetworkBuilder, SpatialGrid};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::hint::black_box;
 
 /// Network advances timed per bench iteration.
@@ -34,6 +37,39 @@ const SCALED_KERNELS: &[(&str, usize, u64)] = &[
     ("sharded_advance_10k", 10_000, 2),
     ("sharded_advance_100k", 100_000, 1),
 ];
+
+/// Grid-only kernel names, in suite order. These time the spatial index
+/// directly on synthetic preset-density scatters — no network build, so
+/// even the 1M rebuild is cheap to set up and runs in the default suite.
+const GRID_KERNEL_NAMES: &[&str] = &[
+    "grid_rebuild_single_100k",
+    "grid_rebuild_sharded_100k",
+    "grid_rebuild_sharded_1m",
+    "grid_incremental_100k",
+];
+
+/// Cell size for the grid kernels: the scaled presets' pinned base
+/// radio range, i.e. the cell size the network layer derives.
+const GRID_CELL: f64 = 101.0;
+
+/// Every kernel of the default suite, in suite order (calibration
+/// first). The CLI checks `--filter` patterns against this list so a
+/// filter matching nothing is a hard error instead of a vacuous run.
+pub fn kernel_names() -> Vec<&'static str> {
+    let mut names = vec![
+        CALIBRATION_KERNEL,
+        "wireless_advance_static",
+        "wireless_advance_mobile",
+        "routing_step",
+        "route_revalidation",
+        "antnet_step",
+        "mapping_step",
+        "shard_rebuild",
+    ];
+    names.extend(SCALED_KERNELS.iter().map(|&(name, _, _)| name));
+    names.extend(GRID_KERNEL_NAMES);
+    names
+}
 
 /// Runs the full kernel suite and returns the stamped report.
 pub fn run_kernels(opts: BenchOptions, unix_seconds: u64) -> BenchReport {
@@ -67,6 +103,17 @@ pub fn run_kernels(opts: BenchOptions, unix_seconds: u64) -> BenchReport {
 /// * `sharded_advance_{1k,10k,100k}` — [`WirelessNetwork::advance`] on
 ///   the scaling presets with sharding at the machine's core count:
 ///   the deterministic parallel step this crate's scaling work targets.
+/// * `grid_rebuild_single_100k` / `grid_rebuild_sharded_100k` — the
+///   spatial grid's from-scratch re-index over a 100k preset-density
+///   scatter, sequential vs sharded across the machine's cores (at
+///   least 2): the pair that shows the sharded rebuild's wall-clock
+///   win on multi-core machines.
+/// * `grid_rebuild_sharded_1m` — the same sharded re-index at 1M
+///   points: the million-node ambition's serial bottleneck in
+///   isolation.
+/// * `grid_incremental_100k` — the incremental splice with 1% of 100k
+///   points oscillating half a cell: the low-mobility fast path that
+///   replaces both full rebuilds above.
 ///
 /// [`WirelessNetwork::advance`]: agentnet_radio::WirelessNetwork::advance
 pub fn run_kernels_matching(
@@ -179,8 +226,11 @@ pub fn run_kernels_matching(
     let shards = machine_shards();
 
     if keep("shard_rebuild") {
+        // Incremental maintenance off: back-to-back refreshes with no
+        // movement would otherwise splice zero nodes and time nothing.
         let mut net = NetworkBuilder::preset_1k()
             .advance_shards(shards)
+            .grid_incremental(false)
             .build(TOPOLOGY_SEED)
             .expect("1k scaling preset must build");
         report.kernels.push(time_kernel("shard_rebuild", opts, || {
@@ -206,7 +256,63 @@ pub fn run_kernels_matching(
         }));
     }
 
+    // Grid-only kernels: the spatial re-index in isolation, at preset
+    // density. The single/sharded 100k pair measures the sharded
+    // rebuild's win over the sequential counting sort (equal on a
+    // single-core machine); the incremental kernel times the 1%-moved
+    // splice the low-mobility regime takes instead of either.
+    for (name, nodes, kernel_shards) in [
+        ("grid_rebuild_single_100k", 100_000, 1),
+        ("grid_rebuild_sharded_100k", 100_000, shards.max(2)),
+        ("grid_rebuild_sharded_1m", 1_000_000, shards.max(2)),
+    ] {
+        if !keep(name) {
+            continue;
+        }
+        let (arena, pts) = grid_points(nodes);
+        let mut grid = SpatialGrid::build(arena, GRID_CELL, &pts).expect("finite grid geometry");
+        report.kernels.push(time_kernel(name, opts, || {
+            grid.rebuild_sharded(arena, GRID_CELL, &pts, kernel_shards)
+                .expect("finite grid geometry");
+            black_box(grid.cell_count());
+        }));
+    }
+
+    if keep("grid_incremental_100k") {
+        let (arena, mut pts) = grid_points(100_000);
+        let mut grid = SpatialGrid::build(arena, GRID_CELL, &pts).expect("finite grid geometry");
+        // 1% of the points oscillate half a cell each iteration — under
+        // the network layer's incremental budget, crossing cell borders
+        // for roughly half the movers.
+        let moved: Vec<usize> = (0..pts.len()).step_by(100).collect();
+        let mut offset = 0.5 * GRID_CELL;
+        report.kernels.push(time_kernel("grid_incremental_100k", opts, || {
+            for &i in &moved {
+                if let Some(p) = pts.get_mut(i) {
+                    p.x += offset;
+                }
+            }
+            offset = -offset;
+            let applied = grid.incremental_update(arena, GRID_CELL, &pts, &moved);
+            debug_assert!(applied, "incremental precondition must hold in the kernel");
+            black_box(applied);
+        }));
+    }
+
     report
+}
+
+/// Deterministic uniform scatter at the scaled presets' density (250
+/// nodes per km², arena side growing with `sqrt(nodes)`), without the
+/// cost of building a full network.
+fn grid_points(nodes: usize) -> (Rect, Vec<Point2>) {
+    let side = 1000.0 * (nodes as f64 / 250.0).sqrt();
+    let arena = Rect::square(side);
+    let mut rng = StdRng::seed_from_u64(TOPOLOGY_SEED);
+    let pts = (0..nodes)
+        .map(|_| Point2::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+        .collect();
+    (arena, pts)
 }
 
 /// Shard count for the scaling kernels: one per available core, so the
@@ -220,11 +326,14 @@ fn machine_shards() -> usize {
 mod tests {
     use super::*;
 
-    /// The two largest presets are excluded here: building them in a
-    /// debug-profile unit test costs tens of seconds without exercising
-    /// any wiring the 1k kernel doesn't.
+    /// The largest workloads are excluded here: building the 10k/100k
+    /// networks or scattering a million grid points in a debug-profile
+    /// unit test costs tens of seconds without exercising any wiring
+    /// the smaller kernels don't.
     fn debug_sized(name: &str) -> bool {
-        name != "sharded_advance_10k" && name != "sharded_advance_100k"
+        name != "sharded_advance_10k"
+            && name != "sharded_advance_100k"
+            && name != "grid_rebuild_sharded_1m"
     }
 
     #[test]
@@ -245,12 +354,27 @@ mod tests {
                 "mapping_step",
                 "shard_rebuild",
                 "sharded_advance_1k",
+                "grid_rebuild_single_100k",
+                "grid_rebuild_sharded_100k",
+                "grid_incremental_100k",
             ]
         );
         for k in &report.kernels {
             assert!(k.ns_per_iter > 0.0, "{} not timed", k.kernel);
             assert!(report.normalized(&k.kernel).is_some(), "{} not normalizable", k.kernel);
         }
+    }
+
+    #[test]
+    fn kernel_names_lists_the_suite_in_order() {
+        // `kernel_names` is the CLI's zero-match oracle: it must agree
+        // with what an unfiltered run would actually time, in order.
+        let opts = BenchOptions { warmup: 0, iters: 1 };
+        let report = run_kernels_matching(opts, 1_785_931_200, &debug_sized);
+        let timed: Vec<&str> = report.kernels.iter().map(|k| k.kernel.as_str()).collect();
+        let expected: Vec<&'static str> =
+            kernel_names().into_iter().filter(|n| debug_sized(n)).collect();
+        assert_eq!(timed, expected);
     }
 
     #[test]

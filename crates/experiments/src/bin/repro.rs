@@ -293,6 +293,20 @@ fn run_bench(args: impl Iterator<Item = String>) -> ExitCode {
     // Kernel selection: with no --filter everything runs; otherwise a
     // kernel runs when any filter substring matches its name. The
     // calibration kernel always runs so the report stays normalizable.
+    //
+    // Every filter must match at least one kernel of the suite: a
+    // filter matching nothing (a typo, or a kernel renamed since the CI
+    // smoke was written) would silently time an empty set and the gate
+    // would pass vacuously — the same blind spot as the PR 5
+    // calibration-less baselines, so it hard-errors the same way.
+    let names = benchkit::kernel_names();
+    for f in &filters {
+        if !names.iter().any(|n| n.contains(f.as_str())) {
+            eprintln!("repro bench: --filter {f} matches no kernel");
+            eprintln!("repro bench: known kernels: {}", names.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
     let keep = |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
 
     // agentlint::allow(no-ambient-entropy) — stderr progress timing only.

@@ -242,6 +242,35 @@ fn bench_regression_gate_fails_against_a_doctored_baseline() {
 }
 
 #[test]
+fn bench_filter_matching_no_kernel_is_a_hard_error() {
+    // A typo'd (or stale, post-rename) filter used to time an empty
+    // kernel set and exit 0 — a CI smoke running it would gate nothing
+    // and pass vacuously, the same blind spot as a calibration-less
+    // baseline.
+    let run = repro(&["bench", "--warmup", "0", "--iters", "1", "--filter", "no_such_kernel"]);
+    assert!(!run.status.success(), "zero-match filter must fail");
+    let err = String::from_utf8_lossy(&run.stderr);
+    assert!(err.contains("--filter no_such_kernel matches no kernel"), "stderr:\n{err}");
+    assert!(err.contains("known kernels:"), "stderr must list the suite:\n{err}");
+    assert!(err.contains("grid_rebuild_sharded_100k"), "stderr:\n{err}");
+
+    // One bogus filter among valid ones still fails — the valid matches
+    // must not mask the dead pattern.
+    let mixed = repro(&[
+        "bench",
+        "--warmup",
+        "0",
+        "--iters",
+        "1",
+        "--filter",
+        "shard_rebuild",
+        "--filter",
+        "bogus",
+    ]);
+    assert!(!mixed.status.success(), "a dead filter among live ones must still fail");
+}
+
+#[test]
 fn observability_flags_do_not_change_stdout_bytes() {
     let dir = tmpdir("obs");
     std::fs::create_dir_all(&dir).unwrap();

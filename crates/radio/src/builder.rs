@@ -72,6 +72,7 @@ pub struct NetworkBuilder {
     max_retries: usize,
     base_range: Option<f64>,
     advance_shards: usize,
+    grid_incremental: bool,
 }
 
 impl NetworkBuilder {
@@ -94,6 +95,7 @@ impl NetworkBuilder {
             max_retries: 64,
             base_range: None,
             advance_shards: 1,
+            grid_incremental: true,
         }
     }
 
@@ -132,6 +134,15 @@ impl NetworkBuilder {
     /// [`Self::scaled_preset`] at 100 000 nodes.
     pub fn preset_100k() -> Self {
         NetworkBuilder::scaled_preset(100_000)
+    }
+
+    /// [`Self::scaled_preset`] at 1 000 000 nodes — the paper-density
+    /// million-node arena (~63.2 km side, ~394k grid cells at the
+    /// pinned 101 m range, well under the grid's clamp ceiling). Build
+    /// and stepping are linear-memory; pair with
+    /// [`Self::advance_shards`] for multi-core stepping.
+    pub fn preset_1m() -> Self {
+        NetworkBuilder::scaled_preset(1_000_000)
     }
 
     /// Number of gateway nodes.
@@ -219,6 +230,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Whether the built network may refresh its spatial grid
+    /// incrementally when few nodes move per step (default `true`).
+    /// Grid contents and links are byte-identical either way; see
+    /// [`WirelessNetwork::set_grid_incremental`]. Disable to bench the
+    /// from-scratch re-index in isolation.
+    pub fn grid_incremental(mut self, enabled: bool) -> Self {
+        self.grid_incremental = enabled;
+        self
+    }
+
     /// Builds the network.
     ///
     /// # Errors
@@ -284,6 +305,19 @@ impl NetworkBuilder {
         }
         if self.advance_shards == 0 {
             return fail("advance shards must be at least 1".into());
+        }
+        // Rect's constructors validate, but its dimension fields are
+        // public — reject a post-hoc-degenerate arena here rather than
+        // panicking deep inside the grid build.
+        let arena_finite = self.arena.width.is_finite()
+            && self.arena.height.is_finite()
+            && self.arena.min_x().is_finite()
+            && self.arena.min_y().is_finite();
+        if !arena_finite {
+            return fail(format!(
+                "arena {}x{} must have finite dimensions and corners",
+                self.arena.width, self.arena.height
+            ));
         }
         Ok(())
     }
@@ -376,6 +410,7 @@ impl NetworkBuilder {
             .collect();
         let mut net = WirelessNetwork::from_nodes(self.arena, nodes, mobility_seed);
         net.set_advance_shards(self.advance_shards);
+        net.set_grid_incremental(self.grid_incremental);
         net
     }
 }
@@ -583,5 +618,81 @@ mod tests {
         let net = NetworkBuilder::new(1).build(0).unwrap();
         assert_eq!(net.node_count(), 1);
         assert_eq!(net.links().edge_count(), 0);
+    }
+
+    #[test]
+    fn scaled_preset_never_yields_zero_gateways() {
+        // Regression guard on the `n / 25` gateway rule: integer
+        // division truncates every sub-25-node preset to zero, which
+        // the `.max(1)` clamp must catch — a gateway-less network would
+        // make reachability metrics vacuous.
+        for n in [1usize, 2, 5, 24] {
+            let net = NetworkBuilder::scaled_preset(n).build(7).unwrap();
+            assert_eq!(net.gateways().len(), 1, "{n}-node preset must clamp to one gateway");
+        }
+        // And the clamp must not distort the rule where it shouldn't.
+        assert_eq!(NetworkBuilder::scaled_preset(25).build(7).unwrap().gateways().len(), 1);
+        assert_eq!(NetworkBuilder::scaled_preset(50).build(7).unwrap().gateways().len(), 2);
+    }
+
+    #[test]
+    fn preset_1m_parameters() {
+        // Parameter-shape check only; the million-node build itself is
+        // exercised by the `#[ignore]`d end-to-end test below.
+        let small = NetworkBuilder::scaled_preset(250);
+        let big = NetworkBuilder::preset_1m();
+        assert_eq!(big, NetworkBuilder::scaled_preset(1_000_000));
+        // Same density: arena side grows with sqrt(nodes).
+        assert!((big.arena.width - 1000.0 * (1_000_000f64 / 250.0).sqrt()).abs() < 1e-6);
+        assert!((big.arena.width / small.arena.width - (4000f64).sqrt()).abs() < 1e-6);
+        assert_eq!(big.gateways, 40_000);
+        assert_eq!(big.base_range, Some(101.0));
+        assert_eq!(big.min_initial_reachability, 0.0);
+    }
+
+    #[test]
+    fn degenerate_arena_is_rejected() {
+        let mut arena = Rect::square(100.0);
+        arena.width = f64::NAN;
+        assert!(matches!(
+            NetworkBuilder::new(5).arena(arena).build(0),
+            Err(BuildError::InvalidParameter { .. })
+        ));
+        let mut arena = Rect::square(100.0);
+        arena.height = f64::INFINITY;
+        assert!(matches!(
+            NetworkBuilder::new(5).arena(arena).build(0),
+            Err(BuildError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn grid_incremental_knob_reaches_the_network() {
+        let on = NetworkBuilder::new(10).build(3).unwrap();
+        assert!(on.grid_incremental());
+        let off = NetworkBuilder::new(10).grid_incremental(false).build(3).unwrap();
+        assert!(!off.grid_incremental());
+    }
+
+    /// Full 1M-node end-to-end check: build the preset, step it, and
+    /// confirm the grid never had to coarsen (no clamp events). Run
+    /// explicitly with `cargo test -p agentnet-radio --release -- --ignored
+    /// preset_1m_steps` — minutes of work and gigabytes of columns, so
+    /// not part of the default suite.
+    #[test]
+    #[ignore = "million-node build: run explicitly in release"]
+    fn preset_1m_steps_without_clamps() {
+        let mut net = NetworkBuilder::preset_1m()
+            .advance_shards(std::thread::available_parallelism().map_or(1, |p| p.get()))
+            .build(5)
+            .unwrap();
+        assert_eq!(net.node_count(), 1_000_000);
+        for _ in 0..3 {
+            net.advance();
+        }
+        let stats = net.stats();
+        assert_eq!(stats.advances, 3);
+        assert_eq!(stats.grid_cell_clamps, 0, "1M preset must fit the grid without coarsening");
+        assert!(net.links().edge_count() > 0);
     }
 }

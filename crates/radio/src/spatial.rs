@@ -5,10 +5,74 @@
 //! so a range query inspects only nearby cells instead of all `n` nodes,
 //! turning the per-step link rebuild from `O(n²)` into roughly
 //! `O(n · k)` for `k` nodes per neighbourhood.
+//!
+//! Cell contents live in flat CSR arrays (`starts` + `entries`), not
+//! per-cell `Vec`s: one contiguous allocation, no per-bucket headers, and
+//! a layout that a sharded rebuild can assemble deterministically. Within
+//! every cell, entries are ascending point indices — the invariant all
+//! three construction paths (sequential counting sort, sharded
+//! accumulate-and-merge, incremental splice) preserve, which is why they
+//! are byte-for-byte interchangeable.
 
 #![cfg_attr(not(test), warn(clippy::indexing_slicing))]
 
 use agentnet_graph::geometry::{Point2, Rect};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`SpatialGrid`] construction and re-indexing: degenerate
+/// geometry is rejected instead of being silently clamped into a grid
+/// whose queries would scan everything.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// The requested cell size was zero, negative, or non-finite.
+    CellSize {
+        /// The rejected value.
+        cell_size: f64,
+    },
+    /// An arena dimension or corner coordinate was non-finite.
+    Arena {
+        /// The rejected arena's width.
+        width: f64,
+        /// The rejected arena's height.
+        height: f64,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::CellSize { cell_size } => {
+                write!(f, "grid cell size {cell_size} must be positive and finite")
+            }
+            GridError::Arena { width, height } => {
+                write!(f, "arena {width}x{height} must have finite dimensions and corners")
+            }
+        }
+    }
+}
+
+impl Error for GridError {}
+
+/// Reusable rebuild scratch: per-shard tables plus the incremental-splice
+/// double buffers. Warmed on first use, allocation-free afterwards.
+#[derive(Clone, Debug, Default)]
+struct GridScratch {
+    /// Per-shard cell histograms (phase A), reused in place as local
+    /// run cursors (phase C) and run boundaries (phase D).
+    shard_hist: Vec<Vec<u32>>,
+    /// Per-shard locally sorted entries (phase C).
+    shard_entries: Vec<Vec<u32>>,
+    /// Sequential counting-sort cursor.
+    cursor: Vec<u32>,
+    /// Incremental splice: output double buffers.
+    out_entries: Vec<u32>,
+    out_starts: Vec<u32>,
+    /// Incremental splice: `(cell, index)` edits, sorted before merging.
+    removals: Vec<(u32, u32)>,
+    insertions: Vec<(u32, u32)>,
+}
 
 /// A uniform grid over an arena, bucketing point indices by cell.
 ///
@@ -17,7 +81,7 @@ use agentnet_graph::geometry::{Point2, Rect};
 /// use agentnet_radio::spatial::SpatialGrid;
 ///
 /// let pts = vec![Point2::new(1.0, 1.0), Point2::new(9.0, 9.0), Point2::new(1.5, 1.0)];
-/// let grid = SpatialGrid::build(Rect::square(10.0), 2.0, &pts);
+/// let grid = SpatialGrid::build(Rect::square(10.0), 2.0, &pts).unwrap();
 /// let mut near: Vec<usize> = grid.candidates_within(pts[0], 1.0).collect();
 /// near.sort_unstable();
 /// assert!(near.contains(&2));      // the point 0.5 m away
@@ -26,101 +90,416 @@ use agentnet_graph::geometry::{Point2, Rect};
 #[derive(Clone, Debug)]
 pub struct SpatialGrid {
     arena: Rect,
+    /// Effective (possibly coarsened) cell side.
     cell: f64,
+    /// Cell side the last rebuild asked for, before any coarsening —
+    /// the incremental path's geometry-stability check.
+    requested_cell: f64,
     cols: usize,
     rows: usize,
-    buckets: Vec<Vec<usize>>,
+    /// CSR row starts, length `cols * rows + 1`.
+    starts: Vec<u32>,
+    /// CSR entries: point indices, ascending within each cell.
+    entries: Vec<u32>,
+    /// Cached cell id per point — what the incremental path diffs
+    /// against instead of re-deriving every point's cell.
+    cell_of: Vec<u32>,
     /// Rebuilds that had to coarsen the requested cell size to keep the
-    /// bucket table allocatable — see [`SpatialGrid::clamp_events`].
+    /// cell table allocatable — see [`SpatialGrid::clamp_events`].
     clamp_events: u64,
+    scratch: GridScratch,
 }
 
 impl SpatialGrid {
-    /// Hard ceiling on the bucket-table size (~4M cells, ~100 MB of
-    /// `Vec` headers). Rebuilds whose extent/cell ratio would exceed it
+    /// Hard ceiling on the cell-table size (~4M cells, ~16 MB of CSR
+    /// starts). Rebuilds whose extent/cell ratio would exceed it
     /// coarsen the cell size instead of aborting on allocation;
     /// correctness is unaffected because [`Self::candidates_within`]
     /// derives its cell window from the same cell size.
     pub const MAX_CELLS: usize = 1 << 22;
 
-    /// Builds a grid with cells of side `cell_size` (clamped to a sane
-    /// minimum) containing the given points.
+    /// Builds a grid with cells of side `cell_size` containing the given
+    /// points.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cell_size` is not finite and positive.
-    pub fn build(arena: Rect, cell_size: f64, points: &[Point2]) -> Self {
+    /// [`GridError`] when `cell_size` is not finite and positive or the
+    /// arena has non-finite dimensions or corners.
+    pub fn build(arena: Rect, cell_size: f64, points: &[Point2]) -> Result<Self, GridError> {
         let mut grid = SpatialGrid {
             arena,
             cell: 1.0,
+            requested_cell: 1.0,
             cols: 1,
             rows: 1,
-            buckets: vec![Vec::new()],
+            starts: vec![0, 0],
+            entries: Vec::new(),
+            cell_of: Vec::new(),
             clamp_events: 0,
+            scratch: GridScratch::default(),
         };
-        grid.rebuild(arena, cell_size, points);
-        grid
+        grid.rebuild(arena, cell_size, points)?;
+        Ok(grid)
+    }
+
+    /// Validates rebuild geometry: the degenerate inputs that previously
+    /// clamped silently (or panicked) are rejected with a proper error.
+    fn validate(arena: Rect, cell_size: f64) -> Result<(), GridError> {
+        if !(cell_size.is_finite() && cell_size > 0.0) {
+            return Err(GridError::CellSize { cell_size });
+        }
+        let finite = arena.width.is_finite()
+            && arena.height.is_finite()
+            && arena.min_x().is_finite()
+            && arena.min_y().is_finite();
+        if !finite {
+            return Err(GridError::Arena { width: arena.width, height: arena.height });
+        }
+        Ok(())
     }
 
     /// Re-indexes the grid in place over possibly new geometry, reusing
-    /// bucket storage — the steady-state path of
+    /// all storage — the steady-state path of
     /// [`crate::WirelessNetwork::advance`], which would otherwise
-    /// reallocate every bucket every step.
+    /// reallocate the index every step. Equivalent to
+    /// [`Self::rebuild_sharded`] with one shard.
     ///
-    /// An absurd extent/cell ratio (whose `cols * rows` bucket table
-    /// would overflow or exceed [`Self::MAX_CELLS`]) does not abort:
-    /// the cell size is doubled until the table fits and the event is
-    /// surfaced through [`Self::clamp_events`].
+    /// Returns `true` when **this** rebuild had to coarsen the cell size
+    /// (see [`Self::clamp_events`]) — a per-call flag, so callers
+    /// folding it into their own counters cannot double-count or wrap
+    /// when several rebuilds happen in one step.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cell_size` is not finite and positive.
+    /// [`GridError`] on a non-finite/non-positive `cell_size` or a
+    /// non-finite arena; the grid is left unchanged.
     #[agentnet::hot_path]
-    pub fn rebuild(&mut self, arena: Rect, cell_size: f64, points: &[Point2]) {
-        assert!(cell_size.is_finite() && cell_size > 0.0, "cell size must be positive and finite");
+    pub fn rebuild(
+        &mut self,
+        arena: Rect,
+        cell_size: f64,
+        points: &[Point2],
+    ) -> Result<bool, GridError> {
+        self.rebuild_sharded(arena, cell_size, points, 1)
+    }
+
+    /// [`Self::rebuild`] with the per-point work fanned out over
+    /// `shards` contiguous point-index slices.
+    ///
+    /// Phases: (A) each shard derives cell ids and a cell histogram for
+    /// its slice in parallel; (B) one sequential prefix-sum pass turns
+    /// the histograms into global CSR starts; (C) each shard
+    /// counting-sorts its own slice locally in parallel; (D) a
+    /// deterministic index-ordered merge concatenates the shard runs of
+    /// every cell in shard order. Because shards are *contiguous
+    /// ascending* index ranges, shard-order concatenation within a cell
+    /// is exactly ascending point order — the same layout the
+    /// sequential counting sort produces — so the resulting CSR arrays
+    /// are **byte-identical at every shard count**.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError`] on degenerate geometry, exactly as [`Self::rebuild`].
+    #[agentnet::hot_path]
+    pub fn rebuild_sharded(
+        &mut self,
+        arena: Rect,
+        cell_size: f64,
+        points: &[Point2],
+        shards: usize,
+    ) -> Result<bool, GridError> {
+        Self::validate(arena, cell_size)?;
+        debug_assert!(points.len() < u32::MAX as usize, "CSR entries are u32 point indices");
         let mut cell = cell_size;
         let mut cols = Self::cell_span(arena.width, cell);
         let mut rows = Self::cell_span(arena.height, cell);
-        if Self::bucket_table_oversized(cols, rows) {
-            while Self::bucket_table_oversized(cols, rows) {
+        let mut clamped = false;
+        if Self::cell_table_oversized(cols, rows) {
+            while Self::cell_table_oversized(cols, rows) {
                 cell *= 2.0;
                 cols = Self::cell_span(arena.width, cell);
                 rows = Self::cell_span(arena.height, cell);
             }
+            clamped = true;
             self.clamp_events += 1;
         }
         self.arena = arena;
+        self.requested_cell = cell_size;
         self.cell = cell;
         self.cols = cols;
         self.rows = rows;
-        for bucket in &mut self.buckets {
-            bucket.clear();
+        let n = points.len();
+        let shards = shards.clamp(1, n.max(1));
+        if shards <= 1 {
+            self.index_sequential(points);
+        } else {
+            self.index_sharded(points, shards);
         }
-        // Fills only newly grown cells; in steady state the grid shape
-        // is stable and none grow. `cols * rows` cannot overflow: the
-        // clamp loop above bounded it by MAX_CELLS.
-        // agentlint::allow(no-alloc-in-hot-path)
-        self.buckets.resize_with(cols * rows, Vec::new);
-        for (i, &p) in points.iter().enumerate() {
-            let b = self.bucket_of(p);
-            if let Some(bucket) = self.buckets.get_mut(b) {
-                bucket.push(i);
+        Ok(clamped)
+    }
+
+    /// Sequential CSR construction: one counting sort, stable in point
+    /// index — the layout every other construction path reproduces.
+    #[agentnet::hot_path]
+    fn index_sequential(&mut self, points: &[Point2]) {
+        // `cols * rows` cannot overflow: the clamp loop bounded it.
+        let cells = self.cols * self.rows;
+        let (min, cell, cols, rows) = (self.arena.origin(), self.cell, self.cols, self.rows);
+        self.cell_of.clear();
+        self.cell_of.extend(points.iter().map(|&p| Self::cell_id(p, min, cell, cols, rows) as u32));
+        self.starts.clear();
+        self.starts.resize(cells + 1, 0);
+        for &c in &self.cell_of {
+            if let Some(count) = self.starts.get_mut(c as usize + 1) {
+                *count += 1;
+            }
+        }
+        let mut acc = 0u32;
+        for s in &mut self.starts {
+            acc += *s;
+            *s = acc;
+        }
+        let cursor = &mut self.scratch.cursor;
+        cursor.clear();
+        cursor.extend(self.starts.iter().take(cells).copied());
+        self.entries.clear();
+        self.entries.resize(points.len(), 0);
+        for (i, &c) in self.cell_of.iter().enumerate() {
+            let Some(cur) = cursor.get_mut(c as usize) else { continue };
+            let slot = *cur as usize;
+            *cur += 1;
+            if let Some(e) = self.entries.get_mut(slot) {
+                *e = i as u32;
             }
         }
     }
 
-    /// `true` when a `cols x rows` bucket table would overflow `usize`
+    /// Sharded CSR construction (phases A–D; see
+    /// [`Self::rebuild_sharded`] for the determinism argument).
+    #[agentnet::hot_path]
+    fn index_sharded(&mut self, points: &[Point2], shards: usize) {
+        let cells = self.cols * self.rows;
+        let n = points.len();
+        let chunk = n.div_ceil(shards);
+        let nshards = n.div_ceil(chunk.max(1));
+        let (min, cell, cols, rows) = (self.arena.origin(), self.cell, self.cols, self.rows);
+        if self.scratch.shard_hist.len() < nshards {
+            // Warm-up only: the per-shard tables are reused forever after.
+            // agentlint::allow(no-alloc-in-hot-path)
+            self.scratch.shard_hist.resize_with(nshards, Vec::new);
+            // agentlint::allow(no-alloc-in-hot-path)
+            self.scratch.shard_entries.resize_with(nshards, Vec::new);
+        }
+        self.cell_of.clear();
+        self.cell_of.resize(n, 0);
+
+        // Phase A (parallel): per-shard cell ids + cell histograms over
+        // disjoint contiguous slices.
+        std::thread::scope(|scope| {
+            for ((pts, ids), hist) in points
+                .chunks(chunk)
+                .zip(self.cell_of.chunks_mut(chunk))
+                .zip(&mut self.scratch.shard_hist)
+            {
+                scope.spawn(move || {
+                    hist.clear();
+                    hist.resize(cells, 0);
+                    for (&p, id) in pts.iter().zip(ids) {
+                        let c = Self::cell_id(p, min, cell, cols, rows);
+                        *id = c as u32;
+                        if let Some(h) = hist.get_mut(c) {
+                            *h += 1;
+                        }
+                    }
+                });
+            }
+        });
+
+        // Phase B (sequential): global CSR starts = prefix sum of the
+        // per-cell counts summed across shards.
+        self.starts.clear();
+        self.starts.resize(cells + 1, 0);
+        for hist in self.scratch.shard_hist.iter().take(nshards) {
+            for (s, &h) in self.starts.iter_mut().skip(1).zip(hist) {
+                *s += h;
+            }
+        }
+        let mut acc = 0u32;
+        for s in &mut self.starts {
+            acc += *s;
+            *s = acc;
+        }
+
+        // Phase C (parallel): each shard counting-sorts its slice into a
+        // local entry array. The histogram is prefix-summed in place
+        // into run cursors; after the scatter, `hist[c]` holds the end
+        // of cell `c`'s local run — exactly what the merge needs.
+        std::thread::scope(|scope| {
+            for (k, ((ids, hist), local)) in self
+                .cell_of
+                .chunks(chunk)
+                .zip(&mut self.scratch.shard_hist)
+                .zip(&mut self.scratch.shard_entries)
+                .enumerate()
+            {
+                let offset = k * chunk;
+                scope.spawn(move || {
+                    let mut acc = 0u32;
+                    for h in hist.iter_mut() {
+                        let count = *h;
+                        *h = acc;
+                        acc += count;
+                    }
+                    local.clear();
+                    local.resize(ids.len(), 0);
+                    for (i, &c) in ids.iter().enumerate() {
+                        let Some(cur) = hist.get_mut(c as usize) else { continue };
+                        let slot = *cur as usize;
+                        *cur += 1;
+                        if let Some(e) = local.get_mut(slot) {
+                            *e = (offset + i) as u32;
+                        }
+                    }
+                });
+            }
+        });
+
+        // Phase D (sequential): index-ordered merge — for every cell,
+        // concatenate the shard runs in shard order.
+        self.entries.clear();
+        self.entries.reserve(n);
+        for c in 0..cells {
+            for (hist, local) in
+                self.scratch.shard_hist.iter().zip(&self.scratch.shard_entries).take(nshards)
+            {
+                let end = hist.get(c).copied().unwrap_or(0) as usize;
+                let start = if c == 0 { 0 } else { hist.get(c - 1).copied().unwrap_or(0) as usize };
+                if let Some(run) = local.get(start..end) {
+                    self.entries.extend_from_slice(run);
+                }
+            }
+        }
+    }
+
+    /// Incremental maintenance: moves the points listed in `moved`
+    /// between cells instead of rebuilding from scratch. `moved` must
+    /// contain every index whose position changed since the last
+    /// (re)build (extra never-moved or duplicated indices are
+    /// harmless).
+    ///
+    /// Returns `false` — leaving the grid **unchanged** — when the
+    /// incremental precondition does not hold: different arena, a
+    /// different requested cell size, a coarsened (clamped) grid, a
+    /// changed point count, or an out-of-range index. Callers fall back
+    /// to a full rebuild. (A clamped grid always takes the full-rebuild
+    /// path so the per-rebuild clamp accounting stays identical whether
+    /// or not the incremental path is enabled.)
+    ///
+    /// On success the CSR arrays are byte-identical to what a full
+    /// [`Self::rebuild`] over `points` would produce: unchanged cell
+    /// runs are block-copied, and each edited cell merges its surviving
+    /// entries with the insertions in ascending index order.
+    #[agentnet::hot_path]
+    pub fn incremental_update(
+        &mut self,
+        arena: Rect,
+        cell_size: f64,
+        points: &[Point2],
+        moved: &[usize],
+    ) -> bool {
+        let n = self.cell_of.len();
+        let applicable = arena == self.arena
+            && cell_size == self.requested_cell
+            && self.cell == self.requested_cell
+            && points.len() == n
+            && moved.iter().all(|&i| i < n);
+        if !applicable {
+            return false;
+        }
+        let (min, cell, cols, rows) = (self.arena.origin(), self.cell, self.cols, self.rows);
+        self.scratch.removals.clear();
+        self.scratch.insertions.clear();
+        for &i in moved {
+            let Some(&p) = points.get(i) else { continue };
+            let new_cell = Self::cell_id(p, min, cell, cols, rows) as u32;
+            let Some(old_cell) = self.cell_of.get_mut(i) else { continue };
+            if *old_cell != new_cell {
+                self.scratch.removals.push((*old_cell, i as u32));
+                self.scratch.insertions.push((new_cell, i as u32));
+                *old_cell = new_cell;
+            }
+        }
+        if self.scratch.removals.is_empty() {
+            // Every move stayed within its cell: the CSR is already
+            // exactly what a full rebuild would produce.
+            return true;
+        }
+        self.scratch.removals.sort_unstable();
+        self.scratch.insertions.sort_unstable();
+        self.splice_edits();
+        true
+    }
+
+    /// Applies the sorted removal/insertion lists in one pass over the
+    /// CSR arrays: untouched cell runs are block-copied, edited cells
+    /// re-merged in ascending index order.
+    #[agentnet::hot_path]
+    fn splice_edits(&mut self) {
+        let cells = self.cols * self.rows;
+        let GridScratch { out_entries, out_starts, removals, insertions, .. } = &mut self.scratch;
+        out_entries.clear();
+        out_entries.reserve(self.entries.len());
+        out_starts.clear();
+        out_starts.reserve(cells + 1);
+        out_starts.push(0);
+        let mut rem = removals.iter().peekable();
+        let mut ins = insertions.iter().peekable();
+        for c in 0..cells as u32 {
+            let lo = self.starts.get(c as usize).copied().unwrap_or(0) as usize;
+            let hi = self.starts.get(c as usize + 1).copied().unwrap_or(0) as usize;
+            let run = self.entries.get(lo..hi).unwrap_or(&[]);
+            let touched = rem.peek().is_some_and(|&&(rc, _)| rc == c)
+                || ins.peek().is_some_and(|&&(ic, _)| ic == c);
+            if !touched {
+                out_entries.extend_from_slice(run);
+            } else {
+                for &e in run {
+                    if rem.peek().is_some_and(|&&(rc, ri)| rc == c && ri == e) {
+                        rem.next();
+                        continue;
+                    }
+                    while ins.peek().is_some_and(|&&(ic, idx)| ic == c && idx < e) {
+                        if let Some(&(_, idx)) = ins.next() {
+                            out_entries.push(idx);
+                        }
+                    }
+                    out_entries.push(e);
+                }
+                while ins.peek().is_some_and(|&&(ic, _)| ic == c) {
+                    if let Some(&(_, idx)) = ins.next() {
+                        out_entries.push(idx);
+                    }
+                }
+            }
+            out_starts.push(out_entries.len() as u32);
+        }
+        std::mem::swap(&mut self.entries, out_entries);
+        std::mem::swap(&mut self.starts, out_starts);
+    }
+
+    /// `true` when a `cols x rows` cell table would overflow `usize`
     /// or exceed [`Self::MAX_CELLS`].
     #[inline]
-    fn bucket_table_oversized(cols: usize, rows: usize) -> bool {
+    fn cell_table_oversized(cols: usize, rows: usize) -> bool {
         cols.checked_mul(rows).is_none_or(|cells| cells > Self::MAX_CELLS)
     }
 
     /// Number of rebuilds (since construction) that coarsened the
-    /// requested cell size to keep the bucket table within
+    /// requested cell size to keep the cell table within
     /// [`Self::MAX_CELLS`] — a coarser grid degrades query tightness,
     /// so callers surface this as a metric rather than silently paying
-    /// for near-full scans.
+    /// for near-full scans. Per-rebuild clamp information is returned
+    /// by [`Self::rebuild`] directly.
     pub fn clamp_events(&self) -> u64 {
         self.clamp_events
     }
@@ -132,9 +511,9 @@ impl SpatialGrid {
     /// wrapping.
     #[inline]
     fn cell_span(extent: f64, cell: f64) -> usize {
-        let cells = (extent / cell).ceil().max(1.0);
+        let span = (extent / cell).ceil().max(1.0);
         // agentlint::allow(no-lossy-cast) — domain clamped to >= 1 above.
-        cells as usize
+        span as usize
     }
 
     /// Maps an **arena-relative** coordinate (already offset by the
@@ -157,14 +536,24 @@ impl SpatialGrid {
         (raw as usize).min(limit.saturating_sub(1))
     }
 
-    fn bucket_of(&self, p: Point2) -> usize {
-        // Offset by the arena's min corner: a non-origin arena's cells
-        // start at `origin`, not `(0, 0)` — dividing the absolute
-        // coordinate would collapse every point into the clamped border
-        // cells and degrade queries to near-full scans.
-        let cx = Self::cell_index(p.x - self.arena.min_x(), self.cell, self.cols);
-        let cy = Self::cell_index(p.y - self.arena.min_y(), self.cell, self.rows);
-        cy * self.cols + cx
+    /// Cell id of a point under the given geometry. Offset by the
+    /// arena's min corner: a non-origin arena's cells start at `origin`,
+    /// not `(0, 0)` — dividing the absolute coordinate would collapse
+    /// every point into the clamped border cells and degrade queries to
+    /// near-full scans.
+    #[inline]
+    fn cell_id(p: Point2, min: Point2, cell: f64, cols: usize, rows: usize) -> usize {
+        let cx = Self::cell_index(p.x - min.x, cell, cols);
+        let cy = Self::cell_index(p.y - min.y, cell, rows);
+        cy * cols + cx
+    }
+
+    /// The entry run of cell `c`, empty out of range.
+    #[inline]
+    fn run(&self, c: usize) -> &[u32] {
+        let lo = self.starts.get(c).copied().unwrap_or(0) as usize;
+        let hi = self.starts.get(c + 1).copied().unwrap_or(0) as usize;
+        self.entries.get(lo..hi).unwrap_or(&[])
     }
 
     /// Iterator over indices of points whose cell intersects the disc of
@@ -185,17 +574,22 @@ impl SpatialGrid {
         let min_cy = Self::cell_index(y - radius, self.cell, self.rows);
         let max_cy = Self::cell_index(y + radius, self.cell, self.rows);
         (min_cy..=max_cy).flat_map(move |cy| {
-            (min_cx..=max_cx).flat_map(move |cx| {
-                let bucket =
-                    self.buckets.get(cy * self.cols + cx).map(Vec::as_slice).unwrap_or(&[]);
-                bucket.iter().copied()
-            })
+            (min_cx..=max_cx)
+                .flat_map(move |cx| self.run(cy * self.cols + cx).iter().map(|&e| e as usize))
         })
     }
 
     /// Number of cells in the grid.
     pub fn cell_count(&self) -> usize {
-        self.buckets.len()
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// The flat CSR cell arrays `(starts, entries)`: cell `c` holds the
+    /// point indices `entries[starts[c]..starts[c+1]]`, ascending.
+    /// Exposed so differential tests and the validation battery can
+    /// assert byte-identical grid contents across construction paths.
+    pub fn flat_cells(&self) -> (&[u32], &[u32]) {
+        (&self.starts, &self.entries)
     }
 }
 
@@ -203,9 +597,13 @@ impl SpatialGrid {
 mod tests {
     use super::*;
 
+    fn build(arena: Rect, cell: f64, pts: &[Point2]) -> SpatialGrid {
+        SpatialGrid::build(arena, cell, pts).expect("valid grid geometry")
+    }
+
     #[test]
     fn grid_dimensions() {
-        let g = SpatialGrid::build(Rect::new(10.0, 4.0), 2.0, &[]);
+        let g = build(Rect::new(10.0, 4.0), 2.0, &[]);
         assert_eq!(g.cell_count(), 5 * 2);
     }
 
@@ -213,7 +611,7 @@ mod tests {
     fn candidates_are_superset_of_exact_in_range() {
         let pts: Vec<Point2> =
             (0..100).map(|i| Point2::new((i % 10) as f64, (i / 10) as f64)).collect();
-        let g = SpatialGrid::build(Rect::square(10.0), 1.5, &pts);
+        let g = build(Rect::square(10.0), 1.5, &pts);
         let center = Point2::new(4.5, 4.5);
         let radius = 2.0;
         let cands: std::collections::HashSet<usize> = g.candidates_within(center, radius).collect();
@@ -227,7 +625,7 @@ mod tests {
     #[test]
     fn points_on_arena_edge_are_indexed() {
         let pts = vec![Point2::new(10.0, 10.0)];
-        let g = SpatialGrid::build(Rect::square(10.0), 3.0, &pts);
+        let g = build(Rect::square(10.0), 3.0, &pts);
         let found: Vec<usize> = g.candidates_within(Point2::new(9.5, 9.5), 1.0).collect();
         assert_eq!(found, vec![0]);
     }
@@ -235,21 +633,53 @@ mod tests {
     #[test]
     fn query_larger_than_arena_sees_everything() {
         let pts = vec![Point2::new(0.5, 0.5), Point2::new(9.5, 9.5)];
-        let g = SpatialGrid::build(Rect::square(10.0), 2.0, &pts);
+        let g = build(Rect::square(10.0), 2.0, &pts);
         let all: Vec<usize> = g.candidates_within(Point2::new(5.0, 5.0), 100.0).collect();
         assert_eq!(all.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "cell size")]
-    fn zero_cell_size_panics() {
-        let _ = SpatialGrid::build(Rect::square(1.0), 0.0, &[]);
+    fn degenerate_cell_sizes_are_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = SpatialGrid::build(Rect::square(1.0), bad, &[]).err();
+            assert!(
+                matches!(err, Some(GridError::CellSize { .. })),
+                "cell size {bad} must be rejected, got {err:?}"
+            );
+        }
+        // The rejected value is carried in the error.
+        assert_eq!(
+            SpatialGrid::build(Rect::square(1.0), -2.5, &[]).err(),
+            Some(GridError::CellSize { cell_size: -2.5 })
+        );
+    }
+
+    #[test]
+    fn non_finite_arena_is_rejected_not_clamped() {
+        // Rect's constructors validate, but its dimension fields are
+        // public — a degenerate arena can reach the grid.
+        let mut arena = Rect::square(10.0);
+        arena.width = f64::INFINITY;
+        assert!(matches!(SpatialGrid::build(arena, 1.0, &[]), Err(GridError::Arena { .. })));
+        let mut arena = Rect::square(10.0);
+        arena.height = f64::NAN;
+        assert!(matches!(SpatialGrid::build(arena, 1.0, &[]), Err(GridError::Arena { .. })));
+    }
+
+    #[test]
+    fn failed_rebuild_leaves_the_grid_usable() {
+        let pts = vec![Point2::new(1.0, 1.0)];
+        let mut g = build(Rect::square(10.0), 2.0, &pts);
+        assert!(g.rebuild(Rect::square(10.0), f64::NAN, &pts).is_err());
+        // The previous index is intact.
+        let found: Vec<usize> = g.candidates_within(Point2::new(1.0, 1.0), 1.0).collect();
+        assert_eq!(found, vec![0]);
     }
 
     #[test]
     fn out_of_arena_points_clamp_to_border_cells() {
         let pts = vec![Point2::new(-5.0, -5.0), Point2::new(15.0, 3.0)];
-        let g = SpatialGrid::build(Rect::square(10.0), 2.0, &pts);
+        let g = build(Rect::square(10.0), 2.0, &pts);
         // A query disc around the out-of-arena point still finds it in
         // the clamped border cell.
         let near: Vec<usize> = g.candidates_within(Point2::new(-4.0, -4.0), 2.0).collect();
@@ -267,7 +697,7 @@ mod tests {
         let arena = Rect::anchored(Point2::new(500.0, -200.0), 100.0, 100.0);
         let near = Point2::new(505.0, -195.0); // min corner area
         let far = Point2::new(595.0, -105.0); // max corner area
-        let g = SpatialGrid::build(arena, 10.0, &[near, far]);
+        let g = build(arena, 10.0, &[near, far]);
         assert_eq!(g.cell_count(), 100);
         let around_near: Vec<usize> = g.candidates_within(near, 5.0).collect();
         assert!(around_near.contains(&0), "near point must be its own candidate");
@@ -286,7 +716,7 @@ mod tests {
         let pts: Vec<Point2> = (0..60)
             .map(|i| Point2::new(-50.0 + (i % 10) as f64 * 2.0, 30.0 + (i / 10) as f64 * 2.0))
             .collect();
-        let g = SpatialGrid::build(arena, 3.0, &pts);
+        let g = build(arena, 3.0, &pts);
         let center = Point2::new(-41.0, 35.0);
         let radius = 4.0;
         let cands: std::collections::HashSet<usize> = g.candidates_within(center, radius).collect();
@@ -299,12 +729,12 @@ mod tests {
 
     #[test]
     fn absurd_extent_cell_ratio_clamps_instead_of_aborting() {
-        // 1e12-wide arena with 1e-3 cells: ~1e30 buckets would overflow
+        // 1e12-wide arena with 1e-3 cells: ~1e30 cells would overflow
         // the multiply (and any allocator). The rebuild must coarsen
         // the cell size, stay within MAX_CELLS, and surface the event.
         let arena = Rect::new(1e12, 1e12);
         let pts = vec![Point2::new(1.0, 1.0), Point2::new(2.0, 2.0), Point2::new(9e11, 9e11)];
-        let g = SpatialGrid::build(arena, 1e-3, &pts);
+        let g = build(arena, 1e-3, &pts);
         assert!(g.cell_count() <= SpatialGrid::MAX_CELLS);
         assert_eq!(g.clamp_events(), 1);
         // Queries stay correct on the coarsened grid.
@@ -313,19 +743,165 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_reports_each_clamp_without_double_counting() {
+        let arena = Rect::new(1e12, 1e12);
+        let mut g = build(arena, 1.0, &[]);
+        assert_eq!(g.clamp_events(), 1, "construction at 1e12/1.0 must clamp once");
+        // Two more rebuilds in a row: each reports exactly its own
+        // clamp, and the cumulative counter advances by exactly one per
+        // rebuild — no wrap, no double-count.
+        for expected in 2..=3 {
+            let clamped = g.rebuild(arena, 1.0, &[]).expect("valid geometry");
+            assert!(clamped);
+            assert_eq!(g.clamp_events(), expected);
+        }
+        let clamped = g.rebuild(Rect::square(100.0), 10.0, &[]).expect("valid geometry");
+        assert!(!clamped, "a sane rebuild must not report a clamp");
+        assert_eq!(g.clamp_events(), 3);
+    }
+
+    #[test]
     fn sane_rebuilds_never_clamp() {
-        let mut g = SpatialGrid::build(Rect::square(1000.0), 100.0, &[]);
-        g.rebuild(Rect::square(1000.0), 50.0, &[]);
+        let mut g = build(Rect::square(1000.0), 100.0, &[]);
+        let clamped = g.rebuild(Rect::square(1000.0), 50.0, &[]).expect("valid geometry");
+        assert!(!clamped);
         assert_eq!(g.clamp_events(), 0);
     }
 
     #[test]
     fn rebuild_reindexes_in_place() {
-        let mut g = SpatialGrid::build(Rect::square(10.0), 2.0, &[Point2::new(1.0, 1.0)]);
+        let mut g = build(Rect::square(10.0), 2.0, &[Point2::new(1.0, 1.0)]);
         assert_eq!(g.cell_count(), 25);
-        g.rebuild(Rect::square(10.0), 5.0, &[Point2::new(9.0, 9.0)]);
+        g.rebuild(Rect::square(10.0), 5.0, &[Point2::new(9.0, 9.0)]).expect("valid geometry");
         assert_eq!(g.cell_count(), 4);
         let found: Vec<usize> = g.candidates_within(Point2::new(8.0, 8.0), 1.5).collect();
         assert_eq!(found, vec![0]);
+    }
+
+    #[test]
+    fn csr_entries_are_ascending_within_every_cell() {
+        let pts: Vec<Point2> = (0..200)
+            .map(|i| Point2::new((i * 37 % 100) as f64 / 10.0, (i * 53 % 100) as f64 / 10.0))
+            .collect();
+        let g = build(Rect::square(10.0), 2.5, &pts);
+        let (starts, entries) = g.flat_cells();
+        assert_eq!(*starts.last().unwrap() as usize, pts.len());
+        for w in 0..starts.len() - 1 {
+            let run = &entries[starts[w] as usize..starts[w + 1] as usize];
+            assert!(run.windows(2).all(|p| p[0] < p[1]), "cell {w} run not ascending: {run:?}");
+        }
+    }
+
+    fn scattered_points(n: usize, arena: Rect) -> Vec<Point2> {
+        // Deterministic pseudo-random scatter (LCG), including a few
+        // out-of-arena strays that must clamp consistently.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        (0..n)
+            .map(|_| {
+                let mut next = || {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 11) as f64 / (1u64 << 53) as f64
+                };
+                let x = arena.min_x() + (next() * 1.2 - 0.1) * arena.width;
+                let y = arena.min_y() + (next() * 1.2 - 0.1) * arena.height;
+                Point2::new(x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_rebuild_is_byte_identical_to_sequential() {
+        let arena = Rect::anchored(Point2::new(-40.0, 25.0), 300.0, 200.0);
+        let pts = scattered_points(500, arena);
+        let baseline = build(arena, 7.0, &pts);
+        for shards in [1, 2, 3, 7, 16, 499, 500, 900] {
+            let mut g = build(arena, 31.0, &[]);
+            g.rebuild_sharded(arena, 7.0, &pts, shards).expect("valid geometry");
+            assert_eq!(
+                g.flat_cells(),
+                baseline.flat_cells(),
+                "CSR contents differ at {shards} shards"
+            );
+            assert_eq!(g.cell_count(), baseline.cell_count());
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        let arena = Rect::square(100.0);
+        let mut pts = scattered_points(300, arena);
+        let mut g = build(arena, 9.0, &pts);
+        // Several rounds of sparse movement, including cell-crossing
+        // hops, within-cell jitter, and out-of-arena clamping.
+        for round in 0..8 {
+            let moved: Vec<usize> = (round % 7..300).step_by(7).collect();
+            for &i in &moved {
+                let p = &mut pts[i];
+                p.x += if round % 2 == 0 { 13.0 } else { -13.0 };
+                p.y += 0.25;
+            }
+            assert!(
+                g.incremental_update(arena, 9.0, &pts, &moved),
+                "round {round}: incremental path must apply"
+            );
+            let full = build(arena, 9.0, &pts);
+            assert_eq!(g.flat_cells(), full.flat_cells(), "round {round} diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_update_refuses_changed_geometry() {
+        let arena = Rect::square(100.0);
+        let pts = scattered_points(50, arena);
+        let mut g = build(arena, 9.0, &pts);
+        assert!(!g.incremental_update(arena, 8.0, &pts, &[]), "cell size changed");
+        assert!(!g.incremental_update(Rect::square(90.0), 9.0, &pts, &[]), "arena changed");
+        assert!(!g.incremental_update(arena, 9.0, &pts[..49], &[]), "point count changed");
+        assert!(!g.incremental_update(arena, 9.0, &pts, &[50]), "index out of range");
+        // And still applies when nothing is wrong.
+        assert!(g.incremental_update(arena, 9.0, &pts, &[0]));
+    }
+
+    #[test]
+    fn duplicated_moved_indices_record_each_edit_once() {
+        // The eager `cell_of` update makes a duplicated index a no-op on
+        // its later occurrences — it must not remove or insert twice.
+        let arena = Rect::square(100.0);
+        let mut pts: Vec<Point2> =
+            (0..20).map(|i| Point2::new(5.0 + 4.0 * (i as f64), 50.0)).collect();
+        let mut g = build(arena, 10.0, &pts);
+        pts[3] = Point2::new(85.0, 50.0);
+        assert!(g.incremental_update(arena, 10.0, &pts, &[3, 3, 7, 7, 3]));
+        let full = build(arena, 10.0, &pts);
+        assert_eq!(g.flat_cells(), full.flat_cells());
+    }
+
+    #[test]
+    fn incremental_update_refuses_clamped_grids() {
+        // A clamped grid coarsened its cell size; the incremental path
+        // must defer to the full rebuild so clamp accounting matches.
+        let arena = Rect::new(1e12, 1e12);
+        let pts = vec![Point2::new(1.0, 1.0)];
+        let mut g = build(arena, 1e-3, &pts);
+        assert_eq!(g.clamp_events(), 1);
+        assert!(!g.incremental_update(arena, 1e-3, &pts, &[0]));
+    }
+
+    #[test]
+    fn incremental_update_on_shifted_arena_moves_by_relative_position() {
+        // Regression guard for the incremental path on non-origin
+        // arenas: a move near the min corner must re-bucket relative to
+        // the origin, not absolutely.
+        let arena = Rect::anchored(Point2::new(500.0, -200.0), 100.0, 100.0);
+        let mut pts = vec![Point2::new(505.0, -195.0), Point2::new(595.0, -105.0)];
+        let mut g = build(arena, 10.0, &pts);
+        pts[0] = Point2::new(525.0, -175.0); // two cells over, still near the min corner
+        assert!(g.incremental_update(arena, 10.0, &pts, &[0]));
+        let full = build(arena, 10.0, &pts);
+        assert_eq!(g.flat_cells(), full.flat_cells());
+        let around: Vec<usize> = g.candidates_within(pts[0], 5.0).collect();
+        assert!(around.contains(&0));
+        assert!(!around.contains(&1), "far corner must not become a candidate after the move");
     }
 }

@@ -47,7 +47,7 @@ use agentnet_graph::geometry::{Point2, Rect};
 use agentnet_graph::paths::{bfs_distances, diameter, hop_distance};
 use agentnet_graph::{DiGraph, NodeId};
 use agentnet_radio::{
-    BatteryState, Motion, NetworkBuilder, NodeKind, WirelessNetwork, WirelessNode,
+    BatteryModel, BatteryState, Motion, NetworkBuilder, NodeKind, WirelessNetwork, WirelessNode,
 };
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -188,6 +188,8 @@ pub fn run_battery(cfg: ValidateConfig) -> ValidationReport {
     report.push(check_relabel_distance_vector(cfg.seed));
     report.push(check_population_monotone(cfg.seed));
     report.push(check_executor_determinism(cfg.seed));
+    report.push(check_grid_shard_invariance(cfg.seed));
+    report.push(check_grid_incremental_differential(cfg.seed));
     report.push(check_dv_matches_bfs(cfg.seed));
     report.push(check_agent_claims_vs_bfs(cfg.seed));
     for kind in ProtocolKind::ALL {
@@ -570,6 +572,96 @@ fn check_executor_determinism(seed: u64) -> CheckResult {
         NAME,
         CheckKind::Differential,
         format!("{runs} replicates byte-identical across serial/parallel/cold/warm"),
+    )
+}
+
+/// The spatial grid's sharded rebuild is a pure optimization: grid
+/// contents, links, `topology_version` and every stat stay
+/// byte-identical at shard counts {1, 2, 7, n} across a stepped mobile
+/// network.
+fn check_grid_shard_invariance(seed: u64) -> CheckResult {
+    const NAME: &str = "grid-shard-invariance";
+    let nodes = 120usize;
+    let build = |shards: usize| {
+        NetworkBuilder::new(nodes)
+            .gateways(5)
+            .mobile_fraction(0.4)
+            .min_initial_reachability(0.0)
+            .advance_shards(shards)
+            .build(seed ^ 0x31)
+            .expect("buildable")
+    };
+    let mut baseline = build(1);
+    let shard_counts = [2usize, 7, nodes];
+    let mut others: Vec<WirelessNetwork> = shard_counts.iter().map(|&s| build(s)).collect();
+    for step in 0..40 {
+        baseline.advance();
+        for (net, &s) in others.iter_mut().zip(&shard_counts) {
+            net.advance();
+            let same = net.grid_cells() == baseline.grid_cells()
+                && net.links() == baseline.links()
+                && net.topology_version() == baseline.topology_version()
+                && net.stats() == baseline.stats();
+            if !same {
+                return CheckResult::fail(
+                    NAME,
+                    CheckKind::Differential,
+                    format!("shards={s} diverged from the sequential path at step {step}"),
+                );
+            }
+        }
+    }
+    CheckResult::pass(
+        NAME,
+        CheckKind::Differential,
+        format!("grid, links, topology and stats byte-identical at shard counts {{1, 2, 7, {nodes}}} over 40 steps"),
+    )
+}
+
+/// Incremental grid maintenance is a pure optimization: with the
+/// incremental path engaged (low mobility, mains power), grid contents,
+/// links and `topology_version` stay byte-identical to a network that
+/// always re-indexes from scratch.
+fn check_grid_incremental_differential(seed: u64) -> CheckResult {
+    const NAME: &str = "grid-incremental-differential";
+    let build = |incremental: bool| {
+        NetworkBuilder::new(150)
+            .gateways(6)
+            .mobile_fraction(0.02)
+            .mobile_battery(BatteryModel::Mains)
+            .min_initial_reachability(0.0)
+            .grid_incremental(incremental)
+            .build(seed ^ 0x37)
+            .expect("buildable")
+    };
+    let mut with_inc = build(true);
+    let mut without = build(false);
+    for step in 0..60 {
+        with_inc.advance();
+        without.advance();
+        let same = with_inc.grid_cells() == without.grid_cells()
+            && with_inc.links() == without.links()
+            && with_inc.topology_version() == without.topology_version();
+        if !same {
+            return CheckResult::fail(
+                NAME,
+                CheckKind::Differential,
+                format!("incremental grid diverged from full rebuilds at step {step}"),
+            );
+        }
+    }
+    let engaged = with_inc.stats().grid_incremental_updates;
+    if engaged == 0 {
+        return CheckResult::fail(
+            NAME,
+            CheckKind::Differential,
+            "incremental path never engaged — the comparison was vacuous".to_string(),
+        );
+    }
+    CheckResult::pass(
+        NAME,
+        CheckKind::Differential,
+        format!("{engaged} incremental refreshes byte-identical to full rebuilds over 60 steps"),
     )
 }
 
